@@ -1,0 +1,38 @@
+"""Regenerates the three design-space ablations DESIGN.md calls out.
+
+* section III-D6 — SRV on an in-order core,
+* section VIII (future work) — removing the srv_end serialisation barrier,
+* section III-E — version-less transactional memory must replay on WAR.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_ablation_inorder(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["ablation_inorder"], rounds=1, iterations=1
+    )
+    save_result(result)
+    # the in-order core benefits MORE from SRV, for every benchmark
+    assert all(row[2] > row[1] for row in result.rows)
+    assert result.summary["mean_inorder_advantage"] > 1.5
+
+
+def test_ablation_barrier(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["ablation_barrier"], rounds=1, iterations=1
+    )
+    save_result(result)
+    # removing the barrier never hurts and meaningfully helps on average
+    assert all(row[3] >= 1.0 for row in result.rows)
+    assert result.summary["mean_gain"] > 1.2
+
+
+def test_ablation_tm(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["ablation_tm"], rounds=1, iterations=1
+    )
+    save_result(result)
+    # WAR conflicts force extra replays under version-less TM
+    assert result.summary["total_tm_replays"] >= result.summary["total_srv_replays"]
+    assert any(row[3] > 0 for row in result.rows)

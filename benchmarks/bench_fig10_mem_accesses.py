@@ -1,0 +1,23 @@
+"""Regenerates Figure 10: SRV-vectorised loops by memory-access count.
+
+Paper shape to hold: ~80% of loops have ten or fewer references with at
+most three gather/scatters among them; a tail above 16 exists; the LSU
+sizing identity 16*3 + (10-3) = 55 <= 64 holds.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_fig10_mem_accesses(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["figure10"], rounds=1, iterations=1
+    )
+    save_result(result)
+
+    assert result.summary["share_10_or_fewer"] >= 0.75
+    assert result.summary["max_gs_in_10_or_fewer"] <= 3
+    assert result.summary["lsu_demand_10_access_loops"] == 55
+    assert result.summary["lsu_demand_10_access_loops"] <= result.summary["lsu_capacity"]
+    tail = result.row_for(">16")
+    assert tail[1] >= 1  # loops above 16 accesses exist
+    assert 0.0 < result.summary["dynamic_gather_load_share"] < 0.5

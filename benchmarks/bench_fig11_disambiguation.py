@@ -1,0 +1,28 @@
+"""Regenerates Figure 11: address disambiguations, SRV vs sequential.
+
+Paper shape to hold: a mix of increases (up to tens of percent) and
+decreases; horizontal disambiguations dominate the SRV side; some
+benchmarks do fewer disambiguations than sequential execution.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_fig11_disambiguation(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["figure11"], rounds=1, iterations=1
+    )
+    save_result(result)
+
+    data = result.as_dict()
+    # horizontal dominates inside regions ("the horizontal ones take up a
+    # large fraction")
+    dominated = sum(
+        1 for row in data.values()
+        if row["srv_horizontal"] > row["srv_vertical"]
+    )
+    assert dominated >= len(data) * 0.75
+    # both directions occur: some increase, some decrease vs sequential
+    assert result.summary["benchmarks_with_fewer"]
+    assert any(row["srv_over_sequential"] > 1.0 for row in data.values())
+    assert all(row["srv_over_sequential"] > 0.2 for row in data.values())

@@ -1,0 +1,18 @@
+"""Regenerates Figure 12: dynamic core power change from SRV.
+
+Paper shape to hold: changes are negligible at the core level (paper: at
+most +3.2%), because the LSU contributes only ~11% of run-time power.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_fig12_power(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["figure12"], rounds=1, iterations=1
+    )
+    save_result(result)
+
+    changes = result.column("power_change")
+    assert all(abs(change) < 0.05 for change in changes), changes
+    assert result.summary["max_change"] < 0.05

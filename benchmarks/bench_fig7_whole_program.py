@@ -1,0 +1,23 @@
+"""Regenerates Figure 7: whole-program speedup over SVE.
+
+Paper shape to hold: geometric means around 1.04 (SPEC) and 1.10 (HPC);
+is the best overall (paper 1.26x); nothing slows down.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_fig7_whole_program(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["figure7"], rounds=1, iterations=1
+    )
+    save_result(result)
+
+    data = result.as_dict()
+    assert 1.02 < result.summary["geomean_spec"] < 1.09
+    assert 1.05 < result.summary["geomean_hpc"] < 1.16
+    assert all(row[2] > 1.0 for row in result.rows)
+    # is has the largest whole-program gain (paper: 1.26x)
+    best = max(data, key=lambda name: data[name]["whole_program_speedup"])
+    assert best == "is"
+    assert data["is"]["whole_program_speedup"] > 1.15

@@ -1,0 +1,32 @@
+"""Regenerates Figure 8: srv_end serialisation barrier cycles.
+
+Paper shape to hold: barrier overhead is a small fraction of SRV-loop
+cycles everywhere; the small-body benchmarks (perlbench, hmmer, h264ref)
+pay more than the big-body ones, with is — whose loop is almost fully
+compute — at the bottom.
+
+Known fidelity delta (see EXPERIMENTS.md): the paper's long-trip
+benchmarks approach 0.03-0.9% because their loop cycles are dominated by
+cache misses on reference inputs; our warm small-footprint kernels keep
+every benchmark in the 4-8% band instead.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_fig8_barrier(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["figure8"], rounds=1, iterations=1
+    )
+    save_result(result)
+
+    data = result.as_dict()
+    fractions = {name: row["barrier_fraction"] for name, row in data.items()}
+    assert all(0.0 < f < 0.25 for f in fractions.values())
+    # the small-body short-trip benchmarks pay more than is, whose large
+    # mostly-contiguous body amortises the serialisation best
+    for name in ("perlbench", "hmmer", "h264ref"):
+        assert fractions[name] > fractions["is"], name
+    # is sits at (or next to) the bottom of the ranking
+    ordered = sorted(fractions, key=fractions.get)
+    assert "is" in ordered[:3]

@@ -1,0 +1,28 @@
+"""Regenerates Figure 9: violation mix and replay overhead.
+
+Paper shape to hold: exactly bzip2, hmmer, is and randacc incur run-time
+violations; RAW dominates; replay overhead stays tiny relative to the
+vector iteration count.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_fig9_violations(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["figure9"], rounds=1, iterations=1
+    )
+    save_result(result)
+
+    names = {row[0] for row in result.rows}
+    assert names == {"bzip2", "hmmer", "is", "randacc"}
+    for name, raw, war, waw, extra in result.rows:
+        assert raw > 0, name                      # RAW dominates / exists
+        assert raw >= waw, name
+        assert extra < 0.30, (name, extra)        # replays stay cheap
+    data = result.as_dict()
+    # is: many violations per static instruction, tiny replay overhead
+    assert (
+        data["is"]["raw_per_static_instr"]
+        > data["randacc"]["raw_per_static_instr"]
+    )

@@ -1,0 +1,20 @@
+"""Regenerates the paper's headline numbers (abstract / section VI).
+
+average loop speedup ~2.9x, best loop >4x, whole-program best >1.15x,
+overall geomean ~1.05-1.07x.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_headline(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["headline"], rounds=1, iterations=1
+    )
+    save_result(result)
+
+    data = result.as_dict()
+    assert 2.2 < data["average_loop_speedup"]["measured"] < 3.8
+    assert data["max_loop_speedup"]["measured"] > 4.0
+    assert data["max_whole_program_speedup"]["measured"] > 1.15
+    assert 1.03 < data["geomean_whole_program"]["measured"] < 1.10

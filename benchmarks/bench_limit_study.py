@@ -1,0 +1,21 @@
+"""Regenerates the section II limit study.
+
+Paper shape to hold: around 2.1x average potential from vectorising all
+inner loops, collapsing to about 1.02x when unknown-dependence loops are
+excluded.
+"""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_limit_study(benchmark, save_result):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["limit_study"], rounds=1, iterations=1
+    )
+    save_result(result)
+
+    assert 1.6 < result.summary["average_potential"] < 3.6
+    assert 1.0 < result.summary["average_without_unknown"] < 1.08
+    # the ideal vector factor approaches the lane count for lean loops
+    factors = result.column("ideal_vector_factor")
+    assert all(f > 5 for f in factors)

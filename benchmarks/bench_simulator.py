@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the simulation stack itself.
+
+Not a paper figure — these measure the reproduction's own throughput so
+regressions in the emulator, the LSU bit-vector logic or the timing model
+are visible.
+"""
+
+from repro.common.rng import periodic_conflict_indices
+from repro.emu import run_program
+from repro.isa import ProgramBuilder, imm, v, x
+from repro.memory import MemoryImage
+from repro.pipeline import Tracer, simulate
+
+LANES = 16
+N = 512
+
+
+def build_listing2(mem):
+    a = mem.allocation("a")
+    xs = mem.allocation("x")
+    b = ProgramBuilder("listing2")
+    b.mov(x(1), imm(a.base)).mov(x(2), imm(xs.base))
+    b.mov(x(3), imm(0)).mov(x(4), imm(N))
+    b.label("Loop")
+    b.shl(x(7), x(3), imm(2))
+    b.add(x(5), x(1), x(7))
+    b.add(x(6), x(2), x(7))
+    b.srv_start()
+    b.v_load(v(0), x(5))
+    b.v_add(v(0), v(0), imm(2))
+    b.v_load(v(1), x(6))
+    b.v_scatter(v(0), x(1), v(1))
+    b.srv_end()
+    b.add(x(3), x(3), imm(LANES))
+    b.blt(x(3), x(4), "Loop")
+    b.halt()
+    return b.build()
+
+
+def fresh_memory():
+    mem = MemoryImage()
+    mem.alloc("a", N, 4, init=range(N))
+    mem.alloc("x", N, 4, init=periodic_conflict_indices(N, 4))
+    return mem
+
+
+def test_emulator_throughput(benchmark):
+    def run():
+        mem = fresh_memory()
+        metrics, _ = run_program(build_listing2(mem), mem)
+        return metrics
+
+    metrics = benchmark(run)
+    assert metrics.srv.regions_entered == N // LANES
+
+
+def test_pipeline_throughput(benchmark):
+    mem = fresh_memory()
+    tracer = Tracer()
+    run_program(build_listing2(mem), mem, tracer=tracer)
+    trace = tracer.ops
+
+    stats = benchmark(lambda: simulate(trace, warm=True))
+    assert stats.cycles > 0

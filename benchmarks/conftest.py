@@ -1,0 +1,22 @@
+"""Shared helpers for the figure-regeneration benchmarks."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist an experiment's table under results/<name>.txt and echo it."""
+
+    def _save(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.name}.txt"
+        path.write_text(result.format_table() + "\n")
+        print()
+        print(result.format_table())
+        return path
+
+    return _save

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""SRV vs FlexVec: the figure 13 comparison across conflict rates.
+
+FlexVec (Baghsorkhi et al., PLDI 2016) vectorises loops with unknown
+dependences by emitting *run-time checks* (a cracked VPCONFLICTM) and
+partially vectorising up to each violating lane.  SRV detects the same
+conflicts implicitly in the LSU.  This example sweeps the conflict rate of
+the paper's listing 1 pattern and prints the dynamic instruction count of
+each technique: FlexVec pays its checks even when conflicts never occur,
+which is exactly the gap figure 13 reports.
+"""
+
+from repro.common.rng import sparse_conflict_indices
+from repro.compiler import Strategy, compile_loop, scalar_reference
+from repro.emu import run_program
+from repro.memory import MemoryImage
+from repro.workloads.base import indirect_update
+
+N = 512
+LANES = 16
+
+
+def instructions(strategy: Strategy, x_vals: list[int]) -> int:
+    loop = indirect_update()
+    a_vals = list(range(N))
+    mem = MemoryImage()
+    mem.alloc("a", N, 4, init=a_vals)
+    mem.alloc("x", N, 4, init=x_vals)
+    program = compile_loop(loop, mem, N, strategy)
+    metrics, _ = run_program(program, mem)
+    oracle = scalar_reference(loop, {"a": a_vals, "x": x_vals}, N)
+    assert mem.load_array(mem.allocation("a")) == oracle["a"], strategy
+    return metrics.dynamic_instructions
+
+
+def main() -> None:
+    print(f"{'conflict rate':>13s}  {'scalar':>7s}  {'flexvec':>7s}  "
+          f"{'srv':>7s}  {'srv/flexvec':>11s}")
+    for rate in (0.0, 0.05, 0.25, 0.5, 1.0):
+        x_vals = sparse_conflict_indices(N, LANES, rate, seed=11)
+        scalar = instructions(Strategy.SCALAR, x_vals)
+        flexvec = instructions(Strategy.FLEXVEC, x_vals)
+        srv = instructions(Strategy.SRV, x_vals)
+        print(
+            f"{rate:13.2f}  {scalar:7d}  {flexvec:7d}  {srv:7d}  "
+            f"{srv / flexvec:10.1%}"
+        )
+    print(
+        "\nSRV needs a fraction of FlexVec's dynamic instructions (the"
+        "\npaper reports <60% for most benchmarks): no check loop, and"
+        "\nreplay re-executes only violating lanes instead of splitting"
+        "\nevery group into partitions."
+    )
+
+
+if __name__ == "__main__":
+    main()

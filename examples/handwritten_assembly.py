@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Hand-written SRV assembly, assembled and executed.
+
+Writes the paper's listing 2 directly in the text assembly dialect (the
+same one ``Program.listing()`` prints), assembles it, runs it against the
+motivating input pattern, and shows the selective replays — without going
+through the compiler at all.
+"""
+
+from repro.common.rng import periodic_conflict_indices
+from repro.emu import run_program
+from repro.isa.assembler import parse_asm
+from repro.memory import MemoryImage
+
+N = 64
+
+LISTING2 = """
+; listing 2 of the paper: a[x[i]] = a[i] + 2, 16 lanes per group
+; x1 = &a, x2 = &x, x3 = i, x4 = N
+Loop:
+    shl x7, x3, #2          ; byte offset of iteration i
+    add x5, x1, x7          ; &a[i]
+    add x6, x2, x7          ; &x[i]
+    srv_start (up)
+    v_load v0, [x5, #0] (4B)
+    v_add v0, v0, #2
+    v_load v1, [x6, #0] (4B)
+    v_scatter v0, [x1, v1] (4B)
+    srv_end
+    add x3, x3, #16
+    blt x3, x4, Loop
+    halt
+"""
+
+
+def main() -> None:
+    mem = MemoryImage()
+    a = mem.alloc("a", N, 4, init=range(100, 100 + N))
+    xs = mem.alloc("x", N, 4, init=periodic_conflict_indices(N, 4))
+
+    program = parse_asm(LISTING2, name="listing2-asm")
+    print(program.listing())
+    print()
+
+    # bind the pointer/loop registers the assembly expects
+    from repro.common.config import TABLE_I
+    from repro.emu import Interpreter
+    from repro.isa import x
+
+    interp = Interpreter(program, mem, TABLE_I)
+    interp.state.write_scalar(x(1), a.base)
+    interp.state.write_scalar(x(2), xs.base)
+    interp.state.write_scalar(x(3), 0)
+    interp.state.write_scalar(x(4), N)
+    metrics = interp.run()
+
+    expected = list(range(100, 100 + N))
+    x_vals = mem.load_array(xs)
+    for i in range(N):
+        expected[x_vals[i]] = expected[i] + 2
+    assert mem.load_array(a) == expected, "SRV result must match scalar"
+
+    srv = metrics.srv
+    print(f"regions: {srv.regions_entered}   passes: {srv.region_passes}   "
+          f"selective replays: {srv.replays}")
+    print(f"RAW violations caught: {srv.raw_violations} "
+          f"(lanes 3, 7, 11, 15 of each group)")
+    print("result verified against scalar semantics")
+
+
+if __name__ == "__main__":
+    main()

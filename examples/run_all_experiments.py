@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs all ten experiment harnesses (section II limit study, figures 6-13,
+and the headline aggregates) at full workload sizes and prints each table.
+Pass ``--quick`` to trim trip counts for a fast smoke run.
+"""
+
+import argparse
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+ORDER = (
+    "limit_study",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "headline",
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="trim loop trip counts to 128 iterations",
+    )
+    parser.add_argument(
+        "--only", choices=ORDER, default=None,
+        help="run a single experiment",
+    )
+    args = parser.parse_args()
+    n_override = 128 if args.quick else None
+
+    names = [args.only] if args.only else list(ORDER)
+    for name in names:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](n_override=n_override)
+        elapsed = time.perf_counter() - start
+        print("=" * 72)
+        print(result.format_table())
+        print(f"[{name}: {elapsed:.1f}s]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

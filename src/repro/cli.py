@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the benchmark suite with coverage and loop inventory;
+* ``experiment <name>`` — regenerate one paper figure/table (or ``all``);
+* ``loop <workload> <loop>`` — run one loop under every strategy and
+  print instructions/cycles/violations;
+* ``disasm <workload> <loop> [strategy]`` — show the generated program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.compiler import Strategy, compile_loop
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import run_loop
+from repro.memory import MemoryImage
+from repro.workloads import ALL_WORKLOADS, by_name
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'benchmark':10s}  {'suite':5s}  {'coverage':>8s}  loops")
+    for workload in ALL_WORKLOADS:
+        loops = ", ".join(spec.name for spec in workload.loops)
+        print(
+            f"{workload.name:10s}  {workload.suite:5s}  "
+            f"{workload.coverage:8.3f}  {loops}"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from: "
+                  f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](n_override=args.n)
+        print(result.format_table())
+        print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+def _find_spec(workload_name: str, loop_name: str):
+    workload = by_name(workload_name)
+    for spec in workload.loops:
+        if spec.name == loop_name or loop_name in spec.name:
+            return spec
+    raise KeyError(
+        f"workload {workload_name!r} has loops: "
+        f"{', '.join(s.name for s in workload.loops)}"
+    )
+
+
+def _cmd_loop(args: argparse.Namespace) -> int:
+    spec = _find_spec(args.workload, args.loop)
+    print(f"{spec.name}: {spec.description or '(no description)'}")
+    print(f"{'strategy':8s}  {'correct':7s}  {'instructions':>12s}  "
+          f"{'cycles':>8s}  {'replays':>7s}")
+    for strategy in Strategy:
+        run = run_loop(spec, strategy, seed=args.seed, n_override=args.n)
+        print(
+            f"{strategy.value:8s}  {str(run.correct):7s}  "
+            f"{run.emu.dynamic_instructions:12d}  {run.pipe.cycles:8d}  "
+            f"{run.emu.srv.replays:7d}"
+        )
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    spec = _find_spec(args.workload, args.loop)
+    arrays = spec.arrays(args.seed)
+    mem = MemoryImage()
+    for name, init in arrays.items():
+        mem.alloc(name, len(init), spec.loop.arrays[name], init=init)
+    strategy = Strategy(args.strategy)
+    program = compile_loop(
+        spec.loop, mem, args.n or spec.n, strategy, params=spec.params
+    )
+    print(program.listing())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("name", help="figure6..figure13, limit_study, headline, all")
+    p_exp.add_argument("-n", type=int, default=None, help="trip-count override")
+
+    p_loop = sub.add_parser("loop", help="run one loop under all strategies")
+    p_loop.add_argument("workload")
+    p_loop.add_argument("loop")
+    p_loop.add_argument("-n", type=int, default=None)
+    p_loop.add_argument("--seed", type=int, default=0)
+
+    p_dis = sub.add_parser("disasm", help="print a loop's generated program")
+    p_dis.add_argument("workload")
+    p_dis.add_argument("loop")
+    p_dis.add_argument("strategy", nargs="?", default="srv",
+                       choices=[s.value for s in Strategy])
+    p_dis.add_argument("-n", type=int, default=None)
+    p_dis.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "loop": _cmd_loop,
+        "disasm": _cmd_disasm,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

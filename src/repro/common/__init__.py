@@ -1,0 +1,55 @@
+"""Shared substrate: bit vectors, machine configuration, errors, RNG."""
+
+from repro.common.bitvec import (
+    BitVector,
+    lane_mask_below,
+    lane_mask_strictly_above,
+    lane_mask_up_from,
+)
+from repro.common.config import (
+    TABLE_I,
+    BranchPredictorConfig,
+    CacheConfig,
+    IssueConfig,
+    MachineConfig,
+    MemoryConfig,
+    PortConfig,
+)
+from repro.common.errors import (
+    CompilerError,
+    DependenceAnalysisError,
+    IsaError,
+    LsuOverflowError,
+    MemoryAccessError,
+    NestedSrvRegionError,
+    PipelineError,
+    ReplayBoundExceededError,
+    ReproError,
+    SrvError,
+    SrvRegionStateError,
+)
+
+__all__ = [
+    "BitVector",
+    "lane_mask_below",
+    "lane_mask_strictly_above",
+    "lane_mask_up_from",
+    "TABLE_I",
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "IssueConfig",
+    "MachineConfig",
+    "MemoryConfig",
+    "PortConfig",
+    "CompilerError",
+    "DependenceAnalysisError",
+    "IsaError",
+    "LsuOverflowError",
+    "MemoryAccessError",
+    "NestedSrvRegionError",
+    "PipelineError",
+    "ReplayBoundExceededError",
+    "ReproError",
+    "SrvError",
+    "SrvRegionStateError",
+]

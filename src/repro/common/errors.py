@@ -1,0 +1,57 @@
+"""Exception hierarchy for the SRV reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IsaError(ReproError):
+    """Malformed instruction, register, or program."""
+
+
+class MemoryAccessError(ReproError):
+    """Out-of-range or misaligned access against a memory image."""
+
+
+class SrvError(ReproError):
+    """Violation of SRV execution rules."""
+
+
+class NestedSrvRegionError(SrvError):
+    """An ``srv_start`` was executed before the previous region's ``srv_end``.
+
+    The paper (section III-A) forbids nested SRV-regions.
+    """
+
+
+class SrvRegionStateError(SrvError):
+    """SRV operation attempted outside / misaligned with a region."""
+
+
+class ReplayBoundExceededError(SrvError):
+    """A region rolled back more than ``lanes - 1`` times.
+
+    Section III-A proves this cannot happen for a correct implementation,
+    so hitting this indicates a simulator bug rather than a workload issue.
+    """
+
+
+class LsuOverflowError(SrvError):
+    """An SRV-region required more LSU entries than the machine provides.
+
+    Raised only when the sequential fallback (section III-D7) is disabled.
+    """
+
+
+class CompilerError(ReproError):
+    """Loop-IR construction or code-generation failure."""
+
+
+class DependenceAnalysisError(CompilerError):
+    """The dependence analyser was asked about malformed references."""
+
+
+class PipelineError(ReproError):
+    """Inconsistent microarchitectural state in the cycle model."""

@@ -1,0 +1,41 @@
+"""Mini vectorising compiler: loop IR, dependence analysis, codegen."""
+
+from repro.compiler.analysis import DepClass, Dependence, analyse, classify_pair, loop_class
+from repro.compiler.codegen import LoopCodeGenerator, Strategy, compile_loop
+from repro.compiler.ir import (
+    Affine,
+    BinOp,
+    Const,
+    Indirect,
+    Loop,
+    LoopIndex,
+    Param,
+    Read,
+    Reduce,
+    Select,
+    Store,
+    scalar_reference,
+)
+
+__all__ = [
+    "DepClass",
+    "Dependence",
+    "analyse",
+    "classify_pair",
+    "loop_class",
+    "LoopCodeGenerator",
+    "Strategy",
+    "compile_loop",
+    "Affine",
+    "BinOp",
+    "Const",
+    "Indirect",
+    "Loop",
+    "LoopIndex",
+    "Param",
+    "Read",
+    "Reduce",
+    "Select",
+    "Store",
+    "scalar_reference",
+]

@@ -1,0 +1,242 @@
+"""FlexVec code generation (Baghsorkhi et al., PLDI 2016).
+
+FlexVec is the paper's software baseline (section VI-D): compiler-
+generated *run-time checks* detect cross-lane dependences within each
+vector group, and the group is then **partially vectorised** — executed as
+a sequence of maximal conflict-free lane partitions, each under a partial
+predicate.  Lanes after the first violating lane of a partition wait for
+the next partition; unlike SRV, no lane ever consumes stale data, so no
+replay hardware is needed — but the checks and the partition loop execute
+as real instructions every group.
+
+Following the paper's methodology, the VPCONFLICTM-style check is cracked
+into per-element instruction sequences ("we broke the VCONFLICTM
+instruction into several instructions, with each one comparing one element
+of a source vector with all enabled previous elements of a target
+vector").  Three pair shapes are handled:
+
+* indirect store vs affine (scale-1) read — the listing 1 shape: lane
+  ``l`` writing element ``t`` conflicts with the later lane ``t - i -
+  offset`` that reads it;
+* indirect (gather) read vs affine (scale-1) store — lane ``m`` reading
+  element ``t`` conflicts when an earlier lane ``t - i - offset`` writes
+  it;
+* indirect vs indirect — the full quadratic compare.
+
+Partition boundaries are the marked lanes; the partition loop scans the
+conflict bitmask with scalar code and executes the loop body under a
+``prange`` predicate per partition.  Loops FlexVec cannot handle
+(provably-unsafe affine dependences, downward loops) fall back to scalar
+code, as the original compiler would.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CompilerError
+from repro.compiler.analysis import DepClass, classify_pair
+from repro.compiler.ir import Affine, Indirect, Loop
+from repro.isa import ProgramBuilder, imm, p, v, x
+from repro.isa.instructions import CmpOpcode
+from repro.isa.registers import ScalarReg, VecReg
+
+# scalar register conventions private to FlexVec codegen
+REG_MASK = x(24)     # conflict-lane bitmask
+REG_LO = x(25)       # current partition start lane
+REG_NEXT = x(26)     # next partition boundary
+REG_T = x(27)        # extracted element index
+REG_REL = x(28)      # relative lane
+REG_BIT = x(29)      # scratch for bit manipulation
+REG_CLAMP = x(30)    # min(next, remaining)
+PRED_PART = p(14)    # partition predicate
+PRED_CHECK = p(15)   # check-loop predicate
+
+
+def _check_pairs(loop: Loop, vl: int):
+    """(write_ref, read_ref) pairs needing run-time checks.
+
+    Returns triples ``(kind, write_index, read_index)`` where kind is
+    ``"w_indirect"``, ``"r_indirect"`` or ``"both"``.
+    """
+    pairs = []
+    for store in loop.writes():
+        for read in loop.reads():
+            if store.array != read.array:
+                continue
+            dep_class, _ = classify_pair(store.index, read.index, vl)
+            if dep_class is not DepClass.UNKNOWN:
+                if dep_class is DepClass.PROVABLE_UNSAFE:
+                    raise CompilerError(
+                        "FlexVec cannot vectorise provably-unsafe affine "
+                        f"dependences in loop {loop.name!r}"
+                    )
+                continue
+            w_ind = isinstance(store.index, Indirect)
+            r_ind = isinstance(read.index, Indirect)
+            if w_ind and r_ind:
+                pairs.append(("both", store.index, read.index))
+            elif w_ind:
+                if read.index.scale != 1:
+                    raise CompilerError("FlexVec checks need scale-1 affine reads")
+                pairs.append(("w_indirect", store.index, read.index))
+            else:
+                if store.index.scale != 1:
+                    raise CompilerError("FlexVec checks need scale-1 affine stores")
+                pairs.append(("r_indirect", store.index, read.index))
+    return pairs
+
+
+def flexvec_program(gen) -> "Program":
+    """Generate the FlexVec binary for ``gen``'s loop.
+
+    ``gen`` is a :class:`~repro.compiler.codegen.LoopCodeGenerator`.
+    """
+    from repro.compiler.codegen import (
+        PRED_LOOP,
+        REG_I,
+        REG_N,
+        REG_REM,
+        FIRST_TEMP_REG,
+        _RegPool,
+    )
+
+    loop = gen.loop
+    vl = gen.vl
+    if loop.step != 1:
+        raise CompilerError("FlexVec codegen supports increasing loops only")
+    if loop.reductions():
+        raise CompilerError("FlexVec codegen does not support reductions")
+    pairs = _check_pairs(loop, vl)
+
+    b = ProgramBuilder(f"{loop.name}:flexvec")
+    gen._prologue(b)
+    gen._cur = {}
+    for k, name in enumerate(gen._contiguous_arrays()):
+        gen._cur[name] = x(FIRST_TEMP_REG + k)
+
+    b.label("top")
+    b.sub(REG_REM, REG_N, REG_I)
+    b.pfirstn(PRED_LOOP, REG_REM)
+    for name, reg in gen._cur.items():
+        b.shl(x(15), REG_I, imm(gen._elem_shift[name]))
+        b.add(reg, gen.bases[name], x(15))
+
+    # ---- run-time dependence checks ("a separate loop", section II) ------
+    vtemps = _RegPool(20, 31, v, "vector temp")
+    b.mov(REG_MASK, imm(0))
+    for kind, w_index, r_index in pairs:
+        vtemps.reset()
+        if kind == "w_indirect":
+            idx_w = gen._index_vector(b, w_index, vtemps, PRED_LOOP)
+            _emit_indirect_vs_affine_check(
+                b, idx_w, r_index.offset, vl, reader_conflicts=True
+            )
+        elif kind == "r_indirect":
+            idx_r = gen._index_vector(b, r_index, vtemps, PRED_LOOP)
+            _emit_indirect_vs_affine_check(
+                b, idx_r, w_index.offset, vl, reader_conflicts=False
+            )
+        else:
+            idx_w = gen._index_vector(b, w_index, vtemps, PRED_LOOP)
+            idx_r = gen._index_vector(b, r_index, vtemps, PRED_LOOP)
+            _emit_indirect_vs_indirect_check(b, idx_w, idx_r, vl)
+
+    # ---- partition loop ---------------------------------------------------
+    body_vtemps = _RegPool(1, 20, v, "vector temp")
+    body_ptemps = _RegPool(2, 14, p, "predicate temp")
+    b.mov(REG_LO, imm(0))
+    b.label("partition")
+    # find the next marked lane above REG_LO (or VL)
+    b.add(REG_NEXT, REG_LO, imm(1))
+    b.label("scan")
+    b.bge(REG_NEXT, imm(vl), "scan_done")
+    b.shr(REG_BIT, REG_MASK, REG_NEXT)
+    b.and_(REG_BIT, REG_BIT, imm(1))
+    b.bne(REG_BIT, imm(0), "scan_done")
+    b.add(REG_NEXT, REG_NEXT, imm(1))
+    b.jump("scan")
+    b.label("scan_done")
+    # clamp the partition to the remaining iterations
+    b.min_(REG_CLAMP, REG_NEXT, REG_REM)
+    b.prange(PRED_PART, REG_LO, REG_CLAMP)
+    for stmt in loop.body:
+        gen._vector_statement(b, stmt, body_vtemps, body_ptemps, PRED_PART)
+    b.mov(REG_LO, REG_NEXT)
+    b.blt(REG_LO, REG_REM, "partition_check")
+    b.jump("group_done")
+    b.label("partition_check")
+    b.blt(REG_LO, imm(vl), "partition")
+    b.label("group_done")
+
+    b.add(REG_I, REG_I, imm(vl))
+    b.blt(REG_I, REG_N, "top")
+    b.halt()
+    return b.build()
+
+
+def _emit_indirect_vs_affine_check(
+    b: ProgramBuilder,
+    idx: VecReg,
+    affine_offset: int,
+    vl: int,
+    reader_conflicts: bool,
+) -> None:
+    """Mark conflict lanes for an indirect-vs-affine(scale 1) pair.
+
+    ``reader_conflicts=True``: indirect *store* lanes ``l`` write element
+    ``t``; the affine *read* of lane ``m = t - i - offset`` conflicts when
+    ``m > l`` — mark ``m`` (the lane that must start a new partition).
+
+    ``reader_conflicts=False``: indirect *gather* lane ``m`` reads element
+    ``t`` written by affine store lane ``l = t - i - offset``; conflict
+    when ``0 <= l < m`` — mark ``m``.
+
+    The per-lane sequence is the cracked VPCONFLICTM of section VI-D.
+    """
+    from repro.compiler.codegen import REG_I
+
+    one = x(31)
+    b.mov(one, imm(1))
+    tag = len(b)
+    for lane in range(vl):
+        label = f"nochk_{tag}_{lane}"
+        b.v_extract(REG_T, idx, lane)
+        b.sub(REG_REL, REG_T, REG_I)
+        if affine_offset:
+            b.sub(REG_REL, REG_REL, imm(affine_offset))
+        if reader_conflicts:
+            # mark lane REG_REL when lane > written... conflict if rel > lane
+            b.ble(REG_REL, imm(lane), label)
+            b.bge(REG_REL, imm(vl), label)
+            b.shl(REG_BIT, one, REG_REL)
+            b.or_(REG_MASK, REG_MASK, REG_BIT)
+        else:
+            if lane == 0:
+                continue  # lane 0 has no earlier writers
+            # conflict if 0 <= rel < lane: mark THIS lane
+            b.blt(REG_REL, imm(0), label)
+            b.bge(REG_REL, imm(lane), label)
+            b.shl(REG_BIT, one, imm(lane))
+            b.or_(REG_MASK, REG_MASK, REG_BIT)
+        b.label(label)
+
+
+def _emit_indirect_vs_indirect_check(
+    b: ProgramBuilder, idx_w: VecReg, idx_r: VecReg, vl: int
+) -> None:
+    """Quadratic cracked-VPCONFLICTM: lane ``m``'s read index compared with
+    all earlier lanes' write indices."""
+    count = x(31)
+    hits = x(23)
+    tag = len(b)
+    for lane in range(1, vl):
+        label = f"noconf_{tag}_{lane}"
+        b.v_extract(REG_T, idx_r, lane)
+        b.mov(count, imm(lane))
+        b.pfirstn(PRED_CHECK, count)
+        b.v_splat(v(31), REG_T, pred=PRED_CHECK)
+        b.v_cmp(CmpOpcode.EQ, PRED_CHECK, idx_w, v(31), pred=PRED_CHECK)
+        b.pcount(hits, PRED_CHECK)
+        b.beq(hits, imm(0), label)
+        b.mov(REG_BIT, imm(1 << lane))
+        b.or_(REG_MASK, REG_MASK, REG_BIT)
+        b.label(label)

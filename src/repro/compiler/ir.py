@@ -1,0 +1,381 @@
+"""Loop intermediate representation.
+
+The compiler consumes inner loops in a small IR that captures exactly the
+features the paper's evaluation relies on: affine array references,
+indirect (gather/scatter) references through index arrays, if-converted
+conditionals, and integer arithmetic.  A loop in this IR looks like::
+
+    # for i in range(N): a[x[i]] = a[i] + 2      (the paper's listing 1)
+    loop = Loop(
+        name="listing1",
+        arrays={"a": 4, "x": 4},
+        body=[
+            Store(
+                "a",
+                Indirect("x"),
+                BinOp("+", Read("a", Affine()), Const(2)),
+            )
+        ],
+    )
+
+Index expressions are either :class:`Affine` (``scale * i + offset``) or
+:class:`Indirect` (``index_array[scale * i + offset]``), which is exactly
+the distinction that decides between contiguous and gather/scatter code
+and between provable and statically-unknown dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.common.errors import CompilerError
+
+VALID_BINOPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "min", "max")
+VALID_CMPS = ("<", "<=", "==", "!=", ">", ">=")
+
+
+# ---------------------------------------------------------------------------
+# index expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Affine:
+    """Index ``scale * i + offset`` into an array."""
+
+    scale: int = 1
+    offset: int = 0
+
+    def at(self, i: int) -> int:
+        return self.scale * i + self.offset
+
+
+@dataclass(frozen=True)
+class Indirect:
+    """Index ``index_array[scale * i + offset]``."""
+
+    array: str
+    inner: Affine = field(default_factory=Affine)
+
+
+IndexExpr = Union[Affine, Indirect]
+
+
+# ---------------------------------------------------------------------------
+# value expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+
+@dataclass(frozen=True)
+class LoopIndex:
+    """The loop induction variable ``i`` as a value."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """A loop-invariant scalar parameter, bound at run time."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Read:
+    """Array element read ``array[index]``."""
+
+    array: str
+    index: IndexExpr
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in VALID_BINOPS:
+            raise CompilerError(f"invalid binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Select:
+    """If-converted conditional value: ``then_value if cond else else_value``.
+
+    ``cond`` is a comparison between two expressions; the code generators
+    lower it to a predicate (section III-C: forward control flow inside an
+    SRV-region is handled through if-conversion).
+    """
+
+    cmp: str
+    cmp_lhs: "Expr"
+    cmp_rhs: "Expr"
+    then_value: "Expr"
+    else_value: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.cmp not in VALID_CMPS:
+            raise CompilerError(f"invalid comparison {self.cmp!r}")
+
+
+Expr = Union[Const, LoopIndex, Param, Read, BinOp, Select]
+
+
+# ---------------------------------------------------------------------------
+# statements & loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Store:
+    """Array element write ``array[index] = value``."""
+
+    array: str
+    index: IndexExpr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Reduction ``array[offset] = array[offset] op value`` per iteration.
+
+    ``op`` is one of ``+``, ``min``, ``max``.  Reductions are vectorisable
+    by the standard transform (per-lane partial accumulators, horizontal
+    combine after the loop) — but **not inside an SRV-region**: the
+    accumulator update is not idempotent, so a selective replay would
+    double-count the replayed lanes.  This is the architectural reason the
+    paper keeps state-changing scalar operations outside regions
+    (section III-A); the code generator enforces it.
+    """
+
+    array: str
+    op: str
+    value: Expr
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "min", "max"):
+            raise CompilerError(f"invalid reduction op {self.op!r}")
+
+
+Statement = Union[Store, Reduce]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """An inner loop ``for i in range(n): body`` over named arrays.
+
+    ``arrays`` maps array names to element sizes in bytes.  ``step`` is
+    +1 (increasing induction variable → SRV UP attribute) or -1
+    (decreasing → DOWN).
+    """
+
+    name: str
+    arrays: dict[str, int]
+    body: tuple[Statement, ...]
+    step: int = 1
+
+    def __init__(self, name: str, arrays: dict[str, int], body, step: int = 1):
+        if step not in (1, -1):
+            raise CompilerError(f"loop step must be +1 or -1, got {step}")
+        if not body:
+            raise CompilerError("loop body must not be empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "arrays", dict(arrays))
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "step", step)
+        for stmt in self.body:
+            self._check_statement(stmt)
+
+    def _check_array(self, name: str) -> None:
+        if name not in self.arrays:
+            raise CompilerError(f"loop {self.name!r} references unknown array {name!r}")
+
+    def _check_index(self, index: IndexExpr) -> None:
+        if isinstance(index, Indirect):
+            self._check_array(index.array)
+        elif not isinstance(index, Affine):
+            raise CompilerError(f"bad index expression {index!r}")
+
+    def _check_expr(self, expr: Expr) -> None:
+        if isinstance(expr, Read):
+            self._check_array(expr.array)
+            self._check_index(expr.index)
+        elif isinstance(expr, BinOp):
+            self._check_expr(expr.lhs)
+            self._check_expr(expr.rhs)
+        elif isinstance(expr, Select):
+            for sub in (expr.cmp_lhs, expr.cmp_rhs, expr.then_value, expr.else_value):
+                self._check_expr(sub)
+        elif not isinstance(expr, (Const, LoopIndex, Param)):
+            raise CompilerError(f"bad expression {expr!r}")
+
+    def _check_statement(self, stmt: Statement) -> None:
+        if isinstance(stmt, Reduce):
+            self._check_array(stmt.array)
+            self._check_expr(stmt.value)
+            return
+        if not isinstance(stmt, Store):
+            raise CompilerError(f"bad statement {stmt!r}")
+        self._check_array(stmt.array)
+        self._check_index(stmt.index)
+        self._check_expr(stmt.value)
+
+    # -- reference enumeration (used by dependence analysis & codegen) -----
+
+    def reads(self) -> list[Read]:
+        out: list[Read] = []
+
+        def walk(expr: Expr) -> None:
+            if isinstance(expr, Read):
+                out.append(expr)
+            elif isinstance(expr, BinOp):
+                walk(expr.lhs)
+                walk(expr.rhs)
+            elif isinstance(expr, Select):
+                walk(expr.cmp_lhs)
+                walk(expr.cmp_rhs)
+                walk(expr.then_value)
+                walk(expr.else_value)
+
+        for stmt in self.body:
+            walk(stmt.value)
+        return out
+
+    def writes(self) -> list[Store]:
+        return [stmt for stmt in self.body if isinstance(stmt, Store)]
+
+    def reductions(self) -> list["Reduce"]:
+        return [stmt for stmt in self.body if isinstance(stmt, Reduce)]
+
+    def index_arrays(self) -> set[str]:
+        """Arrays used as indirection tables."""
+        tables: set[str] = set()
+        for read in self.reads():
+            if isinstance(read.index, Indirect):
+                tables.add(read.index.array)
+        for store in self.writes():
+            if isinstance(store.index, Indirect):
+                tables.add(store.index.array)
+        return tables
+
+    def memory_reference_count(self) -> int:
+        """Static memory references, counting index-table loads."""
+        count = len(self.reads()) + len(self.writes())
+        count += 2 * len(self.reductions())  # accumulator load + store
+        count += sum(
+            1
+            for ref in self.reads() + [s for s in self.writes()]
+            if isinstance(getattr(ref, "index", None), Indirect)
+        )
+        return count
+
+    def gather_scatter_count(self) -> int:
+        n = sum(
+            1
+            for read in self.reads()
+            if isinstance(read.index, Indirect) or abs(read.index.scale) != 1
+        )
+        n += sum(
+            1
+            for store in self.writes()
+            if isinstance(store.index, Indirect) or abs(store.index.scale) != 1
+        )
+        return n
+
+
+def scalar_reference(loop: Loop, arrays: dict[str, list[int]], n: int, params: dict[str, int] | None = None) -> dict[str, list[int]]:
+    """Execute the loop sequentially in pure Python (the semantic oracle)."""
+    from repro.memory.image import to_signed, to_unsigned
+
+    params = params or {}
+    # normalise initial values through the arrays' element storage, exactly
+    # as MemoryImage.store_array would
+    data = {
+        name: [to_signed(to_unsigned(v, loop.arrays[name]), loop.arrays[name])
+               for v in values]
+        for name, values in arrays.items()
+    }
+
+    def index_of(index: IndexExpr, i: int) -> int:
+        if isinstance(index, Affine):
+            return index.at(i)
+        return data[index.array][index.inner.at(i)]
+
+    def evaluate(expr: Expr, i: int) -> int:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, LoopIndex):
+            return i
+        if isinstance(expr, Param):
+            return params[expr.name]
+        if isinstance(expr, Read):
+            return data[expr.array][index_of(expr.index, i)]
+        if isinstance(expr, BinOp):
+            a, b = evaluate(expr.lhs, i), evaluate(expr.rhs, i)
+            if expr.op == "+":
+                return a + b
+            if expr.op == "-":
+                return a - b
+            if expr.op == "*":
+                return a * b
+            if expr.op == "/":
+                if b == 0:
+                    return 0
+                q = abs(a) // abs(b)
+                return q if (a >= 0) == (b >= 0) else -q
+            if expr.op == "%":
+                if b == 0:
+                    return 0
+                return a - b * evaluate(BinOp("/", Const(a), Const(b)), i)
+            if expr.op == "&":
+                return a & b
+            if expr.op == "|":
+                return a | b
+            if expr.op == "^":
+                return a ^ b
+            if expr.op == "<<":
+                return a << (b & 63)
+            if expr.op == ">>":
+                return (a & (1 << 64) - 1) >> (b & 63)
+            if expr.op == "min":
+                return min(a, b)
+            if expr.op == "max":
+                return max(a, b)
+            raise CompilerError(f"unhandled op {expr.op}")
+        if isinstance(expr, Select):
+            a = evaluate(expr.cmp_lhs, i)
+            b = evaluate(expr.cmp_rhs, i)
+            taken = {
+                "<": a < b, "<=": a <= b, "==": a == b,
+                "!=": a != b, ">": a > b, ">=": a >= b,
+            }[expr.cmp]
+            return evaluate(expr.then_value if taken else expr.else_value, i)
+        raise CompilerError(f"unhandled expr {expr!r}")
+
+    iterations = range(n) if loop.step == 1 else range(n - 1, -1, -1)
+    for i in iterations:
+        for stmt in loop.body:
+            elem = loop.arrays[stmt.array]
+            value = evaluate(stmt.value, i)
+            if isinstance(stmt, Reduce):
+                current = data[stmt.array][stmt.offset]
+                if stmt.op == "+":
+                    combined = current + value
+                elif stmt.op == "min":
+                    combined = min(current, value)
+                else:
+                    combined = max(current, value)
+                data[stmt.array][stmt.offset] = to_signed(
+                    to_unsigned(combined, elem), elem
+                )
+            else:
+                data[stmt.array][index_of(stmt.index, i)] = to_signed(
+                    to_unsigned(value, elem), elem
+                )
+    return data

@@ -1,0 +1,15 @@
+"""Functional emulator with SRV selective-replay semantics."""
+
+from repro.emu.interpreter import Interpreter, run_program
+from repro.emu.metrics import EmuMetrics, SrvMetrics
+from repro.emu.speculative import SpeculativeBuffer
+from repro.emu.state import ArchState
+
+__all__ = [
+    "Interpreter",
+    "run_program",
+    "EmuMetrics",
+    "SrvMetrics",
+    "SpeculativeBuffer",
+    "ArchState",
+]

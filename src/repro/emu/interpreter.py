@@ -1,0 +1,690 @@
+"""Functional (instruction-accurate) emulator.
+
+Executes :class:`~repro.isa.program.Program` objects against a
+:class:`~repro.memory.image.MemoryImage`.  This is the correctness
+reference for the whole reproduction: the cycle-approximate pipeline and
+the SRV hardware model must always produce the same architectural results
+as this interpreter, and SRV execution of a loop must match scalar
+execution of the same loop.
+
+SRV-regions are executed with full selective-replay semantics
+(section III): stores are buffered speculatively, horizontal RAW
+violations set lanes in the needs-replay set, and at ``srv_end`` only
+those lanes are re-executed, bounded by ``lanes - 1`` rollbacks.
+
+The emulator optionally emits a dynamic trace
+(:class:`~repro.pipeline.trace.Tracer`) consumed by the cycle-approximate
+pipeline — the same methodology as the paper's validated emulator feeding
+its gem5 timing model.  It also provides the dynamic instruction counts
+used for the FlexVec comparison (figure 13).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.common.errors import (
+    IsaError,
+    ReplayBoundExceededError,
+    SrvError,
+)
+from repro.emu.metrics import EmuMetrics
+from repro.emu.speculative import SpeculativeBuffer
+from repro.emu.state import ArchState
+from repro.isa.instructions import (
+    Branch,
+    BranchCond,
+    CmpOpcode,
+    Halt,
+    Instruction,
+    Jump,
+    Nop,
+    PredCount,
+    PredFirstN,
+    PredLogic,
+    PredRange,
+    PredSetAll,
+    ScalarALU,
+    ScalarLoad,
+    ScalarOpcode,
+    ScalarStore,
+    SrvEnd,
+    SrvStart,
+    VecALU,
+    VecCmp,
+    VecExtractLane,
+    VecIndex,
+    VecLoadBroadcast,
+    VecLoadContig,
+    VecLoadGather,
+    VecReduce,
+    VecSplat,
+    VecStoreContig,
+    VecStoreScatter,
+)
+from repro.isa.program import Program
+from repro.memory.image import MemoryImage, to_signed, to_unsigned
+from repro.pipeline.trace import MemAccess, OpClass, RegionEvent, Tracer
+
+
+def _alu(op, a: int, b: int | None, c: int = 0) -> int:
+    name = op.name
+    if name == "ADD":
+        return a + b
+    if name == "SUB":
+        return a - b
+    if name == "MUL":
+        return a * b
+    if name == "DIV":
+        if b == 0:
+            return 0  # SVE-style: division by zero yields zero
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    if name == "MOD":
+        if b == 0:
+            return 0
+        return a - b * _alu(ScalarOpcode.DIV, a, b)
+    if name == "AND":
+        return a & b
+    if name == "OR":
+        return a | b
+    if name == "XOR":
+        return a ^ b
+    if name == "SHL":
+        return a << (b & 63)
+    if name == "SHR":
+        return (a & (1 << 64) - 1) >> (b & 63)
+    if name == "MOV":
+        return a
+    if name == "MIN":
+        return min(a, b)
+    if name == "MAX":
+        return max(a, b)
+    if name == "ABS":
+        return abs(a)
+    if name == "FMA":
+        return a * b + c
+    if name == "CMP_LT":
+        return int(a < b)
+    if name == "CMP_LE":
+        return int(a <= b)
+    if name == "CMP_EQ":
+        return int(a == b)
+    if name == "CMP_NE":
+        return int(a != b)
+    raise IsaError(f"unhandled ALU opcode {op}")
+
+
+def _compare(op: CmpOpcode, a: int, b: int) -> bool:
+    return {
+        CmpOpcode.LT: a < b,
+        CmpOpcode.LE: a <= b,
+        CmpOpcode.EQ: a == b,
+        CmpOpcode.NE: a != b,
+        CmpOpcode.GT: a > b,
+        CmpOpcode.GE: a >= b,
+    }[op]
+
+
+def _branch_taken(cond: BranchCond, a: int, b: int) -> bool:
+    return {
+        BranchCond.EQ: a == b,
+        BranchCond.NE: a != b,
+        BranchCond.LT: a < b,
+        BranchCond.LE: a <= b,
+        BranchCond.GT: a > b,
+        BranchCond.GE: a >= b,
+    }[cond]
+
+
+class Interpreter:
+    """Instruction-accurate executor with functional SRV semantics."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: MemoryImage,
+        config: MachineConfig = TABLE_I,
+        max_steps: int = 50_000_000,
+        tracer: Tracer | None = None,
+        interrupt_at_step: int | None = None,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.memory = memory
+        self.config = config
+        self.lanes = config.vector_lanes
+        self.state = ArchState(lanes=self.lanes)
+        self.metrics = EmuMetrics()
+        self.max_steps = max_steps
+        self.tracer = tracer
+        #: inject a context switch at this dynamic step (section III-D2
+        #: semantics apply if it lands inside an SRV-region)
+        self.interrupt_at_step = interrupt_at_step
+        self._interrupt_pending = False
+        self._steps = 0
+        self._mem_events: list[MemAccess] = []
+        self._branch_taken: bool | None = None
+        self._class_cache: dict[int, OpClass] = {}
+        self._regs_cache: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> EmuMetrics:
+        """Execute until ``halt`` or falling off the end of the program."""
+        state = self.state
+        n = len(self.program.instructions)
+        while not state.halted and 0 <= state.pc < n:
+            inst = self.program.instructions[state.pc]
+            if isinstance(inst, SrvStart):
+                self._exec_srv_region(state.pc, inst)
+            else:
+                state.pc = self._exec(inst, state.pc)
+            self._bump()
+            if self._interrupt_pending:
+                # a context switch outside an SRV-region needs no special
+                # handling — architectural state is already precise
+                self._interrupt_pending = False
+        return self.metrics
+
+    def _bump(self) -> None:
+        self._steps += 1
+        if self._steps == self.interrupt_at_step:
+            self._interrupt_pending = True
+        if self._steps > self.max_steps:
+            raise SrvError(
+                f"execution exceeded {self.max_steps} steps; "
+                "probable infinite loop in workload program"
+            )
+
+    # ------------------------------------------------------- bookkeeping
+
+    def _count(self, inst: Instruction) -> None:
+        self.metrics.count(
+            is_vector=inst.is_vector,
+            is_mem=inst.is_mem,
+            is_branch=inst.is_branch,
+            is_gather_scatter=getattr(inst, "access_kind", None)
+            in ("gather", "scatter"),
+            is_load=inst.is_load,
+        )
+
+    def _trace(self, pc: int, inst: Instruction) -> None:
+        if self.tracer is None:
+            return
+        from repro.pipeline.deps import classify, instruction_regs
+
+        key = id(inst)
+        if key not in self._class_cache:
+            self._class_cache[key] = classify(inst)
+            self._regs_cache[key] = instruction_regs(inst)
+        srcs, dsts = self._regs_cache[key]
+        self.tracer.record(
+            pc,
+            inst,
+            self._class_cache[key],
+            srcs,
+            dsts,
+            self._mem_events,
+            self._branch_taken,
+        )
+
+    # ------------------------------------------------------------ memory
+
+    def _read_mem(
+        self,
+        addr: int,
+        size: int,
+        lane: int,
+        buffer: SpeculativeBuffer | None,
+        region_offset: int,
+    ) -> int:
+        self._mem_events.append(MemAccess(addr, size, False, lane))
+        if buffer is not None:
+            raw, forwarded = buffer.load(addr, size, lane, region_offset)
+            if forwarded:
+                self._forwarded = True
+            return raw
+        return self.memory.read_int(addr, size)
+
+    def _write_mem(
+        self,
+        addr: int,
+        size: int,
+        value: int,
+        lane: int,
+        buffer: SpeculativeBuffer | None,
+        region_offset: int,
+    ) -> None:
+        self._mem_events.append(MemAccess(addr, size, True, lane))
+        if buffer is not None:
+            buffer.store(addr, size, value, lane, region_offset)
+        else:
+            self.memory.write_int(addr, value, size)
+
+    # ------------------------------------------------------- single instr
+
+    def _exec(
+        self,
+        inst: Instruction,
+        pc: int,
+        extra_mask: list[bool] | None = None,
+        buffer: SpeculativeBuffer | None = None,
+        region_offset: int = 0,
+    ) -> int:
+        """Execute one instruction; returns the next pc.
+
+        ``extra_mask`` ANDs into every vector predicate (the SRV-replay
+        register); ``buffer`` redirects memory traffic through the
+        speculative buffer when inside an SRV-region.
+        """
+        self._count(inst)
+        self._mem_events = []
+        self._branch_taken = None
+        self._forwarded = False
+        next_pc = self._dispatch(inst, pc, extra_mask, buffer, region_offset)
+        if self._forwarded:
+            self.metrics.loads_forwarded += 1
+        self._trace(pc, inst)
+        return next_pc
+
+    def _dispatch(
+        self,
+        inst: Instruction,
+        pc: int,
+        extra_mask: list[bool] | None,
+        buffer: SpeculativeBuffer | None,
+        region_offset: int,
+    ) -> int:
+        state = self.state
+
+        if isinstance(inst, ScalarALU):
+            a = state.read_operand(inst.src1)
+            b = None if inst.src2 is None else state.read_operand(inst.src2)
+            state.write_scalar(inst.dst, _alu(inst.op, a, b))
+            return pc + 1
+
+        if isinstance(inst, ScalarLoad):
+            addr = state.read_scalar(inst.base) + inst.offset
+            raw = self._read_mem(addr, inst.elem, 0, buffer, region_offset)
+            state.write_scalar(inst.dst, to_signed(raw, inst.elem))
+            return pc + 1
+
+        if isinstance(inst, ScalarStore):
+            addr = state.read_scalar(inst.base) + inst.offset
+            value = to_unsigned(state.read_scalar(inst.src), inst.elem)
+            self._write_mem(addr, inst.elem, value, 0, buffer, region_offset)
+            return pc + 1
+
+        if isinstance(inst, Branch):
+            a = state.read_scalar(inst.src1)
+            b = state.read_operand(inst.src2)
+            taken = _branch_taken(inst.cond, a, b)
+            self._branch_taken = taken
+            if taken:
+                return self.program.label_target(inst.target)
+            return pc + 1
+
+        if isinstance(inst, Jump):
+            self._branch_taken = True
+            return self.program.label_target(inst.target)
+
+        if isinstance(inst, Halt):
+            state.halted = True
+            return pc + 1
+
+        if isinstance(inst, Nop):
+            return pc + 1
+
+        # ---- vector --------------------------------------------------------
+
+        mask = self._mask(getattr(inst, "pred", None), extra_mask)
+
+        if isinstance(inst, VecALU):
+            elem = inst.elem
+            out = [0] * self.lanes
+            for lane in range(self.lanes):
+                if not mask[lane]:
+                    continue
+                a = state.read_lane(inst.src1, lane, elem)
+                b = (
+                    self._vec_operand(inst.src2, lane, elem)
+                    if inst.src2 is not None
+                    else None
+                )
+                c = (
+                    state.read_lane(inst.src3, lane, elem)
+                    if inst.src3 is not None
+                    else 0
+                )
+                out[lane] = _alu(inst.op, a, b, c)
+            state.write_vector_masked(inst.dst, out, mask, elem)
+            return pc + 1
+
+        if isinstance(inst, VecSplat):
+            value = state.read_operand(inst.src)
+            state.write_vector_masked(
+                inst.dst, [value] * self.lanes, mask, inst.elem
+            )
+            return pc + 1
+
+        if isinstance(inst, VecIndex):
+            start = state.read_operand(inst.start)
+            step = state.read_operand(inst.step)
+            values = [start + lane * step for lane in range(self.lanes)]
+            state.write_vector_masked(inst.dst, values, mask, inst.elem)
+            return pc + 1
+
+        if isinstance(inst, VecExtractLane):
+            if inst.lane >= self.lanes:
+                raise IsaError(f"lane {inst.lane} out of range")
+            state.write_scalar(
+                inst.dst, state.read_lane(inst.src, inst.lane, inst.elem)
+            )
+            return pc + 1
+
+        if isinstance(inst, VecReduce):
+            values = [
+                state.read_lane(inst.src, lane, inst.elem)
+                for lane in range(self.lanes)
+                if mask[lane]
+            ]
+            if inst.op == "add":
+                result = sum(values)
+            elif inst.op == "min":
+                result = min(values) if values else 0
+            elif inst.op == "max":
+                result = max(values) if values else 0
+            else:  # "or"
+                result = 0
+                for value in values:
+                    result |= to_unsigned(value, inst.elem)
+            state.write_scalar(inst.dst, result)
+            return pc + 1
+
+        if isinstance(inst, VecCmp):
+            out = [False] * self.lanes
+            for lane in range(self.lanes):
+                if not mask[lane]:
+                    continue
+                a = state.read_lane(inst.src1, lane, inst.elem)
+                b = self._vec_operand(inst.src2, lane, inst.elem)
+                out[lane] = _compare(inst.op, a, b)
+            state.write_pred(inst.dst, out)
+            return pc + 1
+
+        if isinstance(inst, PredSetAll):
+            state.write_pred(inst.dst, [inst.value] * self.lanes)
+            return pc + 1
+
+        if isinstance(inst, PredCount):
+            state.write_scalar(inst.dst, sum(state.read_pred(inst.src)))
+            return pc + 1
+
+        if isinstance(inst, PredFirstN):
+            n = max(0, min(self.lanes, state.read_scalar(inst.count)))
+            state.write_pred(inst.dst, [lane < n for lane in range(self.lanes)])
+            return pc + 1
+
+        if isinstance(inst, PredRange):
+            lo = state.read_scalar(inst.lo)
+            hi = state.read_scalar(inst.hi)
+            state.write_pred(
+                inst.dst, [lo <= lane < hi for lane in range(self.lanes)]
+            )
+            return pc + 1
+
+        if isinstance(inst, PredLogic):
+            a = state.read_pred(inst.src1)
+            if inst.op == "not":
+                out = [not bit for bit in a]
+            else:
+                b = state.read_pred(inst.src2)
+                if inst.op == "and":
+                    out = [i and j for i, j in zip(a, b)]
+                elif inst.op == "or":
+                    out = [i or j for i, j in zip(a, b)]
+                elif inst.op == "xor":
+                    out = [i != j for i, j in zip(a, b)]
+                else:  # andnot
+                    out = [i and not j for i, j in zip(a, b)]
+            state.write_pred(inst.dst, out)
+            return pc + 1
+
+        # ---- vector memory ----------------------------------------------------
+
+        if isinstance(inst, (VecLoadContig, VecLoadBroadcast)):
+            base = state.read_scalar(inst.base) + inst.offset
+            out = [0] * self.lanes
+            for lane in range(self.lanes):
+                if not mask[lane]:
+                    continue
+                addr = (
+                    base
+                    if isinstance(inst, VecLoadBroadcast)
+                    else base + lane * inst.elem
+                )
+                raw = self._read_mem(addr, inst.elem, lane, buffer, region_offset)
+                out[lane] = to_signed(raw, inst.elem)
+            state.write_vector_masked(inst.dst, out, mask, inst.elem)
+            return pc + 1
+
+        if isinstance(inst, VecLoadGather):
+            base = state.read_scalar(inst.base)
+            scale = inst.effective_scale
+            out = [0] * self.lanes
+            for lane in range(self.lanes):
+                if not mask[lane]:
+                    continue
+                index = state.read_lane(inst.index, lane, inst.index_elem)
+                addr = base + index * scale
+                raw = self._read_mem(addr, inst.elem, lane, buffer, region_offset)
+                out[lane] = to_signed(raw, inst.elem)
+            state.write_vector_masked(inst.dst, out, mask, inst.elem)
+            return pc + 1
+
+        if isinstance(inst, VecStoreContig):
+            base = state.read_scalar(inst.base) + inst.offset
+            for lane in range(self.lanes):
+                if not mask[lane]:
+                    continue
+                value = state.read_lane(inst.src, lane, inst.elem, signed=False)
+                self._write_mem(
+                    base + lane * inst.elem, inst.elem, value, lane,
+                    buffer, region_offset,
+                )
+            return pc + 1
+
+        if isinstance(inst, VecStoreScatter):
+            base = state.read_scalar(inst.base)
+            scale = inst.effective_scale
+            for lane in range(self.lanes):
+                if not mask[lane]:
+                    continue
+                index = state.read_lane(inst.index, lane, inst.index_elem)
+                value = state.read_lane(inst.src, lane, inst.elem, signed=False)
+                self._write_mem(
+                    base + index * scale, inst.elem, value, lane,
+                    buffer, region_offset,
+                )
+            return pc + 1
+
+        if isinstance(inst, SrvEnd):
+            raise SrvError("srv_end reached outside an SRV-region")
+
+        raise IsaError(f"unhandled instruction {inst!r}")
+
+    def _mask(self, pred, extra_mask: list[bool] | None) -> list[bool]:
+        mask = self.state.effective_mask(pred)
+        if extra_mask is not None:
+            mask = [a and b for a, b in zip(mask, extra_mask)]
+        return mask
+
+    def _vec_operand(self, operand, lane: int, elem: int) -> int:
+        from repro.isa.registers import Imm, ScalarReg, VecReg
+
+        if isinstance(operand, VecReg):
+            return self.state.read_lane(operand, lane, elem)
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, ScalarReg):
+            return self.state.read_scalar(operand)
+        raise IsaError(f"bad vector operand {operand!r}")
+
+    # ------------------------------------------------------------- SRV region
+
+    def _region_span(self, start_pc: int) -> tuple[int, int]:
+        """Indices of the region body: ``(first_body_pc, srv_end_pc)``."""
+        for idx in range(start_pc + 1, len(self.program.instructions)):
+            inst = self.program.instructions[idx]
+            if isinstance(inst, SrvEnd):
+                return start_pc + 1, idx
+            if isinstance(inst, SrvStart):
+                raise SrvError(f"nested srv_start at {idx}")
+        raise SrvError(f"srv_start at {start_pc} has no matching srv_end")
+
+    def _region_lsu_demand(self, body: list[Instruction]) -> int:
+        """LSU entries the region needs (section III-D7 sizing rule).
+
+        Contiguous and broadcast accesses take one entry; gathers and
+        scatters take one per lane.
+        """
+        demand = 0
+        for inst in body:
+            if not inst.is_mem:
+                continue
+            kind = getattr(inst, "access_kind", "scalar")
+            demand += self.lanes if kind in ("gather", "scatter") else 1
+        return demand
+
+    def _exec_region_op(
+        self, inst: Instruction, pc: int, extra_mask, buffer, region_offset
+    ) -> None:
+        self._exec(inst, pc, extra_mask, buffer, region_offset)
+        self._bump()
+
+    def _record_marker(self, pc: int, inst: Instruction) -> None:
+        """Count and trace an ``srv_start`` / ``srv_end`` marker."""
+        self._count(inst)
+        self._mem_events = []
+        self._branch_taken = None
+        self._trace(pc, inst)
+
+    def _exec_srv_region(self, start_pc: int, start_inst: SrvStart) -> None:
+        body_pc, end_pc = self._region_span(start_pc)
+        body = self.program.instructions[body_pc:end_pc]
+        srv = self.metrics.srv
+        srv.regions_entered += 1
+        if self.tracer is not None:
+            self.tracer.region_start(start_inst.direction)
+        self._record_marker(start_pc, start_inst)
+        if self.tracer is not None:
+            self.tracer.ops[-1].region_event = RegionEvent.START
+
+        demand = self._region_lsu_demand(body)
+        srv.lsu_entries_peak = max(srv.lsu_entries_peak, demand)
+        if demand > self.config.lsu_entries:
+            self._exec_region_sequential(body, body_pc, end_pc)
+            return
+
+        buffer = SpeculativeBuffer(
+            self.memory, srv, tm_mode=self.config.srv_tm_mode
+        )
+        active = [True] * self.lanes
+        rollbacks = 0
+        resume_replay: set[int] = set()
+        while True:
+            srv.region_passes += 1
+            if self.tracer is not None:
+                self.tracer.region_pass(rollbacks, sum(active))
+            if rollbacks == 0:
+                srv.first_pass_lane_executions += sum(active)
+            else:
+                srv.replayed_lane_executions += sum(active)
+            for offset, inst in enumerate(body):
+                self._exec_region_op(
+                    inst, body_pc + offset, active, buffer, offset
+                )
+                if self._interrupt_pending:
+                    # Context switch inside the region (section III-D2):
+                    # write back the non-speculative prefix, discard the
+                    # speculative content, and resume with only the oldest
+                    # active lane; all younger lanes re-execute the whole
+                    # region after the next srv_end.
+                    self._interrupt_pending = False
+                    srv.interrupts_taken += 1
+                    oldest = min(
+                        lane for lane in range(self.lanes) if active[lane]
+                    )
+                    buffer.commit_prefix(oldest, offset)
+                    active = [lane == oldest for lane in range(self.lanes)]
+                    resume_replay = set(range(oldest + 1, self.lanes))
+            self._record_marker(end_pc, self.program.instructions[end_pc])
+            if resume_replay:
+                buffer.needs_replay |= resume_replay
+                resume_replay = set()
+            if not buffer.needs_replay:
+                if self.tracer is not None:
+                    self.tracer.region_end(committed=True)
+                break
+            rollbacks += 1
+            srv.replays += 1
+            srv.max_replays_in_region = max(srv.max_replays_in_region, rollbacks)
+            if self.config.srv_max_replays_check and rollbacks > self.lanes - 1:
+                raise ReplayBoundExceededError(
+                    f"region at pc {start_pc} rolled back {rollbacks} times "
+                    f"(> lanes-1 = {self.lanes - 1})"
+                )
+            replay_set = frozenset(buffer.needs_replay)
+            if self.tracer is not None:
+                self.tracer.region_end(committed=False, replay_lanes=replay_set)
+            active = [lane in replay_set for lane in range(self.lanes)]
+            buffer.needs_replay.clear()
+        buffer.commit()
+        self.state.pc = end_pc + 1
+
+    def _exec_region_sequential(
+        self, body: list[Instruction], body_pc: int, end_pc: int
+    ) -> None:
+        """LSU-overflow fallback (section III-D7).
+
+        The region is repeated once per lane with only that lane active;
+        stores go straight to memory since single-lane execution is
+        non-speculative (the single active lane is always the oldest).
+        """
+        srv = self.metrics.srv
+        srv.lsu_fallbacks += 1
+        for lane in range(self.lanes):
+            mask = [i == lane for i in range(self.lanes)]
+            srv.region_passes += 1
+            if self.tracer is not None:
+                self.tracer.region_pass(lane, 1)
+            for offset, inst in enumerate(body):
+                self._exec_region_op(inst, body_pc + offset, mask, None, offset)
+                # sequential fallback is non-speculative: a context switch
+                # needs no SRV handling
+                self._interrupt_pending = False
+            self._record_marker(end_pc, self.program.instructions[end_pc])
+            if self.tracer is not None:
+                if lane == self.lanes - 1:
+                    self.tracer.region_end(committed=True)
+                    self.tracer.region_fallback()
+                else:
+                    self.tracer.region_end(
+                        committed=False,
+                        replay_lanes=frozenset(range(lane + 1, self.lanes)),
+                    )
+                    self.tracer.ops[-1].region_event = RegionEvent.FALLBACK
+        self.state.pc = end_pc + 1
+
+
+def run_program(
+    program: Program,
+    memory: MemoryImage,
+    config: MachineConfig = TABLE_I,
+    max_steps: int = 50_000_000,
+    tracer: Tracer | None = None,
+) -> tuple[EmuMetrics, ArchState]:
+    """Convenience wrapper: run ``program`` to completion."""
+    interp = Interpreter(program, memory, config, max_steps, tracer)
+    metrics = interp.run()
+    return metrics, interp.state

@@ -1,0 +1,194 @@
+"""Speculative memory buffer implementing functional SRV semantics.
+
+During an SRV-region, stores are buffered rather than written to memory
+(section III-A: "stored data from speculative lanes cannot leave the core
+until they become non-speculative").  This module implements, at functional
+fidelity, the three dependence resolutions of section III-B3:
+
+* **WAR** — a load never consumes data stored by a *sequentially later*
+  access (a later lane); such bytes are read from memory (or from
+  sequentially older buffered stores) instead.
+* **WAW** — commit applies buffered stores in sequential order, so the
+  latest version (in program order) of each byte reaches memory.
+* **RAW** — a store that issues after a sequentially-later load has already
+  executed flags that load's lane in the *SRV-needs-replay* set.
+
+Sequential order of a region access is the lexicographic order of
+``(lane, instruction_offset)``: the original scalar loop runs iteration
+(=lane) 0 to completion before iteration 1 starts.
+
+Buffered stores are keyed by ``(instruction_offset, lane)`` — the paper's
+*SRV-id* — so replays update entries in place instead of allocating new
+ones (section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.emu.metrics import SrvMetrics
+from repro.memory.image import MemoryImage
+
+
+@dataclass
+class _StoreRecord:
+    addr: int
+    size: int
+    data: bytes
+    lane: int
+    instr: int
+
+    def overlaps(self, addr: int, size: int) -> bool:
+        return self.addr < addr + size and addr < self.addr + self.size
+
+
+@dataclass
+class _LoadRecord:
+    addr: int
+    size: int
+    lane: int
+    instr: int
+    tick: int
+
+
+@dataclass
+class SpeculativeBuffer:
+    """Store/load tracking for one SRV-region instance.
+
+    ``tm_mode`` emulates the section III-E transactional-memory variant:
+    without per-line versioning, a WAR conflict (a load denied forwarding
+    because a *later* lane already wrote the bytes) must also re-execute
+    the writing lane, not just suppress forwarding.
+    """
+
+    memory: MemoryImage
+    metrics: SrvMetrics
+    tm_mode: bool = False
+    _stores: dict[tuple[int, int], _StoreRecord] = field(default_factory=dict)
+    _loads: dict[tuple[int, int], _LoadRecord] = field(default_factory=dict)
+    needs_replay: set[int] = field(default_factory=set)
+    _tick: int = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _precedes(pos_a: tuple[int, int], pos_b: tuple[int, int]) -> bool:
+        """True if access at ``pos_a`` is sequentially older than ``pos_b``.
+
+        Positions are ``(lane, instruction_offset)``; lane-major order.
+        """
+        return pos_a < pos_b
+
+    def lsu_entries_used(self) -> int:
+        return len(self._stores) + len(self._loads)
+
+    # -- load ----------------------------------------------------------------
+
+    def load(self, addr: int, size: int, lane: int, instr: int) -> tuple[int, bool]:
+        """Read ``size`` bytes at ``addr`` for region access ``(instr, lane)``.
+
+        Bytes come from the sequentially-latest older buffered store that
+        wrote them, falling back to memory — the paper's partial
+        store-to-load forwarding combined with WAR suppression.  Returns
+        ``(value, any_byte_forwarded)``.
+        """
+        self._tick += 1
+        self._loads[(instr, lane)] = _LoadRecord(addr, size, lane, instr, self._tick)
+
+        result = bytearray(self.memory.read_bytes(addr, size))
+        my_pos = (lane, instr)
+        forwarded = False
+        war_seen = False
+        # Per-byte: pick the store with the greatest sequential position that
+        # is still older than this load.
+        best_pos: list[tuple[int, int] | None] = [None] * size
+        for record in self._stores.values():
+            if not record.overlaps(addr, size):
+                continue
+            rec_pos = (record.lane, record.instr)
+            if not self._precedes(rec_pos, my_pos):
+                # A sequentially *later* store already wrote these bytes:
+                # WAR — forwarding suppressed, bytes must come from elsewhere.
+                war_seen = True
+                if self.tm_mode and record.lane > lane:
+                    # TM without line versions: the writing (younger)
+                    # lane's transaction aborts and re-executes.
+                    self.needs_replay.add(record.lane)
+                    self.metrics.tm_war_replays += 1
+                continue
+            lo = max(addr, record.addr)
+            hi = min(addr + size, record.addr + record.size)
+            for byte_addr in range(lo, hi):
+                idx = byte_addr - addr
+                if best_pos[idx] is None or best_pos[idx] < rec_pos:
+                    best_pos[idx] = rec_pos
+                    result[idx] = record.data[byte_addr - record.addr]
+                    forwarded = True
+        if war_seen:
+            self.metrics.war_events += 1
+        return int.from_bytes(bytes(result), "little"), forwarded
+
+    # -- store ----------------------------------------------------------------
+
+    def store(self, addr: int, size: int, value: int, lane: int, instr: int) -> None:
+        self._tick += 1
+        data = (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
+
+        # WAW: an overlapping buffered store in a *later* lane already
+        # executed; ordered commit will keep the latest program-order data.
+        for record in self._stores.values():
+            if record.lane > lane and record.overlaps(addr, size):
+                self.metrics.waw_events += 1
+                break
+
+        # Horizontal RAW: any load in a sequentially later position that
+        # already executed (machine time) read stale bytes — flag its lane.
+        for load in self._loads.values():
+            if load.lane <= lane:
+                continue
+            if load.tick >= self._tick:
+                continue
+            if load.addr < addr + size and addr < load.addr + load.size:
+                self.needs_replay.add(load.lane)
+                self.metrics.raw_violations += 1
+
+        self._stores[(instr, lane)] = _StoreRecord(addr, size, data, lane, instr)
+
+    # -- commit -----------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Write buffered stores to memory in sequential order.
+
+        Sorting by ``(lane, instruction_offset)`` makes the program-order
+        last writer win — the paper's selective memory update for WAW.
+        """
+        for record in sorted(
+            self._stores.values(), key=lambda r: (r.lane, r.instr)
+        ):
+            self.memory.write_bytes(record.addr, record.data)
+
+    def discard(self) -> None:
+        self._stores.clear()
+        self._loads.clear()
+        self.needs_replay.clear()
+
+    def commit_prefix(self, oldest_lane: int, offset: int) -> None:
+        """Context-switch writeback (section III-D2).
+
+        Writes back the non-speculative data — everything from lanes older
+        than ``oldest_lane`` plus ``oldest_lane``'s own stores up to the
+        current instruction ``offset`` — and discards all remaining
+        speculative content.  Load records are dropped; younger lanes will
+        re-execute the entire region on resumption.
+        """
+        keep_committed = [
+            record
+            for record in self._stores.values()
+            if record.lane < oldest_lane
+            or (record.lane == oldest_lane and record.instr <= offset)
+        ]
+        for record in sorted(keep_committed, key=lambda r: (r.lane, r.instr)):
+            self.memory.write_bytes(record.addr, record.data)
+        self._stores.clear()
+        self._loads.clear()
+        self.needs_replay.clear()

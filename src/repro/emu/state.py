@@ -1,0 +1,107 @@
+"""Architectural state for the functional emulator.
+
+Vector registers are modelled as 16 integer lanes (element-size agnostic,
+matching the paper's evaluation where the vector length is fixed at 16
+elements regardless of element size); values are wrapped to the element
+size of each writing instruction.  Predicate registers are per-lane
+booleans.  Scalar registers are 64-bit two's complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.registers import (
+    NUM_PRED_REGS,
+    NUM_SCALAR_REGS,
+    NUM_VECTOR_REGS,
+    Imm,
+    PredReg,
+    ScalarOperand,
+    ScalarReg,
+    VecReg,
+)
+from repro.memory.image import to_signed, to_unsigned
+
+SCALAR_BYTES = 8
+
+
+@dataclass
+class ArchState:
+    lanes: int = 16
+    pc: int = 0
+    halted: bool = False
+    scalar: list[int] = field(default_factory=list)
+    vector: list[list[int]] = field(default_factory=list)
+    pred: list[list[bool]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.scalar:
+            self.scalar = [0] * NUM_SCALAR_REGS
+        if not self.vector:
+            self.vector = [[0] * self.lanes for _ in range(NUM_VECTOR_REGS)]
+        if not self.pred:
+            self.pred = [[False] * self.lanes for _ in range(NUM_PRED_REGS)]
+
+    # -- scalar ------------------------------------------------------------
+
+    def read_scalar(self, reg: ScalarReg) -> int:
+        return to_signed(self.scalar[reg.index], SCALAR_BYTES)
+
+    def write_scalar(self, reg: ScalarReg, value: int) -> None:
+        self.scalar[reg.index] = to_unsigned(value, SCALAR_BYTES)
+
+    def read_operand(self, operand: ScalarOperand) -> int:
+        if isinstance(operand, Imm):
+            return operand.value
+        return self.read_scalar(operand)
+
+    # -- vector ------------------------------------------------------------
+
+    def read_vector(self, reg: VecReg) -> list[int]:
+        return list(self.vector[reg.index])
+
+    def read_lane(self, reg: VecReg, lane: int, elem: int, signed: bool = True) -> int:
+        raw = to_unsigned(self.vector[reg.index][lane], elem)
+        return to_signed(raw, elem) if signed else raw
+
+    def write_lane(self, reg: VecReg, lane: int, value: int, elem: int) -> None:
+        self.vector[reg.index][lane] = to_unsigned(value, elem)
+
+    def write_vector_masked(
+        self, reg: VecReg, values: list[int], mask: list[bool], elem: int
+    ) -> None:
+        """Merging write: inactive lanes keep their previous contents.
+
+        This is the paper's merging predication (section III-D5) — on
+        re-execution the old destination value is read as an extra source
+        and combined with the new lanes.
+        """
+        dest = self.vector[reg.index]
+        for lane, active in enumerate(mask):
+            if active:
+                dest[lane] = to_unsigned(values[lane], elem)
+
+    # -- predicates -----------------------------------------------------------
+
+    def read_pred(self, reg: PredReg) -> list[bool]:
+        return list(self.pred[reg.index])
+
+    def write_pred(self, reg: PredReg, mask: list[bool]) -> None:
+        if len(mask) != self.lanes:
+            raise ValueError(f"predicate width {len(mask)} != lanes {self.lanes}")
+        self.pred[reg.index] = list(mask)
+
+    def effective_mask(self, pred: PredReg | None) -> list[bool]:
+        if pred is None:
+            return [True] * self.lanes
+        return self.read_pred(pred)
+
+    # -- snapshots ------------------------------------------------------------
+
+    def registers_snapshot(self) -> tuple:
+        return (
+            tuple(self.scalar),
+            tuple(tuple(lane_vals) for lane_vals in self.vector),
+            tuple(tuple(mask) for mask in self.pred),
+        )

@@ -1,0 +1,59 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Each module exposes ``run(seed=0, config=TABLE_I, n_override=None)``
+returning an :class:`~repro.experiments.report.ExperimentResult` whose
+rows mirror the figure's series.  ``n_override`` trims loop trip counts
+for quick runs; the benchmarks run at full size.
+"""
+
+from repro.experiments import (
+    ablation_barrier,
+    ablation_inorder,
+    ablation_tm,
+    fig6_loop_speedup,
+    fig7_whole_program,
+    fig8_barrier,
+    fig9_violations,
+    fig10_mem_accesses,
+    fig11_disambiguation,
+    fig12_power,
+    fig13_flexvec,
+    headline,
+    limit_study,
+)
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import (
+    LoopRun,
+    clear_cache,
+    loop_speedup,
+    run_loop,
+    whole_program_speedup,
+    workload_loop_speedup,
+)
+
+ALL_EXPERIMENTS = {
+    "limit_study": limit_study.run,
+    "figure6": fig6_loop_speedup.run,
+    "figure7": fig7_whole_program.run,
+    "figure8": fig8_barrier.run,
+    "figure9": fig9_violations.run,
+    "figure10": fig10_mem_accesses.run,
+    "figure11": fig11_disambiguation.run,
+    "figure12": fig12_power.run,
+    "figure13": fig13_flexvec.run,
+    "headline": headline.run,
+    "ablation_inorder": ablation_inorder.run,
+    "ablation_barrier": ablation_barrier.run,
+    "ablation_tm": ablation_tm.run,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "LoopRun",
+    "clear_cache",
+    "loop_speedup",
+    "run_loop",
+    "whole_program_speedup",
+    "workload_loop_speedup",
+]

@@ -1,0 +1,60 @@
+"""Ablation — transactional-memory lane conflicts (paper section III-E).
+
+"Applying [transactional memory] to vector execution, each SIMD lane
+could be viewed as a thread […] However, unless the transactional memory
+system kept versions of each cache line, then it would have to re-execute
+lanes on WAR dependence violations, as well as RAW, to ensure correct
+execution in all situations."
+
+With ``MachineConfig.srv_tm_mode`` the functional executor emulates the
+version-less TM design: a WAR conflict (a later lane's buffered store
+covering bytes an older lane loads) aborts and replays the writing lane.
+The ablation counts the extra replay passes TM pays over SRV — SRV's
+store-buffering makes WAR free, which is exactly the section III-E
+argument for the SRV design point.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.compiler import Strategy
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import run_loop
+from repro.workloads import ALL_WORKLOADS
+
+
+def run(
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    n_override: int | None = None,
+) -> ExperimentResult:
+    tm_config = config.with_overrides(srv_tm_mode=True)
+    result = ExperimentResult(
+        name="ablation_tm",
+        title="Ablation: replay passes, SRV vs version-less TM (III-E)",
+        columns=(
+            "benchmark", "srv_replays", "tm_replays", "tm_war_lane_aborts",
+        ),
+    )
+    for workload in ALL_WORKLOADS:
+        srv_replays = tm_replays = tm_war = 0
+        for spec in workload.loops:
+            srv = run_loop(
+                spec, Strategy.SRV, seed=seed, config=config,
+                n_override=n_override, timing=False,
+            )
+            tm = run_loop(
+                spec, Strategy.SRV, seed=seed, config=tm_config,
+                n_override=n_override, timing=False,
+            )
+            assert srv.correct and tm.correct
+            srv_replays += srv.emu.srv.replays
+            tm_replays += tm.emu.srv.replays
+            tm_war += tm.emu.srv.tm_war_replays
+        result.rows.append((workload.name, srv_replays, tm_replays, tm_war))
+    result.summary["total_srv_replays"] = sum(result.column("srv_replays"))
+    result.summary["total_tm_replays"] = sum(result.column("tm_replays"))
+    result.summary["paper_claim"] = (
+        "version-less TM must also re-execute lanes on WAR violations"
+    )
+    return result

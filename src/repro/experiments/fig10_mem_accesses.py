@@ -1,0 +1,76 @@
+"""Figure 10 — SRV-vectorised loops by number of memory accesses.
+
+Histogram over the static memory-reference counts of all SRV-vectorisable
+loops, plus the gather-fraction statistic and the LSU sizing argument of
+section VI-B:
+
+* "The majority of loops (80%) have ten memory accesses or fewer";
+* "all loops with ten memory accesses, or fewer, contain a maximum of
+  three gather-scatter instructions";
+* "only 5.8% of loads are gathers" (dynamic);
+* with 16-element vectors and a 64-entry LSU, those loops fit:
+  ``16 * 3 + (10 - 3) = 55 <= 64``.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.compiler import Strategy
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import run_loop
+from repro.workloads import all_loops
+
+BUCKETS = ((1, 5), (6, 10), (11, 16), (17, 10_000))
+
+
+def run(
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    n_override: int | None = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="figure10",
+        title="Figure 10: SRV-vectorised loops by memory-access count",
+        columns=("bucket", "loops", "max_gather_scatter"),
+    )
+    counts: list[tuple[int, int]] = []
+    gather_loads = 0
+    total_loads = 0
+    for _, spec in all_loops():
+        refs = spec.loop.memory_reference_count()
+        gs = spec.loop.gather_scatter_count()
+        counts.append((refs, gs))
+        run_ = run_loop(
+            spec, Strategy.SRV, seed=seed, config=config,
+            n_override=n_override, timing=False,
+        )
+        # dynamic gather share of loads ("5.8% of loads are gathers")
+        total_loads += run_.emu.load_instructions
+        gather_loads += run_.emu.gather_load_instructions
+
+    for lo, hi in BUCKETS:
+        in_bucket = [(r, g) for r, g in counts if lo <= r <= hi]
+        label = f"{lo}-{hi}" if hi < 10_000 else f">{lo - 1}"
+        result.rows.append(
+            (
+                label,
+                len(in_bucket),
+                max((g for _, g in in_bucket), default=0),
+            )
+        )
+
+    ten_or_fewer = [c for c in counts if c[0] <= 10]
+    result.summary["share_10_or_fewer"] = len(ten_or_fewer) / len(counts)
+    result.summary["max_gs_in_10_or_fewer"] = max(
+        (g for _, g in ten_or_fewer), default=0
+    )
+    result.summary["dynamic_gather_load_share"] = (
+        gather_loads / total_loads if total_loads else 0.0
+    )
+    lanes = config.vector_lanes
+    worst_gs = result.summary["max_gs_in_10_or_fewer"]
+    result.summary["lsu_demand_10_access_loops"] = lanes * worst_gs + (10 - worst_gs)
+    result.summary["lsu_capacity"] = config.lsu_entries
+    result.summary["paper_share_10_or_fewer"] = 0.80
+    result.summary["paper_demand"] = 55
+    return result

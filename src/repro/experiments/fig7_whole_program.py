@@ -1,0 +1,46 @@
+"""Figure 7 — whole-program speedup over SVE vectorisation.
+
+"Calculated based on the dynamic instruction count of the SRV-vectorisable
+loops and their coverage": an Amdahl combination of each benchmark's loop
+speedup (figure 6) with its coverage.
+
+Paper values: up to 1.09x for SPEC and 1.19x for other applications
+(geometric means 1.04x and 1.10x); is reaches 1.26x; overall geometric
+mean 1.05x.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.common.rng import geometric_mean
+from repro.experiments.fig6_loop_speedup import run as run_fig6
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import whole_program_speedup
+
+
+def run(
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    n_override: int | None = None,
+) -> ExperimentResult:
+    fig6 = run_fig6(seed=seed, config=config, n_override=n_override)
+    result = ExperimentResult(
+        name="figure7",
+        title="Figure 7: whole-program speedup over SVE",
+        columns=("benchmark", "suite", "whole_program_speedup"),
+    )
+    for name, suite, loop_speedup, coverage in fig6.rows:
+        result.rows.append(
+            (name, suite, whole_program_speedup(loop_speedup, coverage))
+        )
+    spec = [r[2] for r in result.rows if r[1] == "spec"]
+    hpc = [r[2] for r in result.rows if r[1] == "hpc"]
+    result.summary["geomean_spec"] = geometric_mean(spec)
+    result.summary["geomean_hpc"] = geometric_mean(hpc)
+    result.summary["geomean_all"] = geometric_mean(spec + hpc)
+    result.summary["max_spec"] = max(spec)
+    result.summary["max_hpc"] = max(hpc)
+    result.summary["paper_geomean_spec"] = 1.04
+    result.summary["paper_geomean_hpc"] = 1.10
+    result.summary["paper_geomean_all"] = 1.05
+    return result

@@ -1,0 +1,47 @@
+"""Figure 8 — fraction of execution barrier cycles in SRV-vectorised loops.
+
+"The number of cycles each SRV-end instruction stalls the issue of later
+instructions until it has executed due to serialisation" (section III-D1),
+as a fraction of the total cycles of the SRV-vectorisable loops.
+
+Paper values: mostly below 4%; negligible for bzip2 (0.9%), omnetpp
+(0.03%), astar (0.12%) and milc (0.05%); more significant for perlbench,
+hmmer, h264ref and xalancbmk whose loops are small with short trip counts.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.compiler import Strategy
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import run_loop
+from repro.workloads import ALL_WORKLOADS
+
+
+def run(
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    n_override: int | None = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="figure8",
+        title="Figure 8: srv_end barrier cycles / total SRV-loop cycles",
+        columns=("benchmark", "barrier_fraction", "barrier_cycles", "loop_cycles"),
+    )
+    for workload in ALL_WORKLOADS:
+        barrier = 0
+        total = 0
+        for spec, weight in zip(workload.loops, workload.normalised_weights()):
+            run_ = run_loop(
+                spec, Strategy.SRV, seed=seed, config=config,
+                n_override=n_override,
+            )
+            barrier += weight * run_.pipe.barrier_cycles
+            total += weight * run_.pipe.cycles
+        result.rows.append(
+            (workload.name, barrier / total if total else 0.0, barrier, total)
+        )
+    fractions = result.column("barrier_fraction")
+    result.summary["benchmarks_below_4pct"] = sum(1 for f in fractions if f < 0.04)
+    result.summary["total_benchmarks"] = len(fractions)
+    return result

@@ -1,0 +1,37 @@
+"""Headline numbers (abstract / section VI summary).
+
+Aggregates figure 6 and figure 7 into the paper's headline claims:
+average loop speedup 2.9x (up to 5.3x), whole-program speedup up to
+1.19x (average/geomean around 1.05-1.06x) over already-vectorised code.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.experiments.fig6_loop_speedup import run as run_fig6
+from repro.experiments.fig7_whole_program import run as run_fig7
+from repro.experiments.report import ExperimentResult
+
+
+def run(
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    n_override: int | None = None,
+) -> ExperimentResult:
+    fig6 = run_fig6(seed=seed, config=config, n_override=n_override)
+    fig7 = run_fig7(seed=seed, config=config, n_override=n_override)
+    result = ExperimentResult(
+        name="headline",
+        title="Headline: SRV vs SVE (paper abstract figures)",
+        columns=("metric", "measured", "paper"),
+    )
+    result.rows.append(
+        ("average_loop_speedup", fig6.summary["average_loop_speedup"], 2.9)
+    )
+    result.rows.append(("max_loop_speedup", fig6.summary["max_loop_speedup"], 5.3))
+    best = max(r[2] for r in fig7.rows)
+    result.rows.append(("max_whole_program_speedup", best, 1.26))
+    result.rows.append(("geomean_whole_program", fig7.summary["geomean_all"], 1.05))
+    result.rows.append(("geomean_spec", fig7.summary["geomean_spec"], 1.04))
+    result.rows.append(("geomean_hpc", fig7.summary["geomean_hpc"], 1.10))
+    return result

@@ -1,0 +1,62 @@
+"""Experiment result containers and table rendering.
+
+Every figure harness returns an :class:`ExperimentResult`; its
+``format_table`` renders the same rows/series the paper reports, so the
+benchmark harness can print paper-comparable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    name: str                 # e.g. "figure6"
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    def row_for(self, key: str) -> tuple:
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row {key!r} in {self.name}")
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        return {
+            row[0]: dict(zip(self.columns[1:], row[1:])) for row in self.rows
+        }
+
+    def format_table(self) -> str:
+        widths = [
+            max(len(str(col)), *(len(_fmt(row[i])) for row in self.rows))
+            if self.rows
+            else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [self.title, ""]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths))
+            )
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                lines.append(f"{key}: {_fmt(value)}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,145 @@
+"""Shared experiment driver.
+
+Compiles a workload loop under a strategy, executes it on the functional
+emulator (collecting dynamic-instruction and SRV metrics plus a trace),
+optionally times it on the cycle-approximate pipeline, and always checks
+the architectural result against the pure-Python IR oracle.
+
+Results are memoised per ``(loop, strategy, seed, config)`` because the
+figure harnesses share runs (e.g. the scalar baseline feeds figures 6, 7,
+11 and 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.compiler import Strategy, compile_loop, scalar_reference
+from repro.emu import EmuMetrics, run_program
+from repro.memory import MemoryImage
+from repro.pipeline import PipelineStats, Tracer, simulate
+from repro.workloads.base import LoopSpec
+
+
+@dataclass
+class LoopRun:
+    spec: LoopSpec
+    strategy: Strategy
+    emu: EmuMetrics
+    pipe: PipelineStats | None
+    correct: bool
+
+    @property
+    def cycles(self) -> int:
+        if self.pipe is None:
+            raise ValueError("run was executed without timing")
+        return self.pipe.cycles
+
+
+_CACHE: dict[tuple, LoopRun] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_loop(
+    spec: LoopSpec,
+    strategy: Strategy,
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    timing: bool = True,
+    validate_lsu: bool = True,
+    check_oracle: bool = True,
+    n_override: int | None = None,
+    core: str = "ooo",
+) -> LoopRun:
+    """Compile, execute, time and verify one loop under one strategy.
+
+    ``core`` selects the timing model: ``"ooo"`` (Table I out-of-order)
+    or ``"inorder"`` (the section III-D6 dual-issue in-order variant).
+    """
+    if core not in ("ooo", "inorder"):
+        raise ValueError(f"unknown core model {core!r}")
+    n = spec.n if n_override is None else min(n_override, spec.n)
+    key = (spec.loop.name, strategy, seed, id(config), timing, n, core)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    arrays = spec.arrays(seed)
+    mem = MemoryImage()
+    for name, init in arrays.items():
+        mem.alloc(name, len(init), spec.loop.arrays[name], init=init)
+    program = compile_loop(spec.loop, mem, n, strategy, params=spec.params)
+
+    tracer = Tracer() if timing else None
+    emu_metrics, _ = run_program(program, mem, config=config, tracer=tracer)
+
+    correct = True
+    if check_oracle:
+        reference = scalar_reference(spec.loop, arrays, n, params=spec.params)
+        for name in arrays:
+            got = mem.load_array(mem.allocation(name))
+            if got != reference[name]:
+                correct = False
+                break
+
+    pipe: PipelineStats | None = None
+    if timing:
+        if core == "inorder":
+            from repro.pipeline.inorder import simulate_in_order
+
+            pipe = simulate_in_order(tracer.ops, config=config, warm=True)
+        else:
+            pipe = simulate(
+                tracer.ops, config=config, validate_lsu=validate_lsu, warm=True
+            )
+
+    run = LoopRun(spec, strategy, emu_metrics, pipe, correct)
+    _CACHE[key] = run
+    return run
+
+
+def loop_speedup(
+    spec: LoopSpec,
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    baseline: Strategy = Strategy.SVE,
+    n_override: int | None = None,
+) -> float:
+    """Cycle speedup of SRV over the baseline strategy for one loop.
+
+    The paper normalises SRV-vectorisable loop performance to the SVE
+    binary, in which these loops run scalar (figure 6).
+    """
+    base = run_loop(spec, baseline, seed, config, n_override=n_override)
+    srv = run_loop(spec, Strategy.SRV, seed, config, n_override=n_override)
+    if not (base.correct and srv.correct):
+        raise AssertionError(f"loop {spec.name} produced incorrect results")
+    return base.cycles / srv.cycles
+
+
+def workload_loop_speedup(
+    workload, seed: int = 0, config: MachineConfig = TABLE_I,
+    n_override: int | None = None,
+) -> float:
+    """Weight-averaged SRV loop speedup for a workload (figure 6 bars)."""
+    weights = workload.normalised_weights()
+    total = 0.0
+    for spec, weight in zip(workload.loops, weights):
+        total += weight * loop_speedup(spec, seed, config, n_override=n_override)
+    return total
+
+
+def whole_program_speedup(loop_speedup_value: float, coverage: float) -> float:
+    """Amdahl combination used for figure 7.
+
+    The paper computes whole-program speedup "based on the dynamic
+    instruction count of the SRV-vectorisable loops and their coverage".
+    """
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError(f"coverage must be within [0, 1], got {coverage}")
+    if loop_speedup_value <= 0:
+        raise ValueError("loop speedup must be positive")
+    return 1.0 / (1.0 - coverage + coverage / loop_speedup_value)

@@ -1,0 +1,243 @@
+"""Text assembler: parse ``Program.listing()``-style assembly back into
+programs.
+
+The dialect is the one :meth:`~repro.isa.program.Program.listing` prints
+(and the paper's listings use), e.g.::
+
+    Loop:
+        srv_start (up)
+        v_load v0, [x5, #0] (4B)
+        v_add v0, v0, #2 (p1/m)
+        v_scatter v0, [x1, v1] (4B)
+        srv_end
+        add x3, x3, #16
+        blt x3, x4, Loop
+        halt
+
+Lines may carry ``;`` comments; labels end with ``:``; leading indices
+from a listing (``  12  add …``) are tolerated, so
+``parse(program.listing())`` round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import IsaError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import (
+    BranchCond,
+    CmpOpcode,
+    ScalarOpcode,
+    SrvDirection,
+    VecOpcode,
+)
+from repro.isa.program import Program
+from repro.isa.registers import Imm, PredReg, ScalarReg, VecReg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_INDEX_PREFIX_RE = re.compile(r"^\d+\s+")
+_MEM_RE = re.compile(r"^\[\s*(x\d+)\s*,\s*(#-?\d+|v\d+)\s*\]$")
+_ELEM_RE = re.compile(r"\((\d)B\)")
+_PRED_RE = re.compile(r"\((p\d+)/m\)")
+_LANE_RE = re.compile(r"^(v\d+)\[(\d+)\]$")
+
+_SCALAR_OPS = {op.value: op for op in ScalarOpcode if not op.value.startswith("cmp")}
+_VEC_OPS = {op.value: op for op in VecOpcode}
+_BRANCHES = {cond.value: cond for cond in BranchCond}
+_CMPS = {f"v_cmp_{op.value}": op for op in CmpOpcode}
+
+
+def _operand(token: str):
+    token = token.strip()
+    if token.startswith("#"):
+        return Imm(int(token[1:]))
+    if token.startswith("x"):
+        return ScalarReg(int(token[1:]))
+    if token.startswith("v"):
+        return VecReg(int(token[1:]))
+    if token.startswith("p"):
+        return PredReg(int(token[1:]))
+    raise IsaError(f"cannot parse operand {token!r}")
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas that are not inside brackets."""
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+class Assembler:
+    def __init__(self, name: str = "<asm>") -> None:
+        self._builder = ProgramBuilder(name)
+
+    def parse(self, text: str) -> Program:
+        for raw_line in text.splitlines():
+            line = raw_line.split(";", 1)[0].split("//", 1)[0].strip()
+            if not line:
+                continue
+            label = _LABEL_RE.match(line)
+            if label:
+                self._builder.label(label.group(1))
+                continue
+            line = _INDEX_PREFIX_RE.sub("", line)
+            self._instruction(line)
+        return self._builder.build()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _extract_annotations(
+        self, text: str
+    ) -> tuple[str, int | None, PredReg | None]:
+        elem: int | None = None
+        pred = None
+        m = _ELEM_RE.search(text)
+        if m:
+            elem = int(m.group(1))
+            text = _ELEM_RE.sub("", text)
+        m = _PRED_RE.search(text)
+        if m:
+            pred = _operand(m.group(1))
+            text = _PRED_RE.sub("", text)
+        return text.strip().rstrip(","), elem, pred
+
+    def _mem_operand(self, token: str):
+        m = _MEM_RE.match(token.strip())
+        if not m:
+            raise IsaError(f"cannot parse memory operand {token!r}")
+        base = _operand(m.group(1))
+        second = m.group(2)
+        if second.startswith("#"):
+            return base, int(second[1:]), None
+        return base, 0, _operand(second)
+
+    # -- instruction dispatch ----------------------------------------------------
+
+    def _instruction(self, line: str) -> None:
+        b = self._builder
+        mnemonic, _, rest = line.partition(" ")
+        rest, explicit_elem, pred = self._extract_annotations(rest)
+        # defaults when no "(NB)" annotation: 8 bytes for scalar memory
+        # operations, 4 for vector ones
+        scalar_mem = mnemonic in ("ldr", "str")
+        elem = explicit_elem if explicit_elem is not None else (8 if scalar_mem else 4)
+        ops = _split_operands(rest) if rest else []
+
+        if mnemonic == "halt":
+            b.halt()
+        elif mnemonic == "nop":
+            b.nop()
+        elif mnemonic == "srv_start":
+            direction = SrvDirection.UP
+            if ops and "down" in ops[0]:
+                direction = SrvDirection.DOWN
+            b.srv_start(direction)
+        elif mnemonic == "srv_end":
+            b.srv_end()
+        elif mnemonic == "b":
+            b.jump(ops[0])
+        elif mnemonic in _BRANCHES:
+            from repro.isa.instructions import Branch
+
+            b.emit(Branch(_BRANCHES[mnemonic], _operand(ops[0]),
+                          _operand(ops[1]), ops[2]))
+        elif mnemonic in _SCALAR_OPS:
+            from repro.isa.instructions import ScalarALU
+
+            op = _SCALAR_OPS[mnemonic]
+            srcs = [_operand(t) for t in ops[1:]]
+            if op is ScalarOpcode.MOV:
+                b.emit(ScalarALU(op, _operand(ops[0]), srcs[0]))
+            else:
+                b.emit(ScalarALU(op, _operand(ops[0]), srcs[0], srcs[1]))
+        elif mnemonic == "ldr":
+            base, offset, _ = self._mem_operand(ops[1])
+            b.load(_operand(ops[0]), base, offset, elem=elem)
+        elif mnemonic == "str":
+            base, offset, _ = self._mem_operand(ops[1])
+            b.store(_operand(ops[0]), base, offset, elem=elem)
+        elif mnemonic == "v_load":
+            base, offset, _ = self._mem_operand(ops[1])
+            b.v_load(_operand(ops[0]), base, offset, elem=elem, pred=pred)
+        elif mnemonic == "v_bcast":
+            base, offset, _ = self._mem_operand(ops[1])
+            b.v_bcast(_operand(ops[0]), base, offset, elem=elem, pred=pred)
+        elif mnemonic == "v_gather":
+            base, _, index = self._mem_operand(ops[1])
+            b.v_gather(_operand(ops[0]), base, index, elem=elem, pred=pred)
+        elif mnemonic == "v_store":
+            base, offset, _ = self._mem_operand(ops[1])
+            b.v_store(_operand(ops[0]), base, offset, elem=elem, pred=pred)
+        elif mnemonic == "v_scatter":
+            base, _, index = self._mem_operand(ops[1])
+            b.v_scatter(_operand(ops[0]), base, index, elem=elem, pred=pred)
+        elif mnemonic in _CMPS:
+            b.v_cmp(_CMPS[mnemonic], _operand(ops[0]), _operand(ops[1]),
+                    _operand(ops[2]), elem=elem, pred=pred)
+        elif mnemonic == "v_splat":
+            b.v_splat(_operand(ops[0]), _operand(ops[1]), elem=elem, pred=pred)
+        elif mnemonic == "v_index":
+            step = _operand(ops[2]) if len(ops) > 2 else Imm(1)
+            b.v_index(_operand(ops[0]), _operand(ops[1]), step, elem=elem)
+        elif mnemonic == "v_extract":
+            m = _LANE_RE.match(ops[1])
+            if not m:
+                raise IsaError(f"cannot parse lane operand {ops[1]!r}")
+            b.v_extract(_operand(ops[0]), _operand(m.group(1)),
+                        int(m.group(2)), elem=elem)
+        elif mnemonic.startswith("v_reduce_"):
+            b.v_reduce(mnemonic.removeprefix("v_reduce_"), _operand(ops[0]),
+                       _operand(ops[1]), elem=elem, pred=pred)
+        elif mnemonic in ("ptrue", "pfalse"):
+            from repro.isa.instructions import PredSetAll
+
+            b.emit(PredSetAll(_operand(ops[0]), mnemonic == "ptrue"))
+        elif mnemonic == "pcount":
+            b.pcount(_operand(ops[0]), _operand(ops[1]))
+        elif mnemonic == "pfirstn":
+            b.pfirstn(_operand(ops[0]), _operand(ops[1]))
+        elif mnemonic == "prange":
+            b.prange(_operand(ops[0]), _operand(ops[1]), _operand(ops[2]))
+        elif mnemonic.startswith("p_"):
+            from repro.isa.instructions import PredLogic
+
+            op = mnemonic.removeprefix("p_")
+            if op == "not":
+                b.emit(PredLogic(op, _operand(ops[0]), _operand(ops[1])))
+            else:
+                b.emit(PredLogic(op, _operand(ops[0]), _operand(ops[1]),
+                                 _operand(ops[2])))
+        elif mnemonic in _VEC_OPS:
+            op = _VEC_OPS[mnemonic]
+            from repro.isa.instructions import VecALU
+
+            dst = _operand(ops[0])
+            srcs = [_operand(t) for t in ops[1:]]
+            if op in (VecOpcode.MOV, VecOpcode.ABS):
+                b.emit(VecALU(op, dst, srcs[0], pred=pred, elem=elem))
+            elif op is VecOpcode.FMA:
+                b.emit(VecALU(op, dst, srcs[0], srcs[1], srcs[2],
+                              pred=pred, elem=elem))
+            else:
+                b.emit(VecALU(op, dst, srcs[0], srcs[1], pred=pred, elem=elem))
+        else:
+            raise IsaError(f"unknown mnemonic {mnemonic!r} in {line!r}")
+
+
+def parse_asm(text: str, name: str = "<asm>") -> Program:
+    """Parse assembly text into a validated :class:`Program`."""
+    return Assembler(name).parse(text)

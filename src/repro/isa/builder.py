@@ -1,0 +1,330 @@
+"""Fluent assembler-style builder for :class:`~repro.isa.program.Program`.
+
+Code generators and tests construct programs through this builder rather
+than instantiating instruction dataclasses directly; it resolves labels,
+keeps listings close to the paper's pseudo-code (listing 2), and validates
+the result.
+
+Example — the paper's listing 2::
+
+    b = ProgramBuilder("listing2")
+    b.label("Loop")
+    b.srv_start()
+    b.v_load(v(0), x(1))            # v_load v0, a[i:i+15]
+    b.v_add(v(0), v(0), imm(2))     # v_add v0, 2
+    b.v_gather_idx(...)             # load x[i:i+15]
+    b.v_scatter(v(0), x(1), v(1))   # scatter v0, a[x[i]:x[i+15]]
+    b.srv_end()
+    b.add(x(2), x(2), imm(16))      # inc i, 16
+    b.blt(x(2), x(3), "Loop")       # comp i, N; bne Loop
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import IsaError
+from repro.isa.instructions import (
+    Branch,
+    BranchCond,
+    CmpOpcode,
+    Halt,
+    Instruction,
+    Jump,
+    Nop,
+    PredCount,
+    PredFirstN,
+    PredLogic,
+    PredRange,
+    PredSetAll,
+    ScalarALU,
+    ScalarLoad,
+    ScalarOpcode,
+    ScalarStore,
+    SrvDirection,
+    SrvEnd,
+    SrvStart,
+    VecALU,
+    VecCmp,
+    VecExtractLane,
+    VecIndex,
+    VecLoadBroadcast,
+    VecLoadContig,
+    VecLoadGather,
+    VecOpcode,
+    VecReduce,
+    VecSplat,
+    VecStoreContig,
+    VecStoreScatter,
+)
+from repro.isa.program import Program
+from repro.isa.registers import Imm, PredReg, ScalarOperand, ScalarReg, VecReg
+
+
+class ProgramBuilder:
+    def __init__(self, name: str = "<anonymous>") -> None:
+        self._name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+
+    # -- structure -----------------------------------------------------------
+
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._labels:
+            raise IsaError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def emit(self, inst: Instruction) -> "ProgramBuilder":
+        self._instructions.append(inst)
+        return self
+
+    def build(self, validate: bool = True) -> Program:
+        program = Program(
+            instructions=list(self._instructions),
+            labels=dict(self._labels),
+            name=self._name,
+        )
+        if validate:
+            program.validate()
+        return program
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    # -- scalar ALU ----------------------------------------------------------
+
+    def _scalar(self, op: ScalarOpcode, dst: ScalarReg,
+                a: ScalarOperand, b: ScalarOperand | None = None) -> "ProgramBuilder":
+        return self.emit(ScalarALU(op, dst, a, b))
+
+    def add(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.ADD, dst, a, b)
+
+    def sub(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.SUB, dst, a, b)
+
+    def mul(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.MUL, dst, a, b)
+
+    def div(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.DIV, dst, a, b)
+
+    def mod(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.MOD, dst, a, b)
+
+    def and_(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.AND, dst, a, b)
+
+    def or_(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.OR, dst, a, b)
+
+    def xor(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.XOR, dst, a, b)
+
+    def shl(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.SHL, dst, a, b)
+
+    def shr(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.SHR, dst, a, b)
+
+    def min_(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.MIN, dst, a, b)
+
+    def max_(self, dst: ScalarReg, a: ScalarOperand, b: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.MAX, dst, a, b)
+
+    def mov(self, dst: ScalarReg, src: ScalarOperand) -> "ProgramBuilder":
+        return self._scalar(ScalarOpcode.MOV, dst, src)
+
+    # -- scalar memory ---------------------------------------------------------
+
+    def load(self, dst: ScalarReg, base: ScalarReg, offset: int = 0,
+             elem: int = 8) -> "ProgramBuilder":
+        return self.emit(ScalarLoad(dst, base, offset, elem))
+
+    def store(self, src: ScalarReg, base: ScalarReg, offset: int = 0,
+              elem: int = 8) -> "ProgramBuilder":
+        return self.emit(ScalarStore(src, base, offset, elem))
+
+    # -- control flow -----------------------------------------------------------
+
+    def _branch(self, cond: BranchCond, a: ScalarReg, b: ScalarOperand,
+                target: str) -> "ProgramBuilder":
+        return self.emit(Branch(cond, a, b, target))
+
+    def beq(self, a: ScalarReg, b: ScalarOperand, target: str) -> "ProgramBuilder":
+        return self._branch(BranchCond.EQ, a, b, target)
+
+    def bne(self, a: ScalarReg, b: ScalarOperand, target: str) -> "ProgramBuilder":
+        return self._branch(BranchCond.NE, a, b, target)
+
+    def blt(self, a: ScalarReg, b: ScalarOperand, target: str) -> "ProgramBuilder":
+        return self._branch(BranchCond.LT, a, b, target)
+
+    def ble(self, a: ScalarReg, b: ScalarOperand, target: str) -> "ProgramBuilder":
+        return self._branch(BranchCond.LE, a, b, target)
+
+    def bgt(self, a: ScalarReg, b: ScalarOperand, target: str) -> "ProgramBuilder":
+        return self._branch(BranchCond.GT, a, b, target)
+
+    def bge(self, a: ScalarReg, b: ScalarOperand, target: str) -> "ProgramBuilder":
+        return self._branch(BranchCond.GE, a, b, target)
+
+    def jump(self, target: str) -> "ProgramBuilder":
+        return self.emit(Jump(target))
+
+    def halt(self) -> "ProgramBuilder":
+        return self.emit(Halt())
+
+    def nop(self) -> "ProgramBuilder":
+        return self.emit(Nop())
+
+    # -- vector ALU ---------------------------------------------------------------
+
+    def _vec(self, op: VecOpcode, dst: VecReg, a: VecReg,
+             b: VecReg | Imm | ScalarReg | None = None, *,
+             c: VecReg | None = None, pred: PredReg | None = None,
+             elem: int = 4) -> "ProgramBuilder":
+        return self.emit(VecALU(op, dst, a, b, c, pred, elem))
+
+    def v_add(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.ADD, dst, a, b, pred=pred, elem=elem)
+
+    def v_sub(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.SUB, dst, a, b, pred=pred, elem=elem)
+
+    def v_mul(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.MUL, dst, a, b, pred=pred, elem=elem)
+
+    def v_div(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.DIV, dst, a, b, pred=pred, elem=elem)
+
+    def v_and(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.AND, dst, a, b, pred=pred, elem=elem)
+
+    def v_or(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+             pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.OR, dst, a, b, pred=pred, elem=elem)
+
+    def v_xor(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.XOR, dst, a, b, pred=pred, elem=elem)
+
+    def v_shl(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.SHL, dst, a, b, pred=pred, elem=elem)
+
+    def v_shr(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.SHR, dst, a, b, pred=pred, elem=elem)
+
+    def v_min(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.MIN, dst, a, b, pred=pred, elem=elem)
+
+    def v_max(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.MAX, dst, a, b, pred=pred, elem=elem)
+
+    def v_fma(self, dst: VecReg, a: VecReg, b: VecReg | Imm | ScalarReg,
+              c: VecReg, pred: PredReg | None = None, elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.FMA, dst, a, b, c=c, pred=pred, elem=elem)
+
+    def v_mov(self, dst: VecReg, src: VecReg, pred: PredReg | None = None,
+              elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.MOV, dst, src, pred=pred, elem=elem)
+
+    def v_abs(self, dst: VecReg, src: VecReg, pred: PredReg | None = None,
+              elem: int = 4) -> "ProgramBuilder":
+        return self._vec(VecOpcode.ABS, dst, src, pred=pred, elem=elem)
+
+    # -- vector memory -------------------------------------------------------------
+
+    def v_load(self, dst: VecReg, base: ScalarReg, offset: int = 0,
+               elem: int = 4, pred: PredReg | None = None) -> "ProgramBuilder":
+        return self.emit(VecLoadContig(dst, base, offset, elem, pred))
+
+    def v_gather(self, dst: VecReg, base: ScalarReg, index: VecReg,
+                 elem: int = 4, index_elem: int = 4, scale: int | None = None,
+                 pred: PredReg | None = None) -> "ProgramBuilder":
+        return self.emit(VecLoadGather(dst, base, index, elem, index_elem, scale, pred))
+
+    def v_bcast(self, dst: VecReg, base: ScalarReg, offset: int = 0,
+                elem: int = 4, pred: PredReg | None = None) -> "ProgramBuilder":
+        return self.emit(VecLoadBroadcast(dst, base, offset, elem, pred))
+
+    def v_store(self, src: VecReg, base: ScalarReg, offset: int = 0,
+                elem: int = 4, pred: PredReg | None = None) -> "ProgramBuilder":
+        return self.emit(VecStoreContig(src, base, offset, elem, pred))
+
+    def v_scatter(self, src: VecReg, base: ScalarReg, index: VecReg,
+                  elem: int = 4, index_elem: int = 4, scale: int | None = None,
+                  pred: PredReg | None = None) -> "ProgramBuilder":
+        return self.emit(VecStoreScatter(src, base, index, elem, index_elem, scale, pred))
+
+    # -- predicates and lane utilities ----------------------------------------------
+
+    def ptrue(self, dst: PredReg) -> "ProgramBuilder":
+        return self.emit(PredSetAll(dst, True))
+
+    def pfalse(self, dst: PredReg) -> "ProgramBuilder":
+        return self.emit(PredSetAll(dst, False))
+
+    def pcount(self, dst: ScalarReg, src: PredReg) -> "ProgramBuilder":
+        return self.emit(PredCount(dst, src))
+
+    def pfirstn(self, dst: PredReg, count: ScalarReg) -> "ProgramBuilder":
+        return self.emit(PredFirstN(dst, count))
+
+    def prange(self, dst: PredReg, lo: ScalarReg, hi: ScalarReg) -> "ProgramBuilder":
+        return self.emit(PredRange(dst, lo, hi))
+
+    def v_cmp(self, op: CmpOpcode, dst: PredReg, a: VecReg,
+              b: VecReg | Imm | ScalarReg, elem: int = 4,
+              pred: PredReg | None = None) -> "ProgramBuilder":
+        return self.emit(VecCmp(op, dst, a, b, elem, pred))
+
+    def p_and(self, dst: PredReg, a: PredReg, b: PredReg) -> "ProgramBuilder":
+        return self.emit(PredLogic("and", dst, a, b))
+
+    def p_or(self, dst: PredReg, a: PredReg, b: PredReg) -> "ProgramBuilder":
+        return self.emit(PredLogic("or", dst, a, b))
+
+    def p_xor(self, dst: PredReg, a: PredReg, b: PredReg) -> "ProgramBuilder":
+        return self.emit(PredLogic("xor", dst, a, b))
+
+    def p_andnot(self, dst: PredReg, a: PredReg, b: PredReg) -> "ProgramBuilder":
+        return self.emit(PredLogic("andnot", dst, a, b))
+
+    def p_not(self, dst: PredReg, a: PredReg) -> "ProgramBuilder":
+        return self.emit(PredLogic("not", dst, a))
+
+    def v_extract(self, dst: ScalarReg, src: VecReg, lane: int,
+                  elem: int = 4) -> "ProgramBuilder":
+        return self.emit(VecExtractLane(dst, src, lane, elem))
+
+    def v_splat(self, dst: VecReg, src: ScalarOperand, elem: int = 4,
+                pred: PredReg | None = None) -> "ProgramBuilder":
+        return self.emit(VecSplat(dst, src, elem, pred))
+
+    def v_index(self, dst: VecReg, start: ScalarOperand,
+                step: ScalarOperand = Imm(1), elem: int = 4) -> "ProgramBuilder":
+        return self.emit(VecIndex(dst, start, step, elem))
+
+    def v_reduce(self, op: str, dst: ScalarReg, src: VecReg, elem: int = 4,
+                 pred: PredReg | None = None) -> "ProgramBuilder":
+        return self.emit(VecReduce(op, dst, src, elem, pred))
+
+    # -- SRV ------------------------------------------------------------------------
+
+    def srv_start(self, direction: SrvDirection = SrvDirection.UP) -> "ProgramBuilder":
+        return self.emit(SrvStart(direction))
+
+    def srv_end(self) -> "ProgramBuilder":
+        return self.emit(SrvEnd())

@@ -1,0 +1,628 @@
+"""Instruction definitions for the SVE-like SRV evaluation ISA.
+
+The set is deliberately small but covers everything the paper's code
+shapes need: scalar control/ALU/memory, contiguous / gather / scatter /
+broadcast vector memory accesses, predicated element-wise vector ALU
+operations, predicate manipulation, and the two new SRV instructions
+(``srv_start`` with an UP/DOWN attribute, and ``srv_end``).
+
+All vector memory operations record an element size in bytes; vectors are
+16 lanes by default and element-size agnostic, as in the evaluation
+(section V).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import IsaError
+from repro.isa.registers import Imm, PredReg, ScalarOperand, ScalarReg, VecReg
+
+VALID_ELEM_SIZES = (1, 2, 4, 8)
+
+
+class ScalarOpcode(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MOV = "mov"
+    CMP_LT = "cmp_lt"
+    CMP_LE = "cmp_le"
+    CMP_EQ = "cmp_eq"
+    CMP_NE = "cmp_ne"
+    MIN = "min"
+    MAX = "max"
+    MOD = "mod"
+
+
+class VecOpcode(enum.Enum):
+    ADD = "v_add"
+    SUB = "v_sub"
+    MUL = "v_mul"
+    DIV = "v_div"
+    AND = "v_and"
+    OR = "v_or"
+    XOR = "v_xor"
+    SHL = "v_shl"
+    SHR = "v_shr"
+    MOV = "v_mov"
+    MIN = "v_min"
+    MAX = "v_max"
+    FMA = "v_fma"
+    ABS = "v_abs"
+
+
+class CmpOpcode(enum.Enum):
+    LT = "lt"
+    LE = "le"
+    EQ = "eq"
+    NE = "ne"
+    GT = "gt"
+    GE = "ge"
+
+
+class BranchCond(enum.Enum):
+    EQ = "beq"
+    NE = "bne"
+    LT = "blt"
+    LE = "ble"
+    GT = "bgt"
+    GE = "bge"
+
+
+class SrvDirection(enum.Enum):
+    """Iteration-ordering attribute of ``srv_start`` (section III-A).
+
+    UP: lane number increases with increasing memory address (increasing
+    induction variable).  DOWN: the opposite; horizontal address
+    comparisons are mirrored.
+    """
+
+    UP = "up"
+    DOWN = "down"
+
+
+class Instruction:
+    """Base class for all instructions."""
+
+    __slots__ = ()
+
+    @property
+    def is_vector(self) -> bool:
+        return False
+
+    @property
+    def is_mem(self) -> bool:
+        return False
+
+    @property
+    def is_load(self) -> bool:
+        return False
+
+    @property
+    def is_store(self) -> bool:
+        return False
+
+    @property
+    def is_branch(self) -> bool:
+        return False
+
+
+def _annotate(elem: int | None = None, pred: "PredReg | None" = None) -> str:
+    """Suffix annotations used by listings and understood by the assembler."""
+    out = ""
+    if elem is not None:
+        out += f" ({elem}B)"
+    if pred is not None:
+        out += f" ({pred}/m)"
+    return out
+
+
+def _check_elem(elem: int) -> None:
+    if elem not in VALID_ELEM_SIZES:
+        raise IsaError(f"invalid element size {elem}; expected one of {VALID_ELEM_SIZES}")
+
+
+# ---------------------------------------------------------------------------
+# Scalar instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalarALU(Instruction):
+    op: ScalarOpcode
+    dst: ScalarReg
+    src1: ScalarOperand
+    src2: ScalarOperand | None = None
+
+    def __post_init__(self) -> None:
+        unary = {ScalarOpcode.MOV}
+        if self.op in unary:
+            if self.src2 is not None:
+                raise IsaError(f"{self.op.value} takes one source operand")
+        elif self.src2 is None:
+            raise IsaError(f"{self.op.value} requires two source operands")
+
+    def __repr__(self) -> str:
+        if self.src2 is None:
+            return f"{self.op.value} {self.dst}, {self.src1}"
+        return f"{self.op.value} {self.dst}, {self.src1}, {self.src2}"
+
+
+@dataclass(frozen=True)
+class ScalarLoad(Instruction):
+    dst: ScalarReg
+    base: ScalarReg
+    offset: int = 0
+    elem: int = 8
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+
+    @property
+    def is_mem(self) -> bool:
+        return True
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ldr {self.dst}, [{self.base}, #{self.offset}] ({self.elem}B)"
+
+
+@dataclass(frozen=True)
+class ScalarStore(Instruction):
+    src: ScalarReg
+    base: ScalarReg
+    offset: int = 0
+    elem: int = 8
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+
+    @property
+    def is_mem(self) -> bool:
+        return True
+
+    @property
+    def is_store(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"str {self.src}, [{self.base}, #{self.offset}] ({self.elem}B)"
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    cond: BranchCond
+    src1: ScalarReg
+    src2: ScalarOperand
+    target: str
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.cond.value} {self.src1}, {self.src2}, {self.target}"
+
+
+@dataclass(frozen=True)
+class Jump(Instruction):
+    target: str
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"b {self.target}"
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    def __repr__(self) -> str:
+        return "halt"
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    def __repr__(self) -> str:
+        return "nop"
+
+
+# ---------------------------------------------------------------------------
+# Vector instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VectorInstruction(Instruction):
+    """Common base for vector instructions (predicated, element-sized)."""
+
+    __slots__ = ()
+
+    @property
+    def is_vector(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VecALU(VectorInstruction):
+    op: VecOpcode
+    dst: VecReg
+    src1: VecReg
+    src2: VecReg | Imm | ScalarReg | None = None
+    src3: VecReg | None = None            # FMA accumulator
+    pred: PredReg | None = None
+    elem: int = 4
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+        unary = {VecOpcode.MOV, VecOpcode.ABS}
+        if self.op in unary and self.src2 is not None:
+            raise IsaError(f"{self.op.value} takes one source operand")
+        if self.op not in unary and self.src2 is None:
+            raise IsaError(f"{self.op.value} requires two source operands")
+        if self.op is VecOpcode.FMA and self.src3 is None:
+            raise IsaError("v_fma requires a third source operand")
+        if self.op is not VecOpcode.FMA and self.src3 is not None:
+            raise IsaError(f"{self.op.value} does not take a third source operand")
+
+    def __repr__(self) -> str:
+        parts = [str(self.src1)]
+        if self.src2 is not None:
+            parts.append(str(self.src2))
+        if self.src3 is not None:
+            parts.append(str(self.src3))
+        ann = _annotate(self.elem if self.elem != 4 else None, self.pred)
+        return f"{self.op.value} {self.dst}, {', '.join(parts)}{ann}"
+
+
+class VecMemInstruction(VectorInstruction):
+    """Base for vector memory operations; exposes the access pattern."""
+
+    __slots__ = ()
+
+    @property
+    def is_mem(self) -> bool:
+        return True
+
+    @property
+    def access_kind(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class VecLoadContig(VecMemInstruction):
+    dst: VecReg
+    base: ScalarReg
+    offset: int = 0
+    elem: int = 4
+    pred: PredReg | None = None
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+    @property
+    def access_kind(self) -> str:
+        return "contiguous"
+
+    def __repr__(self) -> str:
+        return (f"v_load {self.dst}, [{self.base}, #{self.offset}]"
+                f"{_annotate(self.elem, self.pred)}")
+
+
+@dataclass(frozen=True)
+class VecLoadGather(VecMemInstruction):
+    dst: VecReg
+    base: ScalarReg
+    index: VecReg
+    elem: int = 4
+    index_elem: int = 4
+    scale: int | None = None   # byte multiplier for indices; defaults to elem
+    pred: PredReg | None = None
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+        _check_elem(self.index_elem)
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+    @property
+    def access_kind(self) -> str:
+        return "gather"
+
+    @property
+    def effective_scale(self) -> int:
+        return self.elem if self.scale is None else self.scale
+
+    def __repr__(self) -> str:
+        return (f"v_gather {self.dst}, [{self.base}, {self.index}]"
+                f"{_annotate(self.elem, self.pred)}")
+
+
+@dataclass(frozen=True)
+class VecLoadBroadcast(VecMemInstruction):
+    dst: VecReg
+    base: ScalarReg
+    offset: int = 0
+    elem: int = 4
+    pred: PredReg | None = None
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+    @property
+    def access_kind(self) -> str:
+        return "broadcast"
+
+    def __repr__(self) -> str:
+        return (f"v_bcast {self.dst}, [{self.base}, #{self.offset}]"
+                f"{_annotate(self.elem, self.pred)}")
+
+
+@dataclass(frozen=True)
+class VecStoreContig(VecMemInstruction):
+    src: VecReg
+    base: ScalarReg
+    offset: int = 0
+    elem: int = 4
+    pred: PredReg | None = None
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+
+    @property
+    def is_store(self) -> bool:
+        return True
+
+    @property
+    def access_kind(self) -> str:
+        return "contiguous"
+
+    def __repr__(self) -> str:
+        return (f"v_store {self.src}, [{self.base}, #{self.offset}]"
+                f"{_annotate(self.elem, self.pred)}")
+
+
+@dataclass(frozen=True)
+class VecStoreScatter(VecMemInstruction):
+    src: VecReg
+    base: ScalarReg
+    index: VecReg
+    elem: int = 4
+    index_elem: int = 4
+    scale: int | None = None
+    pred: PredReg | None = None
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+        _check_elem(self.index_elem)
+
+    @property
+    def is_store(self) -> bool:
+        return True
+
+    @property
+    def access_kind(self) -> str:
+        return "scatter"
+
+    @property
+    def effective_scale(self) -> int:
+        return self.elem if self.scale is None else self.scale
+
+    def __repr__(self) -> str:
+        return (f"v_scatter {self.src}, [{self.base}, {self.index}]"
+                f"{_annotate(self.elem, self.pred)}")
+
+
+# ---------------------------------------------------------------------------
+# Predicate instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredSetAll(VectorInstruction):
+    """``ptrue`` / ``pfalse``: set or clear an entire predicate register."""
+
+    dst: PredReg
+    value: bool = True
+
+    def __repr__(self) -> str:
+        return f"{'ptrue' if self.value else 'pfalse'} {self.dst}"
+
+
+@dataclass(frozen=True)
+class PredCount(VectorInstruction):
+    """Count active lanes of a predicate into a scalar register."""
+
+    dst: ScalarReg
+    src: PredReg
+
+    def __repr__(self) -> str:
+        return f"pcount {self.dst}, {self.src}"
+
+
+@dataclass(frozen=True)
+class PredFirstN(VectorInstruction):
+    """``whilelt``-style predicate: first ``n`` lanes active.
+
+    ``n`` is read from a scalar register, clamped to the lane count; used
+    for loop epilogues and FlexVec partial vectorisation.
+    """
+
+    dst: PredReg
+    count: ScalarReg
+
+    def __repr__(self) -> str:
+        return f"pfirstn {self.dst}, {self.count}"
+
+
+@dataclass(frozen=True)
+class PredRange(VectorInstruction):
+    """Predicate with lanes in ``[lo, hi)`` active, from scalar registers."""
+
+    dst: PredReg
+    lo: ScalarReg
+    hi: ScalarReg
+
+    def __repr__(self) -> str:
+        return f"prange {self.dst}, {self.lo}, {self.hi}"
+
+
+@dataclass(frozen=True)
+class VecCmp(VectorInstruction):
+    """Element-wise compare producing a predicate (for if-conversion)."""
+
+    op: CmpOpcode
+    dst: PredReg
+    src1: VecReg
+    src2: VecReg | Imm | ScalarReg
+    elem: int = 4
+    pred: PredReg | None = None
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+
+    def __repr__(self) -> str:
+        return (f"v_cmp_{self.op.value} {self.dst}, {self.src1}, {self.src2}"
+                f"{_annotate(self.elem if self.elem != 4 else None, self.pred)}")
+
+
+@dataclass(frozen=True)
+class PredLogic(VectorInstruction):
+    op: str  # "and" | "or" | "xor" | "andnot" | "not"
+    dst: PredReg
+    src1: PredReg
+    src2: PredReg | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or", "xor", "andnot", "not"):
+            raise IsaError(f"invalid predicate op {self.op!r}")
+        if self.op == "not" and self.src2 is not None:
+            raise IsaError("predicate not takes one source")
+        if self.op != "not" and self.src2 is None:
+            raise IsaError(f"predicate {self.op} requires two sources")
+
+    def __repr__(self) -> str:
+        if self.src2 is None:
+            return f"p_{self.op} {self.dst}, {self.src1}"
+        return f"p_{self.op} {self.dst}, {self.src1}, {self.src2}"
+
+
+@dataclass(frozen=True)
+class VecExtractLane(VectorInstruction):
+    """Move one lane of a vector register to a scalar register."""
+
+    dst: ScalarReg
+    src: VecReg
+    lane: int
+    elem: int = 4
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+        if self.lane < 0:
+            raise IsaError(f"negative lane {self.lane}")
+
+    def __repr__(self) -> str:
+        return f"v_extract {self.dst}, {self.src}[{self.lane}]"
+
+
+@dataclass(frozen=True)
+class VecSplat(VectorInstruction):
+    """Broadcast a scalar register or immediate into all lanes."""
+
+    dst: VecReg
+    src: ScalarOperand
+    elem: int = 4
+    pred: PredReg | None = None
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+
+    def __repr__(self) -> str:
+        return (f"v_splat {self.dst}, {self.src}"
+                f"{_annotate(self.elem if self.elem != 4 else None, self.pred)}")
+
+
+@dataclass(frozen=True)
+class VecIndex(VectorInstruction):
+    """SVE ``index``: lane i = start + i * step (both scalar operands)."""
+
+    dst: VecReg
+    start: ScalarOperand
+    step: ScalarOperand = field(default_factory=lambda: Imm(1))
+    elem: int = 4
+
+    def __post_init__(self) -> None:
+        _check_elem(self.elem)
+
+    def __repr__(self) -> str:
+        return (f"v_index {self.dst}, {self.start}, {self.step}"
+                f"{_annotate(self.elem if self.elem != 4 else None)}")
+
+
+@dataclass(frozen=True)
+class VecReduce(VectorInstruction):
+    """Horizontal reduction of active lanes into a scalar register."""
+
+    op: str  # "add" | "min" | "max" | "or"
+    dst: ScalarReg
+    src: VecReg
+    elem: int = 4
+    pred: PredReg | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("add", "min", "max", "or"):
+            raise IsaError(f"invalid reduction op {self.op!r}")
+        _check_elem(self.elem)
+
+    def __repr__(self) -> str:
+        return (f"v_reduce_{self.op} {self.dst}, {self.src}"
+                f"{_annotate(self.elem if self.elem != 4 else None, self.pred)}")
+
+
+# ---------------------------------------------------------------------------
+# SRV instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SrvStart(Instruction):
+    """Marks the start of an SRV-region (section III-A).
+
+    Records the restart PC, fully sets the SRV-replay register, and arms
+    extended (horizontal) memory disambiguation in the LSU.
+    """
+
+    direction: SrvDirection = SrvDirection.UP
+
+    def __repr__(self) -> str:
+        return f"srv_start ({self.direction.value})"
+
+
+@dataclass(frozen=True)
+class SrvEnd(Instruction):
+    """Marks the end of an SRV-region; a serialisation point (III-D1)."""
+
+    def __repr__(self) -> str:
+        return "srv_end"

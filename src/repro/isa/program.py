@@ -1,0 +1,126 @@
+"""Program container: an instruction sequence with labels.
+
+A :class:`Program` is the unit of execution for both back-ends (the
+functional emulator and the cycle-approximate pipeline).  Labels map names
+to instruction indices; branches refer to labels so programs can be built
+and composed without manual address bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.common.errors import IsaError
+from repro.isa.instructions import (
+    Branch,
+    Instruction,
+    Jump,
+    SrvEnd,
+    SrvStart,
+)
+
+
+@dataclass
+class Program:
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    name: str = "<anonymous>"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def label_target(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise IsaError(f"undefined label {label!r} in program {self.name!r}") from None
+
+    def validate(self) -> None:
+        """Check structural invariants before execution.
+
+        * every branch target resolves,
+        * labels point inside the program,
+        * SRV-regions are properly bracketed and never nested (III-A),
+        * SRV-regions contain no branches (control flow inside a region
+          must be if-converted, section III-C).
+        """
+        for label, target in self.labels.items():
+            if not 0 <= target <= len(self.instructions):
+                raise IsaError(f"label {label!r} targets {target}, outside program")
+        in_region = False
+        for idx, inst in enumerate(self.instructions):
+            if isinstance(inst, (Branch, Jump)):
+                self.label_target(inst.target)
+                if in_region:
+                    raise IsaError(
+                        f"branch at {idx} inside SRV-region: regions support "
+                        "only if-converted forward control flow"
+                    )
+            if isinstance(inst, SrvStart):
+                if in_region:
+                    raise IsaError(f"nested srv_start at index {idx}")
+                in_region = True
+            elif isinstance(inst, SrvEnd):
+                if not in_region:
+                    raise IsaError(f"srv_end without srv_start at index {idx}")
+                in_region = False
+        if in_region:
+            raise IsaError("program ends inside an SRV-region")
+
+    def region_spans(self) -> list[tuple[int, int]]:
+        """``(srv_start_index, srv_end_index)`` pairs, in program order."""
+        spans: list[tuple[int, int]] = []
+        start: int | None = None
+        for idx, inst in enumerate(self.instructions):
+            if isinstance(inst, SrvStart):
+                start = idx
+            elif isinstance(inst, SrvEnd):
+                if start is None:
+                    raise IsaError(f"srv_end without srv_start at index {idx}")
+                spans.append((start, idx))
+                start = None
+        return spans
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels inlined."""
+        by_index: dict[int, list[str]] = {}
+        for label, target in self.labels.items():
+            by_index.setdefault(target, []).append(label)
+        lines: list[str] = []
+        for idx, inst in enumerate(self.instructions):
+            for label in sorted(by_index.get(idx, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {idx:4d}  {inst!r}")
+        for label in sorted(by_index.get(len(self.instructions), [])):
+            lines.append(f"{label}:")
+        return "\n".join(lines)
+
+    def static_counts(self) -> Mapping[str, int]:
+        """Static instruction-mix summary (used by figure 10)."""
+        counts = {
+            "total": len(self.instructions),
+            "vector": 0,
+            "vector_mem": 0,
+            "gather_scatter": 0,
+            "scalar_mem": 0,
+            "branches": 0,
+        }
+        for inst in self.instructions:
+            if inst.is_vector:
+                counts["vector"] += 1
+                if inst.is_mem:
+                    counts["vector_mem"] += 1
+                    if getattr(inst, "access_kind", None) in ("gather", "scatter"):
+                        counts["gather_scatter"] += 1
+            elif inst.is_mem:
+                counts["scalar_mem"] += 1
+            if inst.is_branch:
+                counts["branches"] += 1
+        return counts

@@ -1,0 +1,55 @@
+"""Address-alignment regions (paper section IV-A).
+
+The LSU's bit vectors are scoped to *address-alignment regions*: spans of
+memory aligned to (and as long as) the machine's alignment-region size
+(64 bytes in Table I).  The start of each region is its
+*address-alignment base*.  A memory access is decomposed into one
+bytes-accessed bit vector per region it touches; an access of at most one
+vector length can span at most two consecutive regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitvec import BitVector
+
+
+def align_base(addr: int, region_bytes: int) -> int:
+    """The address-alignment base of the region containing ``addr``."""
+    return addr & ~(region_bytes - 1)
+
+
+def align_offset(addr: int, region_bytes: int) -> int:
+    """Byte offset of ``addr`` within its alignment region."""
+    return addr & (region_bytes - 1)
+
+
+@dataclass(frozen=True)
+class RegionChunk:
+    """The portion of one access falling inside one alignment region."""
+
+    base: int                 # address-alignment base
+    bytes_accessed: BitVector  # byte-granular, relative to `base`
+    first_byte_addr: int       # lowest accessed address inside this region
+
+    @property
+    def offset(self) -> int:
+        return self.first_byte_addr - self.base
+
+
+def chunks_for_access(addr: int, size: int, region_bytes: int) -> list[RegionChunk]:
+    """Decompose ``[addr, addr+size)`` into per-region bytes-accessed vectors."""
+    if size <= 0:
+        raise ValueError(f"access size must be positive, got {size}")
+    chunks: list[RegionChunk] = []
+    cursor = addr
+    end = addr + size
+    while cursor < end:
+        base = align_base(cursor, region_bytes)
+        region_end = base + region_bytes
+        chunk_end = min(end, region_end)
+        bv = BitVector.from_range(region_bytes, cursor - base, chunk_end - cursor)
+        chunks.append(RegionChunk(base, bv, cursor))
+        cursor = chunk_end
+    return chunks

@@ -1,0 +1,155 @@
+"""Horizontal disambiguation logic (paper sections IV-C and IV-D).
+
+Horizontal dependences are the new, cross-lane dependences SRV detects.
+For every pair of (issuing access, prior entry) sharing an
+address-alignment base, the logic builds:
+
+* the *horizontal-violation bit vector* — bytes of the region where the
+  **prior** entry's lane is *sequentially later* than the issuing access's
+  lane for that byte, and
+* the *HOB* (horizontally-overlapped bytes) bit vector — the AND of the
+  VOB and the horizontal-violation vector: the overlapped bytes that
+  actually violate.
+
+Interpretation depends on who is issuing:
+
+* **issuing load vs prior store** — a non-zero HOB is a WAR: those bytes
+  were written by a later lane and are *not forwardable*; the load reads
+  them from the memory hierarchy (or from sequentially older SDQ entries).
+* **issuing store vs prior load** — a non-zero HOB is a horizontal RAW:
+  the prior load in a later lane already read stale bytes.  Reducing the
+  HOB by the element size yields the lanes to set in the SRV-needs-replay
+  register (the worked example of section IV-D).
+* **issuing store vs prior store** — a non-zero HOB is a WAW, resolved by
+  ordered selective writeback.
+
+The per-access-type constructions of section IV-C (contiguous×contiguous,
+gather×scatter, contiguous×scatter, gather×contiguous, broadcast×…) all
+reduce to one predicate once each byte is mapped to the lane that accesses
+it: *prior-lane(byte) > issuing-lane(byte)*.  ``LsuEntry.lane_of_byte``
+encodes the per-type lane geometry (including the DOWN-direction mirror of
+section III-A); broadcast entries are expanded per lane.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitvec import BitVector
+from repro.isa.instructions import SrvDirection
+from repro.lsu.entries import AccessType, LsuEntry
+from repro.lsu.vertical import vob_for_pair
+
+
+def horizontal_violation_vector(
+    issuing: LsuEntry, prior: LsuEntry, base: int, region_bytes: int
+) -> BitVector:
+    """Bytes of region ``base`` where the prior entry is in a later lane.
+
+    Built independently of the overlap (as in figure 5, where the full
+    suffix of the region is marked) and later ANDed with the VOB.
+    """
+    prior_chunk = prior.chunk_for_base(base)
+    if prior_chunk is None:
+        return BitVector.zeros(region_bytes)
+    bits = BitVector.zeros(region_bytes)
+    for bit in prior_chunk.bytes_accessed.set_indices():
+        byte_addr = base + bit
+        _, prior_max = prior.lane_span_of_byte(byte_addr)
+        issuing_lane = _issuing_lane_for_byte(issuing, byte_addr)
+        if prior_max > issuing_lane:
+            bits = bits.with_bit(bit)
+    return bits
+
+
+def _issuing_lane_for_byte(issuing: LsuEntry, byte_addr: int) -> int:
+    """Lane of the issuing access relevant for the comparison at ``byte_addr``.
+
+    If the issuing access covers the byte, the lane accessing that byte is
+    used.  Otherwise (the violation vector is built for bytes the issuing
+    access does not touch, cf. figure 5 setting "all but the first 4
+    bits") the issuing entry's own lane field is used — for broadcast
+    issuers the *youngest* covered lane, as every lane performs the access.
+    """
+    if issuing.addr <= byte_addr < issuing.addr + issuing.size:
+        lo, _ = issuing.lane_span_of_byte(byte_addr)
+        return lo
+    if issuing.access is AccessType.BROADCAST:
+        return issuing.lane
+    return issuing.lane
+
+
+def hob_for_pair(
+    issuing: LsuEntry, prior: LsuEntry, region_bytes: int
+) -> dict[int, BitVector]:
+    """Per-base HOB = VOB AND horizontal-violation (figure 4)."""
+    result: dict[int, BitVector] = {}
+    for base, vob in vob_for_pair(issuing, prior).items():
+        violation = horizontal_violation_vector(issuing, prior, base, region_bytes)
+        hob = vob & violation
+        if hob.any():
+            result[base] = hob
+    return result
+
+
+def overall_hob(
+    issuing: LsuEntry, priors: list[LsuEntry], region_bytes: int
+) -> dict[int, BitVector]:
+    """OR of per-entry HOBs — "all HOB bit vectors are ORed together"."""
+    combined: dict[int, BitVector] = {}
+    for prior in priors:
+        for base, bv in hob_for_pair(issuing, prior, region_bytes).items():
+            combined[base] = combined[base] | bv if base in combined else bv
+    return combined
+
+
+def replay_lanes_from_hob(
+    issuing: LsuEntry,
+    hob_by_base: dict[int, BitVector],
+    priors: list[LsuEntry],
+    region_bytes: int,
+) -> set[int]:
+    """Translate HOB bytes back into SRV-needs-replay lanes (section IV-D).
+
+    The paper reduces the overall HOB by the element size recorded in the
+    LSU.  The reduction must map each violating byte to the lane of the
+    *prior load* that read it (the lane to be replayed), which for
+    contiguous loads is position-dependent and for gathers is the entry's
+    lane field.  Only lanes sequentially later than the issuing store's
+    lane for that byte are flagged.
+    """
+    lanes: set[int] = set()
+    for base, hob in hob_by_base.items():
+        for bit in hob.set_indices():
+            byte_addr = base + bit
+            issuing_lane = _issuing_lane_for_byte(issuing, byte_addr)
+            for prior in priors:
+                if prior.is_store:
+                    continue
+                if not prior.addr <= byte_addr < prior.addr + prior.size:
+                    continue
+                chunk = prior.chunk_for_base(base)
+                if chunk is None or not chunk.bytes_accessed.test(bit):
+                    continue
+                lo, hi = prior.lane_span_of_byte(byte_addr)
+                lanes.update(
+                    lane for lane in range(lo, hi + 1) if lane > issuing_lane
+                )
+    return lanes
+
+
+def forwardable_mask(
+    issuing: LsuEntry, prior: LsuEntry, region_bytes: int
+) -> dict[int, BitVector]:
+    """Bytes of the prior store forwardable to the issuing load.
+
+    Forwardable = VOB AND NOT horizontal-violation: the overlapped bytes
+    written by the same or an older lane (sections IV-C1/C2: "if the
+    load's lane is larger than or equal to a previous store's lane, the
+    VOB bit vector indicates the forwardable bytes").
+    """
+    result: dict[int, BitVector] = {}
+    for base, vob in vob_for_pair(issuing, prior).items():
+        violation = horizontal_violation_vector(issuing, prior, base, region_bytes)
+        ok = vob.andnot(violation)
+        if ok.any():
+            result[base] = ok
+    return result

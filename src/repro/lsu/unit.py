@@ -1,0 +1,298 @@
+"""The SRV load-store unit: queues, issue logic, and counters.
+
+Ties together the vertical (section IV-B) and horizontal (section IV-C)
+disambiguation logic over LQ / SAQ / SDQ state.  The unit is the
+microarchitectural counterpart of the functional
+:class:`~repro.emu.speculative.SpeculativeBuffer`: integration tests
+cross-validate that both flag the same SRV-needs-replay lanes.
+
+Counter conventions follow the paper's McPAT methodology (section VI-C):
+
+* outside an SRV-region a load issue performs one CAM lookup of the store
+  buffer and one of the load buffer; a store issue performs one CAM lookup
+  of the load buffer;
+* inside an SRV-region, horizontal disambiguation *replaces* vertical for
+  loads (lookup counts unchanged), while stores perform both — their CAM
+  lookups are doubled plus one extra store-buffer lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import MachineConfig
+from repro.common.errors import LsuOverflowError
+from repro.isa.instructions import SrvDirection
+from repro.lsu.entries import LsuEntry
+from repro.lsu.horizontal import (
+    forwardable_mask,
+    hob_for_pair,
+    overall_hob,
+    replay_lanes_from_hob,
+)
+from repro.lsu.vertical import vob_for_pair
+
+
+@dataclass
+class LsuCounters:
+    """Event counts backing figures 11 and 12."""
+
+    vertical_disambiguations: int = 0
+    horizontal_disambiguations: int = 0
+    cam_lookups_lq: int = 0
+    cam_lookups_saq: int = 0
+    loads_forwarded: int = 0
+    loads_from_memory: int = 0
+    multi_entry_forwards: int = 0
+    war_suppressions: int = 0
+    waw_resolutions: int = 0
+    raw_flags: int = 0
+
+    @property
+    def total_disambiguations(self) -> int:
+        return self.vertical_disambiguations + self.horizontal_disambiguations
+
+    @property
+    def total_cam_lookups(self) -> int:
+        return self.cam_lookups_lq + self.cam_lookups_saq
+
+
+@dataclass
+class LoadIssueResult:
+    forwarded_from: set[tuple[int, int]] = field(default_factory=set)
+    any_memory_bytes: bool = True
+    war_suppressed: bool = False
+    sdq_entries_combined: int = 0
+
+
+@dataclass
+class StoreIssueResult:
+    replay_lanes: set[int] = field(default_factory=set)
+    waw: bool = False
+    vertical_squash: bool = False
+
+
+class LoadStoreUnit:
+    """LQ / SAQ / SDQ with SRV horizontal disambiguation."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.region_bytes = config.alignment_region_bytes
+        self.counters = LsuCounters()
+        self.lq: dict[tuple[int, int], LsuEntry] = {}
+        self.saq: dict[tuple[int, int], LsuEntry] = {}
+        self.in_region = False
+        self.direction = SrvDirection.UP
+        self.needs_replay: set[int] = set()
+        self._seq = 0
+
+    # -- region control -------------------------------------------------------
+
+    def begin_region(self, direction: SrvDirection = SrvDirection.UP) -> None:
+        """Arm extended disambiguation (executed by ``srv_start``)."""
+        self.in_region = True
+        self.direction = direction
+        self.needs_replay.clear()
+
+    def end_region(self) -> set[int]:
+        """Handle ``srv_end``: return replay lanes, or commit and clear.
+
+        A non-empty result means the caller must re-execute those lanes;
+        entries are kept (SRV-ids will update them in place).  An empty
+        result commits: speculative flags clear and the region's entries
+        drain.
+        """
+        lanes = set(self.needs_replay)
+        self.needs_replay.clear()
+        if not lanes:
+            for entry in self.saq.values():
+                entry.speculative = False
+            self.lq.clear()
+            self.saq.clear()
+            self.in_region = False
+        return lanes
+
+    def abort_region(self) -> None:
+        """Discard speculative state (interrupt/exception path, III-D2)."""
+        self.lq.clear()
+        self.saq.clear()
+        self.needs_replay.clear()
+        self.in_region = False
+
+    # -- capacity ---------------------------------------------------------------
+
+    def entries_used(self) -> int:
+        return len(self.lq) + len(self.saq)
+
+    def has_capacity_for(self, demand: int) -> bool:
+        return demand <= self.config.lsu_entries
+
+    def _check_allocate(self, key: tuple[int, int], table: dict) -> None:
+        if key in table:
+            return  # replay updates the SRV-id's entry in place
+        if self.entries_used() + 1 <= self.config.lsu_entries:
+            return
+        if not self.in_region:
+            # Outside a region the oldest entries belong to committed
+            # accesses and simply drain; evict the oldest by issue stamp.
+            self._evict_oldest()
+            return
+        raise LsuOverflowError(
+            f"LSU overflow: {self.entries_used()} entries in use, "
+            f"capacity {self.config.lsu_entries}"
+        )
+
+    def _evict_oldest(self) -> None:
+        oldest_key = None
+        oldest_seq = None
+        oldest_table = None
+        for table in (self.lq, self.saq):
+            for key, entry in table.items():
+                if entry.speculative:
+                    continue
+                if oldest_seq is None or entry.seq < oldest_seq:
+                    oldest_key, oldest_seq, oldest_table = key, entry.seq, table
+        if oldest_table is None:
+            raise LsuOverflowError(
+                "LSU full of speculative entries outside a region"
+            )
+        del oldest_table[oldest_key]
+
+    # -- issue -------------------------------------------------------------------
+
+    def _stamp(self, entry: LsuEntry) -> None:
+        self._seq += 1
+        entry.seq = self._seq
+
+    def _matching_rows(self, entry: LsuEntry, table: dict) -> int:
+        """Rows sharing an address-alignment base with ``entry``.
+
+        Capped at the SDQ read-port count: the hardware generates at most
+        that many VOB/HOB bit-vector pairs per lookup (Table I provides 5
+        SDQ read ports; further matches share the same activation).
+        """
+        bases = {chunk.base for chunk in entry.chunks}
+        count = 0
+        cap = self.config.ports.sdq_reads
+        for other in table.values():
+            if any(chunk.base in bases for chunk in other.chunks):
+                count += 1
+                if count >= cap:
+                    break
+        return count
+
+    def issue_load(self, entry: LsuEntry) -> LoadIssueResult:
+        """Issue a load (or one gather micro-op) against the SAQ."""
+        if entry.is_store:
+            raise ValueError("issue_load called with a store entry")
+        key = (entry.srv_id, entry.lane)
+        self._check_allocate(key, self.lq)
+        self._stamp(entry)
+        self.lq[key] = entry
+
+        self.counters.cam_lookups_saq += 1
+        self.counters.cam_lookups_lq += 1  # load-ordering check
+        # Address disambiguations = bit-vector generations: one per CAM
+        # activation plus one per row whose address-alignment base matches
+        # (each match produces a VOB/HOB pair, figure 2).  Horizontal
+        # replaces vertical for loads inside SRV-regions (section VI-B).
+        work = 1 + self._matching_rows(entry, self.saq)
+        if self.in_region:
+            self.counters.horizontal_disambiguations += work
+        else:
+            self.counters.vertical_disambiguations += work
+
+        result = LoadIssueResult()
+        priors = list(self.saq.values())
+        covered: set[int] = set()
+        for prior in priors:
+            if self.in_region:
+                ok = forwardable_mask(entry, prior, self.region_bytes)
+                hob = hob_for_pair(entry, prior, self.region_bytes)
+                if hob:
+                    result.war_suppressed = True
+                    self.counters.war_suppressions += 1
+            else:
+                ok = vob_for_pair(entry, prior)
+            if ok:
+                result.forwarded_from.add((prior.srv_id, prior.lane))
+                for base, bv in ok.items():
+                    covered.update(base + bit for bit in bv.set_indices())
+        accessed = set(range(entry.addr, entry.addr + entry.size))
+        result.any_memory_bytes = not accessed.issubset(covered)
+        result.sdq_entries_combined = len(result.forwarded_from)
+        if result.forwarded_from:
+            self.counters.loads_forwarded += 1
+            if result.sdq_entries_combined > 1:
+                self.counters.multi_entry_forwards += 1
+        if result.any_memory_bytes:
+            self.counters.loads_from_memory += 1
+        return result
+
+    def issue_store(self, entry: LsuEntry) -> StoreIssueResult:
+        """Issue a store (or one scatter micro-op) against LQ and SAQ."""
+        if not entry.is_store:
+            raise ValueError("issue_store called with a load entry")
+        key = (entry.srv_id, entry.lane)
+        self._check_allocate(key, self.saq)
+        self._stamp(entry)
+        entry.speculative = self.in_region
+
+        result = StoreIssueResult()
+        self.counters.cam_lookups_lq += 1
+        lq_work = 1 + self._matching_rows(entry, self.lq)
+        self.counters.vertical_disambiguations += lq_work
+        if self.in_region:
+            # Doubled lookups plus the extra store-buffer CAM (section
+            # VI-C): horizontal RAW search of the LQ plus WAW search of
+            # the SAQ — "both horizontal and vertical disambiguations
+            # occur when executing store instructions".
+            self.counters.cam_lookups_lq += 1
+            self.counters.cam_lookups_saq += 1
+            self.counters.horizontal_disambiguations += lq_work + (
+                1 + self._matching_rows(entry, self.saq)
+            )
+
+            # Horizontal RAW: prior loads in later lanes read stale bytes.
+            prior_loads = [e for e in self.lq.values() if e.seq < entry.seq]
+            hob = overall_hob(entry, prior_loads, self.region_bytes)
+            if hob:
+                lanes = replay_lanes_from_hob(
+                    entry, hob, prior_loads, self.region_bytes
+                )
+                if lanes:
+                    result.replay_lanes = lanes
+                    self.needs_replay.update(lanes)
+                    self.counters.raw_flags += len(lanes)
+
+            # WAW: an older store in a later lane wrote the same bytes.
+            for prior in self.saq.values():
+                if (prior.srv_id, prior.lane) == key:
+                    continue
+                if hob_for_pair(entry, prior, self.region_bytes):
+                    result.waw = True
+                    self.counters.waw_resolutions += 1
+                    break
+        else:
+            # Baseline vertical check: younger (program-order) loads that
+            # already issued must squash.
+            for prior in self.lq.values():
+                if prior.srv_id > entry.srv_id and vob_for_pair(entry, prior):
+                    result.vertical_squash = True
+                    break
+
+        self.saq[key] = entry
+        return result
+
+    # -- commit / drain ---------------------------------------------------------
+
+    def committed_store_data(self) -> list[LsuEntry]:
+        """Speculative stores in sequential writeback order.
+
+        Sorting by (lane, srv_id) makes the program-order last writer win:
+        the paper's selective memory update for WAW violations.
+        """
+        return sorted(self.saq.values(), key=lambda e: (e.lane, e.srv_id))
+
+    def drain_non_speculative(self) -> None:
+        self.saq = {k: e for k, e in self.saq.items() if e.speculative}

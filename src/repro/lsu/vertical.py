@@ -1,0 +1,47 @@
+"""Vertical disambiguation logic (paper section IV-B).
+
+Vertical dependences are the conventional inter-instruction dependences of
+the baseline out-of-order core.  For an issuing access, each prior entry
+with a matching address-alignment base contributes a *VOB*
+(vertically-overlapped bytes) bit vector: the AND of the two
+bytes-accessed vectors.  ORing all VOBs gives the overall VOB — for a
+load, the bytes obtainable by store-to-load forwarding; for a store, a
+non-zero overall VOB against younger loads signals a true vertical
+violation requiring a squash.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitvec import BitVector
+from repro.lsu.entries import LsuEntry
+
+
+def vob_for_pair(issuing: LsuEntry, prior: LsuEntry) -> dict[int, BitVector]:
+    """Per-alignment-base VOB bit vectors between two entries.
+
+    Only regions present in *both* entries produce a vector ("a match
+    occurs … since they have the same address-alignment base").
+    """
+    result: dict[int, BitVector] = {}
+    for chunk in issuing.chunks:
+        other = prior.chunk_for_base(chunk.base)
+        if other is None:
+            continue
+        overlap = chunk.bytes_accessed & other.bytes_accessed
+        if overlap.any():
+            result[chunk.base] = overlap
+    return result
+
+
+def overall_vob(
+    issuing: LsuEntry, priors: list[LsuEntry]
+) -> dict[int, BitVector]:
+    """OR of the per-entry VOBs, per alignment base."""
+    combined: dict[int, BitVector] = {}
+    for prior in priors:
+        for base, bv in vob_for_pair(issuing, prior).items():
+            if base in combined:
+                combined[base] = combined[base] | bv
+            else:
+                combined[base] = bv
+    return combined

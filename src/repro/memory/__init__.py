@@ -1,0 +1,16 @@
+"""Memory substrate: flat memory image and cache timing hierarchy."""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.hierarchy import CacheHierarchy, HierarchyStats
+from repro.memory.image import Allocation, MemoryImage, to_signed, to_unsigned
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "CacheHierarchy",
+    "HierarchyStats",
+    "Allocation",
+    "MemoryImage",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,87 @@
+"""Two-level cache hierarchy with the paper's Table I latencies.
+
+``access`` returns the latency in cycles for a (naturally small) memory
+access and updates per-level statistics.  A vector contiguous access that
+spans two cache lines is charged for both lines; gathers/scatters access
+the hierarchy once per lane (the pipeline cracks them into micro-ops
+before reaching here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MemoryConfig
+from repro.memory.cache import Cache
+
+
+@dataclass
+class HierarchyStats:
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+
+    def reset(self) -> None:
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.l2_hits = 0
+        self.l2_misses = 0
+
+
+class CacheHierarchy:
+    def __init__(self, config: MemoryConfig | None = None) -> None:
+        self.config = config or MemoryConfig()
+        self.l1 = Cache(self.config.l1, "L1D")
+        self.l2 = Cache(self.config.l2, "L2")
+        self.stats = HierarchyStats()
+
+    def _access_line(self, line_addr: int, is_write: bool) -> int:
+        l1_hit, _ = self.l1.access(line_addr, is_write)
+        if l1_hit:
+            self.stats.l1_hits += 1
+            return self.config.l1.hit_latency
+        self.stats.l1_misses += 1
+        l2_hit, _ = self.l2.access(line_addr, is_write)
+        if l2_hit:
+            self.stats.l2_hits += 1
+            return self.config.l1.hit_latency + self.config.l2.hit_latency
+        self.stats.l2_misses += 1
+        return (
+            self.config.l1.hit_latency
+            + self.config.l2.hit_latency
+            + self.config.dram_latency
+        )
+
+    def access(self, addr: int, size: int, is_write: bool) -> int:
+        """Latency in cycles for an access of ``size`` bytes at ``addr``.
+
+        Accesses that straddle cache lines pay the worst line's latency
+        (the lines are fetched in parallel on separate ports).
+        """
+        if size <= 0:
+            raise ValueError(f"access size must be positive, got {size}")
+        line = self.config.l1.line_bytes
+        first = addr // line
+        last = (addr + size - 1) // line
+        return max(
+            self._access_line(line_no * line, is_write)
+            for line_no in range(first, last + 1)
+        )
+
+    def warm(self, addr: int, size: int) -> None:
+        """Install lines without recording statistics (test setup helper)."""
+        import copy
+
+        saved = (
+            copy.copy(self.stats),
+            copy.copy(self.l1.stats),
+            copy.copy(self.l2.stats),
+        )
+        self.access(addr, size, is_write=False)
+        self.stats, self.l1.stats, self.l2.stats = saved
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.l1.stats.reset()
+        self.l2.stats.reset()

@@ -1,0 +1,161 @@
+"""Flat byte-addressable memory image.
+
+Workloads allocate arrays into a :class:`MemoryImage`, run a program
+against it, and read the arrays back to check results.  Values are stored
+little-endian, unsigned; signed views are provided for convenience since
+the ISA's arithmetic is two's-complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.common.errors import MemoryAccessError
+
+
+def to_unsigned(value: int, size: int) -> int:
+    """Wrap a Python int into ``size``-byte two's-complement storage."""
+    return value & ((1 << (size * 8)) - 1)
+
+
+def to_signed(value: int, size: int) -> int:
+    """Interpret ``size``-byte storage as a signed integer."""
+    bits = size * 8
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A named array inside a memory image."""
+
+    name: str
+    base: int
+    elem: int
+    count: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.elem * self.count
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def addr(self, index: int) -> int:
+        if not 0 <= index < self.count:
+            raise MemoryAccessError(
+                f"index {index} out of range for allocation {self.name!r} "
+                f"of {self.count} elements"
+            )
+        return self.base + index * self.elem
+
+
+class MemoryImage:
+    """A contiguous span of bytes with a bump allocator for named arrays."""
+
+    def __init__(self, size: int = 1 << 22, base: int = 0x1000) -> None:
+        if size <= 0:
+            raise MemoryAccessError(f"memory size must be positive, got {size}")
+        self._base = base
+        self._data = bytearray(size)
+        self._next = base
+        self._allocations: dict[str, Allocation] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    # -- raw access ----------------------------------------------------------
+
+    def _span(self, addr: int, size: int) -> slice:
+        off = addr - self._base
+        if off < 0 or off + size > len(self._data):
+            raise MemoryAccessError(
+                f"access [{addr:#x}, {addr + size:#x}) outside memory "
+                f"[{self._base:#x}, {self._base + len(self._data):#x})"
+            )
+        return slice(off, off + size)
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        return bytes(self._data[self._span(addr, size)])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._data[self._span(addr, len(data))] = data
+
+    def read_int(self, addr: int, size: int, signed: bool = False) -> int:
+        raw = int.from_bytes(self.read_bytes(addr, size), "little")
+        return to_signed(raw, size) if signed else raw
+
+    def write_int(self, addr: int, value: int, size: int) -> None:
+        self.write_bytes(addr, to_unsigned(value, size).to_bytes(size, "little"))
+
+    # -- allocator -------------------------------------------------------------
+
+    def alloc(self, name: str, count: int, elem: int = 4,
+              init: Sequence[int] | None = None, align: int = 64) -> Allocation:
+        """Allocate ``count`` elements of ``elem`` bytes, optionally initialised.
+
+        Arrays are 64-byte aligned by default so the address-alignment-base
+        arithmetic in worked examples matches the paper's figures.
+        """
+        if name in self._allocations:
+            raise MemoryAccessError(f"allocation {name!r} already exists")
+        if count < 0 or elem <= 0:
+            raise MemoryAccessError(f"bad allocation shape: count={count} elem={elem}")
+        base = (self._next + align - 1) // align * align
+        alloc = Allocation(name, base, elem, count)
+        self._span(base, alloc.size_bytes)  # bounds check
+        self._next = alloc.end
+        self._allocations[name] = alloc
+        if init is not None:
+            self.store_array(alloc, init)
+        return alloc
+
+    def allocation(self, name: str) -> Allocation:
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise MemoryAccessError(f"no allocation named {name!r}") from None
+
+    def allocations(self) -> Iterable[Allocation]:
+        return self._allocations.values()
+
+    # -- typed array helpers ------------------------------------------------------
+
+    def store_array(self, alloc: Allocation, values: Sequence[int],
+                    start: int = 0) -> None:
+        if start < 0 or start + len(values) > alloc.count:
+            raise MemoryAccessError(
+                f"writing {len(values)} values at {start} overflows {alloc.name!r}"
+            )
+        for i, value in enumerate(values):
+            self.write_int(alloc.addr(start + i), value, alloc.elem)
+
+    def load_array(self, alloc: Allocation, count: int | None = None,
+                   start: int = 0, signed: bool = True) -> list[int]:
+        count = alloc.count - start if count is None else count
+        return [
+            self.read_int(alloc.addr(start + i), alloc.elem, signed=signed)
+            for i in range(count)
+        ]
+
+    def snapshot(self) -> bytes:
+        """Full memory contents; used by correctness oracles."""
+        return bytes(self._data)
+
+    def clone(self) -> "MemoryImage":
+        """Deep copy sharing no state; allocations are carried over."""
+        other = MemoryImage.__new__(MemoryImage)
+        other._base = self._base
+        other._data = bytearray(self._data)
+        other._next = self._next
+        other._allocations = dict(self._allocations)
+        return other

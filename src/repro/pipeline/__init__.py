@@ -1,0 +1,32 @@
+"""Cycle-approximate out-of-order pipeline model (Table I).
+
+Trace-driven: the functional emulator produces the dynamic instruction
+stream (with per-lane memory accesses and SRV-region structure), and
+:func:`simulate` computes cycle timings under Table I's structural
+constraints.
+"""
+
+from repro.pipeline.branch_pred import BranchStats, ReturnAddressStack, TournamentPredictor
+from repro.pipeline.core import PipelineModel, simulate
+from repro.pipeline.resources import CapacityTracker, PortPool
+from repro.pipeline.stats import PipelineStats
+from repro.pipeline.store_sets import StoreSetPredictor, StoreSetStats
+from repro.pipeline.trace import MemAccess, OpClass, RegionEvent, TraceOp, Tracer
+
+__all__ = [
+    "BranchStats",
+    "ReturnAddressStack",
+    "TournamentPredictor",
+    "PipelineModel",
+    "simulate",
+    "CapacityTracker",
+    "PortPool",
+    "PipelineStats",
+    "StoreSetPredictor",
+    "StoreSetStats",
+    "MemAccess",
+    "OpClass",
+    "RegionEvent",
+    "TraceOp",
+    "Tracer",
+]

@@ -1,0 +1,147 @@
+"""Tournament branch predictor (Table I).
+
+64-entry local predictor, 1024-entry global (gshare-style) predictor,
+1024-entry chooser, 128-entry BTB and an 8-entry return-address stack.
+Two-bit saturating counters throughout.  The ISA has no calls/returns, so
+the RAS is exercised only by its own tests, but it is implemented for
+completeness with the standard overflow-wraps semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import BranchPredictorConfig
+
+
+def _saturate(counter: int, taken: bool, max_value: int = 3) -> int:
+    if taken:
+        return min(counter + 1, max_value)
+    return max(counter - 1, 0)
+
+
+@dataclass
+class BranchStats:
+    lookups: int = 0
+    mispredicts: int = 0
+    btb_misses: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.lookups if self.lookups else 0.0
+
+
+class ReturnAddressStack:
+    def __init__(self, entries: int) -> None:
+        self._entries = entries
+        self._stack: list[int] = []
+
+    def push(self, addr: int) -> None:
+        if len(self._stack) >= self._entries:
+            self._stack.pop(0)  # oldest entry lost on overflow
+        self._stack.append(addr)
+
+    def pop(self) -> int | None:
+        return self._stack.pop() if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class TournamentPredictor:
+    def __init__(self, config: BranchPredictorConfig | None = None) -> None:
+        self.config = config or BranchPredictorConfig()
+        cfg = self.config
+        # Local: per-PC history feeding a pattern table of 2-bit counters.
+        self._local_history = [0] * cfg.local_entries
+        self._local_pht = [1] * (1 << cfg.local_history_bits)
+        # Global: 2-bit counters indexed by the global history register.
+        self._global_pht = [1] * cfg.global_entries
+        self._ghr = 0
+        # Chooser: 0/1 -> prefer local, 2/3 -> prefer global.
+        self._chooser = [2] * cfg.chooser_entries
+        self._btb: dict[int, int] = {}
+        self._btb_order: list[int] = []
+        self.ras = ReturnAddressStack(cfg.ras_entries)
+        self.stats = BranchStats()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _local_index(self, pc: int) -> int:
+        return pc % self.config.local_entries
+
+    def _local_pattern(self, pc: int) -> int:
+        return self._local_history[self._local_index(pc)] & (
+            (1 << self.config.local_history_bits) - 1
+        )
+
+    def _global_index(self, pc: int) -> int:
+        return (self._ghr ^ pc) % self.config.global_entries
+
+    def _chooser_index(self, pc: int) -> int:
+        return (self._ghr ^ (pc >> 2)) % self.config.chooser_entries
+
+    # -- predict / update -------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        local = self._local_pht[self._local_pattern(pc)] >= 2
+        global_ = self._global_pht[self._global_index(pc)] >= 2
+        use_global = self._chooser[self._chooser_index(pc)] >= 2
+        return global_ if use_global else local
+
+    def predict_target(self, pc: int) -> int | None:
+        return self._btb.get(pc)
+
+    def update(self, pc: int, taken: bool, target: int | None = None) -> bool:
+        """Record the outcome; returns True when this was a mispredict.
+
+        A taken branch whose target misses in the BTB also counts as a
+        mispredict (the frontend cannot redirect without a target).
+        """
+        self.stats.lookups += 1
+        local_pattern = self._local_pattern(pc)
+        local_pred = self._local_pht[local_pattern] >= 2
+        global_index = self._global_index(pc)
+        global_pred = self._global_pht[global_index] >= 2
+        chooser_index = self._chooser_index(pc)
+        use_global = self._chooser[chooser_index] >= 2
+        prediction = global_pred if use_global else local_pred
+
+        mispredict = prediction != taken
+        if taken:
+            if self._btb.get(pc) != target:
+                self.stats.btb_misses += 1
+                mispredict = True
+            self._btb_insert(pc, target)
+
+        # Train chooser only when the two components disagree.
+        if local_pred != global_pred:
+            self._chooser[chooser_index] = _saturate(
+                self._chooser[chooser_index], global_pred == taken
+            )
+        self._local_pht[local_pattern] = _saturate(
+            self._local_pht[local_pattern], taken
+        )
+        self._global_pht[global_index] = _saturate(
+            self._global_pht[global_index], taken
+        )
+        mask = (1 << self.config.local_history_bits) - 1
+        idx = self._local_index(pc)
+        self._local_history[idx] = ((self._local_history[idx] << 1) | taken) & mask
+        ghr_mask = (1 << self.config.global_history_bits) - 1
+        self._ghr = ((self._ghr << 1) | taken) & ghr_mask
+
+        if mispredict:
+            self.stats.mispredicts += 1
+        return mispredict
+
+    def _btb_insert(self, pc: int, target: int | None) -> None:
+        if target is None:
+            return
+        if pc not in self._btb and len(self._btb) >= self.config.btb_entries:
+            evict = self._btb_order.pop(0)
+            del self._btb[evict]
+        if pc not in self._btb:
+            self._btb_order.append(pc)
+        self._btb[pc] = target

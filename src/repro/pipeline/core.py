@@ -1,0 +1,520 @@
+"""Cycle-approximate out-of-order core model (Table I).
+
+The model is trace driven: it consumes the dynamic instruction stream
+produced by the functional emulator (:mod:`repro.pipeline.trace`) and
+computes fetch / dispatch / issue / complete / commit times per
+instruction under the structural constraints of Table I:
+
+* 8-wide fetch/decode/issue, 4-cycle front end;
+* 32-entry issue queue, 400-entry ROB, 64-entry LSU;
+* per-cycle issue limits: 2 vector-integer ops, 1 other vector op,
+  2 vector loads, 1 vector store (plus scalar bandwidth);
+* tournament branch predictor with BTB, mispredict redirects;
+* store-set memory-dependence predictor for vertical (baseline)
+  speculation, with squash-and-refetch penalties on mispredicted
+  reordering;
+* the SRV LSU (section IV) for in-region horizontal disambiguation
+  counters and store-to-load forwarding decisions;
+* ``srv_end`` serialisation: it issues only when all older instructions
+  have completed, and younger instructions stall until it executes — the
+  stalls accumulate into the figure 8 barrier-cycle metric.
+
+Register renaming is modelled as unbounded (the 128-entry physical file of
+Table I is effectively never the bottleneck at ROB 400 given vector
+register reuse in compiled loops); merging predication adds the old
+destination as a source operand, which the dependence extraction already
+encodes (section III-D5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.common.errors import PipelineError
+from repro.lsu.entries import AccessType, LsuEntry
+from repro.lsu.unit import LoadStoreUnit
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline.branch_pred import TournamentPredictor
+from repro.pipeline.resources import CapacityTracker, PortPool
+from repro.pipeline.stats import PipelineStats
+from repro.pipeline.store_sets import StoreSetPredictor
+from repro.pipeline.trace import MemAccess, OpClass, RegionEvent, TraceOp
+
+FRONTEND_DEPTH = 4
+SQUASH_PENALTY = 10
+FORWARD_LATENCY = 1
+
+_PORT_OF = {
+    OpClass.SCALAR_ALU: "scalar",
+    OpClass.SCALAR_MUL: "scalar",
+    OpClass.SCALAR_DIV: "scalar",
+    OpClass.BRANCH: "scalar",
+    OpClass.NOP: "scalar",
+    OpClass.SRV_START: "scalar",
+    OpClass.SRV_END: "scalar",
+    OpClass.VEC_INT: "vec_int",
+    OpClass.VEC_OTHER: "vec_other",
+    OpClass.SCALAR_LOAD: "load",
+    OpClass.VEC_LOAD: "load",
+    OpClass.SCALAR_STORE: "store",
+    OpClass.VEC_STORE: "store",
+}
+
+
+@dataclass
+class _RegionInfo:
+    start_index: int
+    end_index: int
+    fallback: bool
+
+
+def _scan_regions(trace: list[TraceOp]) -> dict[int, _RegionInfo]:
+    """Map each op index to its SRV-region descriptor (fallback detection)."""
+    regions: dict[int, _RegionInfo] = {}
+    start: int | None = None
+    fallback = False
+    for i, op in enumerate(trace):
+        if op.region_event is RegionEvent.START:
+            start = i
+            fallback = False
+        if op.region_event is RegionEvent.FALLBACK:
+            fallback = True
+        closes = op.region_event is RegionEvent.END_COMMIT or (
+            op.region_event is RegionEvent.FALLBACK
+            and not trace_continues_region(trace, i)
+        )
+        if closes and start is not None:
+            info = _RegionInfo(start, i, fallback)
+            for j in range(start, i + 1):
+                regions[j] = info
+            start = None
+    return regions
+
+
+def trace_continues_region(trace: list[TraceOp], idx: int) -> bool:
+    """A FALLBACK-marked srv_end continues its region unless it is the
+    region's final pass (the next op is outside the region)."""
+    return idx + 1 < len(trace) and trace[idx + 1].in_region
+
+
+class PipelineModel:
+    """Trace-driven timing model of the Table I machine."""
+
+    def __init__(
+        self,
+        config: MachineConfig = TABLE_I,
+        validate_lsu: bool = False,
+    ) -> None:
+        self.config = config
+        self.validate_lsu = validate_lsu
+        self.caches = CacheHierarchy(config.memory)
+        self.bpred = TournamentPredictor(config.branch)
+        self.store_sets = StoreSetPredictor(config.store_set_entries)
+        self.lsu = LoadStoreUnit(config)
+        issue = config.issue
+        self.ports = PortPool(
+            {
+                "scalar": issue.scalar_ops,
+                "vec_int": issue.vec_int_ops,
+                "vec_other": issue.vec_other_ops,
+                "load": issue.vec_loads,
+                "store": issue.vec_stores,
+                # cracked micro-op bandwidth: gathers are bounded by the two
+                # cache read ports, scatters by the two SAQ write ports
+                "gather_micro": config.ports.cache_read_write
+                + config.ports.cache_read_only,
+                "scatter_micro": config.ports.saq_writes,
+                "commit": config.pipeline_width,
+            }
+        )
+        self.rob = CapacityTracker(config.rob_entries, "ROB")
+        self.iq = CapacityTracker(config.iq_entries, "IQ")
+        self.lsu_slots = CapacityTracker(config.lsu_entries, "LSU")
+        self.stats = PipelineStats()
+
+    # ------------------------------------------------------------------ run
+
+    def warm_caches(self, trace: list[TraceOp]) -> None:
+        """Pre-install every accessed line, modelling steady-state loops.
+
+        The paper simulates long-running loop invocations whose working
+        sets are already cache-resident; benchmarks enable this so that
+        compulsory misses do not dominate short synthetic kernels.
+        """
+        for op in trace:
+            for access in op.mem:
+                self.caches.access(access.addr, access.size, access.is_store)
+        self.caches.reset_stats()
+
+    def run(self, trace: list[TraceOp], warm: bool = False) -> PipelineStats:
+        from repro.pipeline.deps import LATENCY
+
+        if warm:
+            self.warm_caches(trace)
+        stats = self.stats
+        regions = _scan_regions(trace)
+        reg_ready: dict[tuple[str, int], int] = {}
+        # recent stores for vertical (store-set) conflict detection
+        recent_stores: list[tuple[int, int, list[MemAccess], int]] = []
+        # entries to drop from the baseline LSU once committed
+        lsu_live: list[tuple[int, tuple[int, int], bool]] = []
+
+        fetch_cycle = 0
+        fetch_used = 0
+        redirect_at = 0
+        barrier_until = 0
+        barrier_charged = True
+        max_complete = 0
+        region_mem_complete = 0
+        prev_commit = 0
+        last_issue = 0
+        region_start_fetch = 0
+        pending_region_end: int | None = None
+
+        complete_times: list[int] = []
+
+        for i, op in enumerate(trace):
+            info = regions.get(i)
+            in_hw_region = op.in_region and info is not None and not info.fallback
+
+            # ---- fetch ---------------------------------------------------
+            if redirect_at > fetch_cycle:
+                fetch_cycle = redirect_at
+                fetch_used = 0
+            if fetch_used >= self.config.pipeline_width:
+                fetch_cycle += 1
+                fetch_used = 0
+            fetch = fetch_cycle
+            fetch_used += 1
+
+            # ---- dispatch (rename + buffers) -----------------------------
+            dispatch = self.rob.allocate(fetch + FRONTEND_DEPTH)
+            dispatch = self.iq.allocate(dispatch)
+            is_mem = op.op_class in (
+                OpClass.SCALAR_LOAD,
+                OpClass.SCALAR_STORE,
+                OpClass.VEC_LOAD,
+                OpClass.VEC_STORE,
+            )
+            lsu_demand = 0
+            if is_mem:
+                # gathers/scatters occupy one LSU entry per lane
+                kind_of_access = getattr(op.inst, "access_kind", "scalar")
+                lsu_demand = (
+                    max(1, len(op.mem))
+                    if kind_of_access in ("gather", "scatter")
+                    else 1
+                )
+                for _ in range(lsu_demand):
+                    dispatch = self.lsu_slots.allocate(dispatch)
+
+            # ---- ready (operand wakeup) ----------------------------------
+            ready = dispatch + 1
+            for reg in op.src_regs:
+                ready = max(ready, reg_ready.get(reg, 0))
+
+            # ---- serialisation barrier (srv_end, section III-D1) ---------
+            if op.op_class is OpClass.SRV_END:
+                if self.config.srv_relax_barrier:
+                    # future-work optimisation (section VIII): wait only
+                    # for the region's memory operations to complete
+                    ready = max(ready, region_mem_complete)
+                else:
+                    ready = max(ready, max_complete)
+            elif barrier_until > ready:
+                if not barrier_charged:
+                    # Idle time the issue stage actually loses to the
+                    # barrier: from when it could next have issued work
+                    # to when the srv_end executes.
+                    stalled_from = max(ready, last_issue)
+                    if barrier_until > stalled_from:
+                        stats.barrier_cycles += barrier_until - stalled_from
+                    barrier_charged = True
+                ready = barrier_until
+
+            # ---- store-set wait (baseline vertical speculation) ----------
+            if op.op_class in (OpClass.SCALAR_LOAD, OpClass.VEC_LOAD) and not in_hw_region:
+                dep = self.store_sets.load_depends_on(op.pc)
+                if dep is not None and dep < len(complete_times):
+                    ready = max(ready, complete_times[dep])
+
+            # ---- issue ----------------------------------------------------
+            # Gather/scatter micro-ops occupy LSU bandwidth once per lane:
+            # "we break these into multiple micro-ops, and each accesses
+            # the LSU independently over a number of cycles".  Micro-op
+            # throughput is bounded by the cache read ports (gathers) and
+            # the SAQ write ports (scatters), both 2/cycle in Table I.
+            kind = _PORT_OF[op.op_class]
+            access_kind = getattr(op.inst, "access_kind", None)
+            issue_at = self.ports.reserve(kind, ready)
+            last_slot = issue_at
+            if access_kind in ("gather", "scatter") and len(op.mem) > 1:
+                micro_kind = (
+                    "gather_micro" if access_kind == "gather" else "scatter_micro"
+                )
+                for _ in range(len(op.mem) - 1):
+                    last_slot = self.ports.reserve(micro_kind, last_slot)
+            self.iq.release(issue_at)
+            if op.op_class is not OpClass.SRV_END:
+                # srv_end "issues" only at the serialisation point; it must
+                # not mask the idle window the barrier creates (figure 8).
+                # Cracked micro-ops keep the issue stage busy to last_slot.
+                last_issue = max(last_issue, last_slot)
+
+            # ---- execute --------------------------------------------------
+            if is_mem:
+                complete = self._execute_mem(
+                    op, i, issue_at, last_slot, in_hw_region, recent_stores,
+                    lsu_live, complete_times, stats,
+                )
+            else:
+                complete = issue_at + LATENCY[op.op_class]
+            complete_times.append(complete)
+            max_complete = max(max_complete, complete)
+            if is_mem and op.in_region:
+                region_mem_complete = max(region_mem_complete, complete)
+
+            for reg in op.dst_regs:
+                reg_ready[reg] = complete
+
+            # ---- branch resolution ----------------------------------------
+            if op.op_class is OpClass.BRANCH and op.branch_taken is not None:
+                target = 1 if op.branch_taken else None
+                mispredict = self.bpred.update(op.pc, op.branch_taken, target)
+                if mispredict:
+                    redirect_at = complete + self.config.branch.mispredict_penalty
+                    stats.frontend_stall_cycles += self.config.branch.mispredict_penalty
+                elif op.branch_taken:
+                    # predicted-taken redirect: the front end still loses a
+                    # couple of cycles restarting fetch at the target
+                    bubble = self.config.branch.taken_branch_bubble
+                    redirect_at = max(redirect_at, fetch + 1 + bubble)
+                    stats.frontend_stall_cycles += bubble
+
+            # ---- SRV region bookkeeping ------------------------------------
+            if op.region_event is RegionEvent.START:
+                stats.srv_regions += 1
+                region_start_fetch = fetch
+                if in_hw_region:
+                    self.lsu.begin_region(op.direction)
+            if op.op_class is OpClass.SRV_END:
+                if not self.config.srv_relax_barrier:
+                    barrier_until = complete
+                    barrier_charged = False
+                region_mem_complete = 0
+                if op.region_event is RegionEvent.END_REPLAY:
+                    stats.srv_replay_passes += 1
+                if in_hw_region:
+                    lanes = self.lsu.end_region()
+                    if self.validate_lsu:
+                        expect = set(op.replay_lanes)
+                        if lanes != expect:
+                            raise PipelineError(
+                                f"LSU replay lanes {sorted(lanes)} disagree "
+                                f"with functional emulator {sorted(expect)} "
+                                f"at trace op {i} (pc {op.pc})"
+                            )
+                if op.region_event in (RegionEvent.END_COMMIT, RegionEvent.FALLBACK):
+                    if not trace_continues_region(trace, i):
+                        pending_region_end = complete
+                        # region entries drained with the hardware commit
+                        lsu_live[:] = [e for e in lsu_live if not e[2]]
+
+            # ---- commit -----------------------------------------------------
+            commit = self.ports.reserve("commit", max(complete, prev_commit))
+            prev_commit = commit
+            self.rob.release(commit)
+            if is_mem:
+                for _ in range(lsu_demand):
+                    self.lsu_slots.release(commit)
+                if op.op_class in (OpClass.SCALAR_STORE, OpClass.VEC_STORE):
+                    # The LFST entry is left in place: a later load waiting
+                    # on an already-completed store is a no-op, and eager
+                    # retirement would erase the dependence before younger
+                    # loads (processed later in trace order) consult it.
+                    for access in op.mem:
+                        self.caches.access(access.addr, access.size, True)
+            if pending_region_end is not None:
+                stats.region_cycles += commit - region_start_fetch
+                pending_region_end = None
+
+            stats.instructions += 1
+            stats.micro_ops += max(1, len(op.mem))
+            if op.inst.is_vector:
+                stats.vector_instructions += 1
+            else:
+                stats.scalar_instructions += 1
+            stats.mem_lane_accesses += len(op.mem)
+
+        stats.cycles = max(prev_commit, 1)
+        stats.lsu = self.lsu.counters
+        stats.branch = self.bpred.stats
+        stats.store_sets = self.store_sets.stats
+        stats.l1_misses = self.caches.stats.l1_misses
+        stats.l2_misses = self.caches.stats.l2_misses
+        return stats
+
+    # ------------------------------------------------------------- memory ops
+
+    def _entries_for(self, op: TraceOp, in_region: bool) -> list[LsuEntry]:
+        """Build LSU entries from a memory trace op (micro-op cracking)."""
+        if not op.mem:
+            return []
+        inst = op.inst
+        kind = getattr(inst, "access_kind", "scalar")
+        is_store = op.op_class in (OpClass.SCALAR_STORE, OpClass.VEC_STORE)
+        region_bytes = self.config.alignment_region_bytes
+        if kind in ("gather", "scatter"):
+            return [
+                LsuEntry.make(
+                    srv_id=op.pc,
+                    is_store=is_store,
+                    access=AccessType.GATHER_SCATTER,
+                    addr=a.addr,
+                    size=a.size,
+                    elem=a.size,
+                    lane=a.lane,
+                    lanes_covered=1,
+                    region_bytes=region_bytes,
+                    direction=op.direction,
+                )
+                for a in op.mem
+            ]
+        if kind == "broadcast":
+            first = op.mem[0]
+            return [
+                LsuEntry.make(
+                    srv_id=op.pc,
+                    is_store=is_store,
+                    access=AccessType.BROADCAST,
+                    addr=first.addr,
+                    size=first.size,
+                    elem=first.size,
+                    lane=min(a.lane for a in op.mem),
+                    lanes_covered=len(op.mem),
+                    region_bytes=region_bytes,
+                    direction=op.direction,
+                )
+            ]
+        # contiguous (or scalar: a single-lane contiguous access)
+        lo = min(a.addr for a in op.mem)
+        hi = max(a.addr + a.size for a in op.mem)
+        elem = op.mem[0].size
+        return [
+            LsuEntry.make(
+                srv_id=op.pc,
+                is_store=is_store,
+                access=AccessType.CONTIGUOUS,
+                addr=lo,
+                size=hi - lo,
+                elem=elem,
+                lane=min(a.lane for a in op.mem),
+                lanes_covered=(hi - lo) // elem,
+                region_bytes=region_bytes,
+                direction=op.direction,
+            )
+        ]
+
+    def _execute_mem(
+        self,
+        op: TraceOp,
+        index: int,
+        issue_at: int,
+        last_slot: int,
+        in_region: bool,
+        recent_stores: list,
+        lsu_live: list,
+        complete_times: list[int],
+        stats: PipelineStats,
+    ) -> int:
+        is_store = op.op_class in (OpClass.SCALAR_STORE, OpClass.VEC_STORE)
+        entries = self._entries_for(op, in_region)
+
+        # Drop committed baseline entries so the hardware LSU tracks only
+        # in-flight accesses (speculative region entries drain at srv_end).
+        self._drain_baseline(issue_at, complete_times, lsu_live)
+
+        fully_forwarded = False
+        replay_flagged = False
+        if entries:
+            for entry in entries:
+                if is_store:
+                    result = self.lsu.issue_store(entry)
+                    if result.replay_lanes:
+                        replay_flagged = True
+                else:
+                    result = self.lsu.issue_load(entry)
+                    if not result.any_memory_bytes:
+                        fully_forwarded = True
+                lsu_live.append((index, (entry.srv_id, entry.lane), in_region))
+
+        if is_store:
+            if op.mem:
+                self.store_sets.store_fetched(op.pc, index)
+                recent_stores.append((index, op.pc, op.mem, issue_at))
+                if len(recent_stores) > 64:
+                    recent_stores.pop(0)
+            stats.stores += 1
+            return last_slot + 1
+
+        stats.loads += 1
+        if fully_forwarded:
+            latency = FORWARD_LATENCY
+        elif op.mem:
+            latency = max(
+                self.caches.access(a.addr, a.size, False) for a in op.mem
+            )
+        else:
+            latency = FORWARD_LATENCY  # fully predicated-off access
+        complete = last_slot + latency
+
+        # Vertical mispeculation: this load issued although an older store
+        # to an overlapping address had not completed (store-set miss).
+        if not in_region and op.mem:
+            for s_index, s_pc, s_accesses, s_issue in recent_stores:
+                if s_index >= index:
+                    continue
+                s_complete = complete_times[s_index]
+                if s_complete <= issue_at:
+                    continue
+                if self._overlaps(op.mem, s_accesses):
+                    stats.store_set_squashes += 1
+                    stats.squash_penalty_cycles += SQUASH_PENALTY
+                    self.store_sets.record_violation(op.pc, s_pc)
+                    complete = max(complete, s_complete + SQUASH_PENALTY)
+                    break
+        return complete
+
+    def _drain_baseline(
+        self, now: int, complete_times: list[int], lsu_live: list
+    ) -> None:
+        keep = []
+        for op_index, key, was_region in lsu_live:
+            if was_region:
+                keep.append((op_index, key, was_region))
+                continue  # region entries drain at srv_end
+            if op_index < len(complete_times) and complete_times[op_index] + 1 <= now:
+                self.lsu.lq.pop(key, None)
+                self.lsu.saq.pop(key, None)
+            else:
+                keep.append((op_index, key, was_region))
+        lsu_live[:] = keep
+
+    @staticmethod
+    def _overlaps(a: list[MemAccess], b: list[MemAccess]) -> bool:
+        for x in a:
+            for y in b:
+                if x.addr < y.addr + y.size and y.addr < x.addr + x.size:
+                    return True
+        return False
+
+
+def simulate(
+    trace: list[TraceOp],
+    config: MachineConfig = TABLE_I,
+    validate_lsu: bool = False,
+    warm: bool = False,
+) -> PipelineStats:
+    """Run the timing model over a trace."""
+    return PipelineModel(config, validate_lsu).run(trace, warm=warm)

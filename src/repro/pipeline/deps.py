@@ -1,0 +1,203 @@
+"""Register-dependence extraction and op classification for trace ops.
+
+``instruction_regs`` lists the architectural registers an instruction
+reads and writes — the information renaming uses for wakeup.  Merging
+predication (paper section III-D5) makes every predicated vector write
+also *read* its old destination, which is reflected here: the destination
+appears among the sources when a predicate can leave lanes inactive.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    Branch,
+    Halt,
+    Instruction,
+    Jump,
+    Nop,
+    PredCount,
+    PredFirstN,
+    PredLogic,
+    PredRange,
+    PredSetAll,
+    ScalarALU,
+    ScalarLoad,
+    ScalarOpcode,
+    ScalarStore,
+    SrvEnd,
+    SrvStart,
+    VecALU,
+    VecCmp,
+    VecExtractLane,
+    VecIndex,
+    VecLoadBroadcast,
+    VecLoadContig,
+    VecLoadGather,
+    VecOpcode,
+    VecReduce,
+    VecSplat,
+    VecStoreContig,
+    VecStoreScatter,
+)
+from repro.isa.registers import Imm, PredReg, ScalarReg, VecReg
+from repro.pipeline.trace import OpClass
+
+Reg = tuple[str, int]
+
+
+def _reg(operand) -> list[Reg]:
+    if isinstance(operand, ScalarReg):
+        return [("x", operand.index)]
+    if isinstance(operand, VecReg):
+        return [("v", operand.index)]
+    if isinstance(operand, PredReg):
+        return [("p", operand.index)]
+    if isinstance(operand, Imm) or operand is None:
+        return []
+    raise TypeError(f"unknown operand {operand!r}")
+
+
+def instruction_regs(
+    inst: Instruction, merging: bool = True
+) -> tuple[tuple[Reg, ...], tuple[Reg, ...]]:
+    """``(sources, destinations)`` of architectural registers."""
+    srcs: list[Reg] = []
+    dsts: list[Reg] = []
+
+    if isinstance(inst, ScalarALU):
+        srcs += _reg(inst.src1) + _reg(inst.src2)
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, ScalarLoad):
+        srcs += _reg(inst.base)
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, ScalarStore):
+        srcs += _reg(inst.src) + _reg(inst.base)
+    elif isinstance(inst, Branch):
+        srcs += _reg(inst.src1) + _reg(inst.src2)
+    elif isinstance(inst, (Jump, Halt, Nop, SrvStart, SrvEnd)):
+        pass
+    elif isinstance(inst, VecALU):
+        srcs += _reg(inst.src1) + _reg(inst.src2) + _reg(inst.src3)
+        srcs += _reg(inst.pred)
+        dsts += _reg(inst.dst)
+        if merging and inst.pred is not None:
+            srcs += _reg(inst.dst)  # merging predication reads old dest
+    elif isinstance(inst, (VecLoadContig, VecLoadBroadcast)):
+        srcs += _reg(inst.base) + _reg(inst.pred)
+        dsts += _reg(inst.dst)
+        if merging and inst.pred is not None:
+            srcs += _reg(inst.dst)
+    elif isinstance(inst, VecLoadGather):
+        srcs += _reg(inst.base) + _reg(inst.index) + _reg(inst.pred)
+        dsts += _reg(inst.dst)
+        if merging and inst.pred is not None:
+            srcs += _reg(inst.dst)
+    elif isinstance(inst, VecStoreContig):
+        srcs += _reg(inst.src) + _reg(inst.base) + _reg(inst.pred)
+    elif isinstance(inst, VecStoreScatter):
+        srcs += _reg(inst.src) + _reg(inst.base) + _reg(inst.index)
+        srcs += _reg(inst.pred)
+    elif isinstance(inst, VecCmp):
+        srcs += _reg(inst.src1) + _reg(inst.src2) + _reg(inst.pred)
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, PredSetAll):
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, PredCount):
+        srcs += _reg(inst.src)
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, PredFirstN):
+        srcs += _reg(inst.count)
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, PredRange):
+        srcs += _reg(inst.lo) + _reg(inst.hi)
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, PredLogic):
+        srcs += _reg(inst.src1) + _reg(inst.src2)
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, VecExtractLane):
+        srcs += _reg(inst.src)
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, VecSplat):
+        srcs += _reg(inst.src) + _reg(inst.pred)
+        dsts += _reg(inst.dst)
+        if merging and inst.pred is not None:
+            srcs += _reg(inst.dst)
+    elif isinstance(inst, VecIndex):
+        srcs += _reg(inst.start) + _reg(inst.step)
+        dsts += _reg(inst.dst)
+    elif isinstance(inst, VecReduce):
+        srcs += _reg(inst.src) + _reg(inst.pred)
+        dsts += _reg(inst.dst)
+    else:
+        raise TypeError(f"unclassified instruction {inst!r}")
+
+    return tuple(dict.fromkeys(srcs)), tuple(dict.fromkeys(dsts))
+
+
+_VEC_INT_OPS = {
+    VecOpcode.ADD,
+    VecOpcode.SUB,
+    VecOpcode.AND,
+    VecOpcode.OR,
+    VecOpcode.XOR,
+    VecOpcode.SHL,
+    VecOpcode.SHR,
+    VecOpcode.MOV,
+    VecOpcode.MIN,
+    VecOpcode.MAX,
+    VecOpcode.ABS,
+}
+
+
+def classify(inst: Instruction) -> OpClass:
+    """Map an instruction onto a Table I functional-unit class."""
+    if isinstance(inst, ScalarALU):
+        if inst.op is ScalarOpcode.MUL:
+            return OpClass.SCALAR_MUL
+        if inst.op in (ScalarOpcode.DIV, ScalarOpcode.MOD):
+            return OpClass.SCALAR_DIV
+        return OpClass.SCALAR_ALU
+    if isinstance(inst, ScalarLoad):
+        return OpClass.SCALAR_LOAD
+    if isinstance(inst, ScalarStore):
+        return OpClass.SCALAR_STORE
+    if isinstance(inst, (Branch, Jump)):
+        return OpClass.BRANCH
+    if isinstance(inst, (Halt, Nop)):
+        return OpClass.NOP
+    if isinstance(inst, SrvStart):
+        return OpClass.SRV_START
+    if isinstance(inst, SrvEnd):
+        return OpClass.SRV_END
+    if isinstance(inst, (VecLoadContig, VecLoadGather, VecLoadBroadcast)):
+        return OpClass.VEC_LOAD
+    if isinstance(inst, (VecStoreContig, VecStoreScatter)):
+        return OpClass.VEC_STORE
+    if isinstance(inst, VecALU):
+        return OpClass.VEC_INT if inst.op in _VEC_INT_OPS else OpClass.VEC_OTHER
+    if isinstance(
+        inst,
+        (VecCmp, PredSetAll, PredCount, PredFirstN, PredRange, PredLogic,
+         VecExtractLane, VecSplat, VecIndex, VecReduce),
+    ):
+        return OpClass.VEC_INT
+    raise TypeError(f"unclassified instruction {inst!r}")
+
+
+#: Execution latency in cycles by op class (memory classes use the cache
+#: model instead; these are the non-memory FU latencies).
+LATENCY: dict[OpClass, int] = {
+    OpClass.SCALAR_ALU: 1,
+    OpClass.SCALAR_MUL: 3,
+    OpClass.SCALAR_DIV: 12,
+    OpClass.BRANCH: 1,
+    OpClass.VEC_INT: 2,
+    OpClass.VEC_OTHER: 4,
+    OpClass.SRV_START: 1,
+    OpClass.SRV_END: 1,
+    OpClass.NOP: 1,
+    OpClass.SCALAR_LOAD: 0,   # + cache latency
+    OpClass.SCALAR_STORE: 1,
+    OpClass.VEC_LOAD: 0,      # + cache latency
+    OpClass.VEC_STORE: 1,
+}

@@ -1,0 +1,164 @@
+"""In-order core with SRV (paper section III-D6).
+
+"Applying SRV to an in-order processor is more straightforward than for
+an out-of-order machine […] In many ways, however, adding SRV is akin to
+adding a limited form of out-of-order execution to an in-order CPU, and
+still needs logic to detect data-dependence violations.  To achieve this,
+we simply add an LSU to a standard in-order processor pipeline, with the
+SRV extensions described in section III-B."
+
+The model: a dual-issue in-order pipeline — each instruction issues at
+``max(previous issue, operand ready)`` subject to per-cycle width — with
+the same SRV LSU bolted on.  Loads never bypass older stores (no store-set
+speculation needed), so the vertical machinery reduces to in-order
+forwarding; the horizontal (cross-lane) disambiguation is unchanged, which
+is exactly the paper's point.
+
+Used by the in-order ablation benchmark: SRV's relative benefit is larger
+on an in-order core because the scalar baseline cannot hide latency by
+reordering.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.lsu.unit import LoadStoreUnit
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline.branch_pred import TournamentPredictor
+from repro.pipeline.core import _scan_regions
+from repro.pipeline.stats import PipelineStats
+from repro.pipeline.trace import OpClass, RegionEvent, TraceOp
+
+IN_ORDER_WIDTH = 2
+FORWARD_LATENCY = 1
+
+
+class InOrderModel:
+    """Trace-driven dual-issue in-order timing model with the SRV LSU."""
+
+    def __init__(self, config: MachineConfig = TABLE_I) -> None:
+        self.config = config
+        self.caches = CacheHierarchy(config.memory)
+        self.bpred = TournamentPredictor(config.branch)
+        self.lsu = LoadStoreUnit(config)
+        self.stats = PipelineStats()
+
+    def warm_caches(self, trace: list[TraceOp]) -> None:
+        for op in trace:
+            for access in op.mem:
+                self.caches.access(access.addr, access.size, access.is_store)
+        self.caches.reset_stats()
+
+    def run(self, trace: list[TraceOp], warm: bool = False) -> PipelineStats:
+        from repro.pipeline.core import PipelineModel
+        from repro.pipeline.deps import LATENCY
+
+        if warm:
+            self.warm_caches(trace)
+        stats = self.stats
+        regions = _scan_regions(trace)
+        reg_ready: dict[tuple[str, int], int] = {}
+        lsu_live: list = []
+        complete_times: list[int] = []
+
+        issue_cursor = 0      # next cycle the issue stage is free
+        issued_this_cycle = 0
+        max_complete = 0
+        helper = PipelineModel(self.config)
+        helper.lsu = self.lsu       # share the LSU and its counters
+        helper.caches = self.caches
+
+        for i, op in enumerate(trace):
+            info = regions.get(i)
+            in_hw_region = op.in_region and info is not None and not info.fallback
+
+            ready = issue_cursor
+            for reg in op.src_regs:
+                ready = max(ready, reg_ready.get(reg, 0))
+
+            # In-order: a memory op waits for every older store to have
+            # its data (no bypassing, section III-D6) unless SRV's region
+            # machinery handles the ordering.
+            if op.is_mem and not in_hw_region and complete_times:
+                ready = max(ready, self._last_store_complete(trace, i, complete_times))
+
+            if op.op_class is OpClass.SRV_END:
+                ready = max(ready, max_complete)
+
+            # dual-issue width
+            if ready > issue_cursor:
+                issue_cursor = ready
+                issued_this_cycle = 0
+            elif issued_this_cycle >= IN_ORDER_WIDTH:
+                issue_cursor += 1
+                issued_this_cycle = 0
+            issue_at = issue_cursor
+            issued_this_cycle += 1
+
+            slots = 1
+            if getattr(op.inst, "access_kind", None) in ("gather", "scatter"):
+                slots = max(1, len(op.mem))
+            last_slot = issue_at + max(0, slots - 1)
+
+            if op.is_mem:
+                complete = helper._execute_mem(
+                    op, i, issue_at, last_slot, in_hw_region, [], lsu_live,
+                    complete_times, stats,
+                )
+            else:
+                complete = issue_at + LATENCY[op.op_class]
+            complete_times.append(complete)
+            max_complete = max(max_complete, complete)
+            for reg in op.dst_regs:
+                reg_ready[reg] = complete
+
+            if op.op_class is OpClass.BRANCH and op.branch_taken is not None:
+                target = 1 if op.branch_taken else None
+                if self.bpred.update(op.pc, op.branch_taken, target):
+                    issue_cursor = complete + self.config.branch.mispredict_penalty
+                    issued_this_cycle = 0
+
+            if op.region_event is RegionEvent.START:
+                stats.srv_regions += 1
+                if in_hw_region:
+                    self.lsu.begin_region(op.direction)
+            if op.op_class is OpClass.SRV_END:
+                if op.region_event is RegionEvent.END_REPLAY:
+                    stats.srv_replay_passes += 1
+                if in_hw_region:
+                    self.lsu.end_region()
+                # serialisation: the next instruction issues after srv_end
+                issue_cursor = max(issue_cursor, complete)
+                issued_this_cycle = 0
+
+            stats.instructions += 1
+            if op.inst.is_vector:
+                stats.vector_instructions += 1
+            else:
+                stats.scalar_instructions += 1
+            stats.mem_lane_accesses += len(op.mem)
+
+        stats.cycles = max(max_complete, 1)
+        stats.lsu = self.lsu.counters
+        stats.branch = self.bpred.stats
+        stats.l1_misses = self.caches.stats.l1_misses
+        stats.l2_misses = self.caches.stats.l2_misses
+        return stats
+
+    @staticmethod
+    def _last_store_complete(
+        trace: list[TraceOp], index: int, complete_times: list[int]
+    ) -> int:
+        """Completion time of the most recent older store, if any."""
+        for j in range(index - 1, max(-1, index - 16), -1):
+            if trace[j].is_store:
+                return complete_times[j]
+        return 0
+
+
+def simulate_in_order(
+    trace: list[TraceOp],
+    config: MachineConfig = TABLE_I,
+    warm: bool = False,
+) -> PipelineStats:
+    return InOrderModel(config).run(trace, warm=warm)

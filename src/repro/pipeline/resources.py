@@ -1,0 +1,75 @@
+"""Structural-resource trackers for the timing model.
+
+Two primitives cover every Table I structure:
+
+* :class:`PortPool` — per-cycle issue bandwidth (e.g. "2 vector loads per
+  cycle"): finds the earliest cycle at or after a ready time with a free
+  slot of the requested kind.
+* :class:`CapacityTracker` — finite buffers occupied over an interval
+  (ROB, IQ, LSU): an allocation at capacity waits for the earliest
+  in-flight release.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+
+
+class PortPool:
+    """Per-cycle slot limits by resource kind."""
+
+    def __init__(self, limits: dict[str, int]) -> None:
+        for kind, limit in limits.items():
+            if limit <= 0:
+                raise ValueError(f"port limit for {kind!r} must be positive")
+        self._limits = dict(limits)
+        self._used: dict[str, defaultdict[int, int]] = {
+            kind: defaultdict(int) for kind in limits
+        }
+
+    def kinds(self) -> set[str]:
+        return set(self._limits)
+
+    def reserve(self, kind: str, earliest: int) -> int:
+        """Reserve one slot of ``kind`` at the first free cycle >= earliest."""
+        limit = self._limits[kind]
+        used = self._used[kind]
+        cycle = earliest
+        while used[cycle] >= limit:
+            cycle += 1
+        used[cycle] += 1
+        return cycle
+
+    def usage_at(self, kind: str, cycle: int) -> int:
+        return self._used[kind][cycle]
+
+
+class CapacityTracker:
+    """A buffer with ``capacity`` slots occupied over [alloc, release)."""
+
+    def __init__(self, capacity: int, name: str = "buffer") -> None:
+        if capacity <= 0:
+            raise ValueError(f"{name} capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._releases: list[int] = []   # min-heap of in-flight release times
+        self.stall_cycles = 0            # cycles allocations waited for space
+
+    def allocate(self, ready: int) -> int:
+        """Grant time for an allocation that becomes ready at ``ready``.
+
+        Must be paired with a later :meth:`release`.
+        """
+        if len(self._releases) < self.capacity:
+            return ready
+        earliest_free = heapq.heappop(self._releases)
+        grant = max(ready, earliest_free)
+        self.stall_cycles += max(0, earliest_free - ready)
+        return grant
+
+    def release(self, time: int) -> None:
+        heapq.heappush(self._releases, time)
+
+    def in_flight(self) -> int:
+        return len(self._releases)

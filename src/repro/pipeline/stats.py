@@ -1,0 +1,44 @@
+"""Statistics produced by the cycle-approximate pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsu.unit import LsuCounters
+from repro.pipeline.branch_pred import BranchStats
+from repro.pipeline.store_sets import StoreSetStats
+
+
+@dataclass
+class PipelineStats:
+    cycles: int = 0
+    instructions: int = 0
+    micro_ops: int = 0
+    scalar_instructions: int = 0
+    vector_instructions: int = 0
+    mem_lane_accesses: int = 0
+    # SRV accounting
+    srv_regions: int = 0
+    srv_replay_passes: int = 0
+    barrier_cycles: int = 0          # srv_end serialisation stalls (figure 8)
+    region_cycles: int = 0           # cycles spent inside SRV regions
+    # memory accounting
+    loads: int = 0
+    stores: int = 0
+    store_set_squashes: int = 0
+    squash_penalty_cycles: int = 0
+    frontend_stall_cycles: int = 0
+    lsu: LsuCounters = field(default_factory=LsuCounters)
+    branch: BranchStats = field(default_factory=BranchStats)
+    store_sets: StoreSetStats = field(default_factory=StoreSetStats)
+    l1_misses: int = 0
+    l2_misses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def barrier_fraction(self) -> float:
+        """Barrier cycles over total cycles — the figure 8 metric."""
+        return self.barrier_cycles / self.cycles if self.cycles else 0.0

@@ -1,0 +1,160 @@
+"""Dynamic execution traces.
+
+The cycle-approximate pipeline is *trace driven*: the functional emulator
+executes the program (guaranteeing architectural correctness) and emits
+one :class:`TraceOp` per dynamic instruction, carrying everything the
+timing model needs — instruction class, register dependences, per-lane
+memory accesses, branch outcomes, and SRV-region structure (passes,
+replay lane sets, commits).  This mirrors the paper's methodology of
+pairing a validated emulator with the gem5 timing model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, SrvDirection
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an instruction (Table I issue limits)."""
+
+    SCALAR_ALU = "scalar_alu"
+    SCALAR_MUL = "scalar_mul"
+    SCALAR_DIV = "scalar_div"
+    SCALAR_LOAD = "scalar_load"
+    SCALAR_STORE = "scalar_store"
+    BRANCH = "branch"
+    VEC_INT = "vec_int"        # "2 integers" per cycle
+    VEC_OTHER = "vec_other"    # "1 others" per cycle
+    VEC_LOAD = "vec_load"      # "2 loads"
+    VEC_STORE = "vec_store"    # "1 store"
+    SRV_START = "srv_start"
+    SRV_END = "srv_end"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One lane-granular memory access performed by a trace op."""
+
+    addr: int
+    size: int
+    is_store: bool
+    lane: int
+
+
+class RegionEvent(enum.Enum):
+    START = "start"
+    PASS_BEGIN = "pass_begin"
+    END_REPLAY = "end_replay"
+    END_COMMIT = "end_commit"
+    FALLBACK = "fallback"       # LSU-overflow sequential execution
+
+
+@dataclass
+class TraceOp:
+    """One dynamic instruction as seen by the timing model."""
+
+    index: int
+    pc: int
+    inst: Instruction
+    op_class: OpClass
+    src_regs: tuple[tuple[str, int], ...] = ()
+    dst_regs: tuple[tuple[str, int], ...] = ()
+    mem: list[MemAccess] = field(default_factory=list)
+    branch_taken: bool | None = None
+    in_region: bool = False
+    region_pass: int = 0
+    active_lane_count: int = 0
+    region_event: RegionEvent | None = None
+    replay_lanes: frozenset[int] = frozenset()
+    direction: SrvDirection = SrvDirection.UP
+
+    @property
+    def is_mem(self) -> bool:
+        return bool(self.mem) or self.op_class in (
+            OpClass.SCALAR_LOAD,
+            OpClass.SCALAR_STORE,
+            OpClass.VEC_LOAD,
+            OpClass.VEC_STORE,
+        )
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class in (OpClass.SCALAR_LOAD, OpClass.VEC_LOAD)
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class in (OpClass.SCALAR_STORE, OpClass.VEC_STORE)
+
+
+class Tracer:
+    """Collects :class:`TraceOp` records during functional execution."""
+
+    def __init__(self) -> None:
+        self.ops: list[TraceOp] = []
+        self._in_region = False
+        self._region_pass = 0
+        self._active_lanes = 0
+        self._direction = SrvDirection.UP
+
+    # -- region structure -------------------------------------------------------
+
+    def region_start(self, direction: SrvDirection) -> None:
+        self._in_region = True
+        self._region_pass = 0
+        self._direction = direction
+
+    def region_pass(self, pass_no: int, active_lanes: int) -> None:
+        self._region_pass = pass_no
+        self._active_lanes = active_lanes
+
+    def region_end(
+        self, committed: bool, replay_lanes: frozenset[int] = frozenset()
+    ) -> None:
+        """Annotate the just-recorded ``srv_end`` op with the decision."""
+        if self.ops:
+            op = self.ops[-1]
+            op.region_event = (
+                RegionEvent.END_COMMIT if committed else RegionEvent.END_REPLAY
+            )
+            op.replay_lanes = replay_lanes
+        if committed:
+            self._in_region = False
+
+    def region_fallback(self) -> None:
+        if self.ops:
+            self.ops[-1].region_event = RegionEvent.FALLBACK
+
+    # -- per-op recording ----------------------------------------------------------
+
+    def record(
+        self,
+        pc: int,
+        inst: Instruction,
+        op_class: OpClass,
+        src_regs: tuple[tuple[str, int], ...],
+        dst_regs: tuple[tuple[str, int], ...],
+        mem: list[MemAccess],
+        branch_taken: bool | None,
+        region_event: RegionEvent | None = None,
+    ) -> TraceOp:
+        op = TraceOp(
+            index=len(self.ops),
+            pc=pc,
+            inst=inst,
+            op_class=op_class,
+            src_regs=src_regs,
+            dst_regs=dst_regs,
+            mem=mem,
+            branch_taken=branch_taken,
+            in_region=self._in_region,
+            region_pass=self._region_pass,
+            active_lane_count=self._active_lanes,
+            region_event=region_event,
+            direction=self._direction,
+        )
+        self.ops.append(op)
+        return op

@@ -1,0 +1,5 @@
+"""McPAT-style dynamic power model for the figure 12 analysis."""
+
+from repro.power.model import LSU_POWER_SHARE, EnergyParams, PowerEstimate, PowerModel
+
+__all__ = ["LSU_POWER_SHARE", "EnergyParams", "PowerEstimate", "PowerModel"]

@@ -1,0 +1,20 @@
+"""SRV region-control engine and architectural registers."""
+
+from repro.srv.engine import (
+    EndDecision,
+    ExceptionDecision,
+    RegionOutcome,
+    SavedContext,
+    SrvEngine,
+)
+from repro.srv.regs import NORMAL_EXECUTION_PC, SrvRegisters
+
+__all__ = [
+    "EndDecision",
+    "ExceptionDecision",
+    "RegionOutcome",
+    "SavedContext",
+    "SrvEngine",
+    "NORMAL_EXECUTION_PC",
+    "SrvRegisters",
+]

@@ -1,0 +1,183 @@
+"""SRV region control engine (paper sections III-A and III-D).
+
+The engine owns the SRV architectural registers and implements:
+
+* region entry/exit, with the no-nesting rule,
+* the rollback decision at ``srv_end`` (commit vs selective replay),
+* the ``lanes - 1`` rollback bound,
+* precise interrupt / context-switch state capture and the conservative
+  resumption rule of section III-D2 (resume only the oldest saved lane;
+  mark all younger lanes needs-replay),
+* the exception rule of section III-D3 (deliver only if the faulting lane
+  is the oldest active lane; otherwise re-execute it and all younger
+  lanes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.bitvec import BitVector, lane_mask_up_from
+from repro.common.errors import (
+    NestedSrvRegionError,
+    ReplayBoundExceededError,
+    SrvRegionStateError,
+)
+from repro.isa.instructions import SrvDirection
+from repro.srv.regs import NORMAL_EXECUTION_PC, SrvRegisters
+
+
+class RegionOutcome(enum.Enum):
+    COMMIT = "commit"
+    REPLAY = "replay"
+
+
+@dataclass(frozen=True)
+class EndDecision:
+    outcome: RegionOutcome
+    replay_lanes: BitVector
+
+    @property
+    def restart(self) -> bool:
+        return self.outcome is RegionOutcome.REPLAY
+
+
+@dataclass(frozen=True)
+class SavedContext:
+    """State captured on a context switch inside a region (III-D2)."""
+
+    current_pc: int
+    restart_pc: int
+    replay: BitVector
+    direction: SrvDirection
+
+
+@dataclass(frozen=True)
+class ExceptionDecision:
+    deliver: bool
+    reexecute_lanes: BitVector
+
+
+class SrvEngine:
+    def __init__(self, lanes: int = 16, enforce_bound: bool = True) -> None:
+        self.lanes = lanes
+        self.regs = SrvRegisters(lanes=lanes)
+        self.enforce_bound = enforce_bound
+        self.rollbacks_this_region = 0
+        # lifetime statistics
+        self.regions_entered = 0
+        self.total_rollbacks = 0
+        self.serialisation_points = 0
+
+    # -- region lifecycle ----------------------------------------------------
+
+    def start_region(
+        self, restart_pc: int, direction: SrvDirection = SrvDirection.UP
+    ) -> None:
+        """Execute ``srv_start``: record the restart PC and set SRV-replay."""
+        if self.regs.in_region:
+            raise NestedSrvRegionError(
+                "srv_start executed inside an active SRV-region"
+            )
+        if restart_pc == NORMAL_EXECUTION_PC:
+            raise SrvRegionStateError(
+                "restart PC 0x0 is reserved for normal execution"
+            )
+        self.regs.restart_pc = restart_pc
+        self.regs.replay = BitVector.ones(self.lanes)
+        self.regs.needs_replay = BitVector.zeros(self.lanes)
+        self.regs.direction = direction
+        self.rollbacks_this_region = 0
+        self.regions_entered += 1
+
+    def record_violation(self, lanes: set[int] | BitVector) -> None:
+        """Set sticky bits in SRV-needs-replay for the given lanes."""
+        if not self.regs.in_region:
+            raise SrvRegionStateError("violation recorded outside an SRV-region")
+        if isinstance(lanes, BitVector):
+            mask = lanes
+        else:
+            mask = BitVector.from_indices(self.lanes, lanes)
+        self.regs.needs_replay = self.regs.needs_replay | mask
+
+    def end_region(self) -> EndDecision:
+        """Execute ``srv_end`` (a serialisation point, III-D1)."""
+        if not self.regs.in_region:
+            raise SrvRegionStateError("srv_end executed outside an SRV-region")
+        self.serialisation_points += 1
+        pending = self.regs.needs_replay
+        if pending.none():
+            self.regs.reset()
+            return EndDecision(RegionOutcome.COMMIT, BitVector.zeros(self.lanes))
+        self.rollbacks_this_region += 1
+        self.total_rollbacks += 1
+        if self.enforce_bound and self.rollbacks_this_region > self.lanes - 1:
+            raise ReplayBoundExceededError(
+                f"{self.rollbacks_this_region} rollbacks in one region "
+                f"(bound is lanes - 1 = {self.lanes - 1})"
+            )
+        # "it is copied to the SRV-replay register and execution jumps back"
+        self.regs.replay = pending
+        self.regs.needs_replay = BitVector.zeros(self.lanes)
+        return EndDecision(RegionOutcome.REPLAY, pending)
+
+    # -- interrupts & context switches ---------------------------------------------
+
+    def save_context(self, current_pc: int) -> SavedContext:
+        """Capture the precise state for a context switch (III-D2).
+
+        The current PC, SRV-replay register, and restart PC are sufficient
+        to resume.  The caller is responsible for writing back the
+        non-speculative LSU data and discarding speculative content.
+        """
+        if not self.regs.in_region:
+            raise SrvRegionStateError("no SRV context to save outside a region")
+        saved = SavedContext(
+            current_pc=current_pc,
+            restart_pc=self.regs.restart_pc,
+            replay=self.regs.replay,
+            direction=self.regs.direction,
+        )
+        self.regs.reset()
+        return saved
+
+    def resume_context(self, saved: SavedContext) -> None:
+        """Resume after a context switch.
+
+        Only the bit of the oldest saved lane is restored into SRV-replay;
+        all younger lanes are marked in SRV-needs-replay, so the region
+        first finishes the non-speculative lane and then re-runs the rest —
+        the conservative correctness rule of section III-D2.
+        """
+        if self.regs.in_region:
+            raise SrvRegionStateError("cannot resume into an active region")
+        oldest = saved.replay.lowest_set()
+        if oldest is None:
+            raise SrvRegionStateError("saved context has no active lanes")
+        self.regs.restart_pc = saved.restart_pc
+        self.regs.direction = saved.direction
+        self.regs.replay = BitVector.from_indices(self.lanes, [oldest])
+        self.regs.needs_replay = lane_mask_up_from(self.lanes, oldest + 1)
+        self.regions_entered += 0  # resumption is not a new region
+
+    # -- exceptions ------------------------------------------------------------------
+
+    def exception_in_lane(self, lane: int) -> ExceptionDecision:
+        """Apply the section III-D3 rule to a faulting lane.
+
+        Deliver the exception only if ``lane`` is the oldest active lane
+        (its data cannot be a speculation artefact).  Otherwise the lane
+        and all younger lanes are marked for re-execution, guarding
+        against exceptions caused by erroneous post-violation data.
+        """
+        if not self.regs.in_region:
+            raise SrvRegionStateError("exception routed to SRV outside a region")
+        if not 0 <= lane < self.lanes:
+            raise SrvRegionStateError(f"lane {lane} out of range")
+        oldest = self.regs.oldest_active_lane
+        if lane == oldest:
+            return ExceptionDecision(True, BitVector.zeros(self.lanes))
+        mask = lane_mask_up_from(self.lanes, lane) & self.regs.replay
+        self.regs.needs_replay = self.regs.needs_replay | mask
+        return ExceptionDecision(False, mask)

@@ -1,0 +1,58 @@
+"""SRV architectural registers (paper section III-D2).
+
+The architectural state added by SRV is:
+
+* the **SRV-replay** predicate register — lanes executing in the current
+  pass; fully set by ``srv_start``; the oldest set lane is non-speculative;
+* the **SRV-needs-replay** predicate register — sticky bits recording the
+  lanes that consumed stale data (horizontal RAW victims);
+* the **restart PC** — the instruction following ``srv_start``; ``0x0``
+  outside a region, indicating normal execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.bitvec import BitVector
+from repro.isa.instructions import SrvDirection
+
+NORMAL_EXECUTION_PC = 0x0
+
+
+@dataclass
+class SrvRegisters:
+    lanes: int = 16
+    replay: BitVector = field(default=None)  # type: ignore[assignment]
+    needs_replay: BitVector = field(default=None)  # type: ignore[assignment]
+    restart_pc: int = NORMAL_EXECUTION_PC
+    direction: SrvDirection = SrvDirection.UP
+
+    def __post_init__(self) -> None:
+        if self.replay is None:
+            self.replay = BitVector.zeros(self.lanes)
+        if self.needs_replay is None:
+            self.needs_replay = BitVector.zeros(self.lanes)
+
+    @property
+    def in_region(self) -> bool:
+        return self.restart_pc != NORMAL_EXECUTION_PC
+
+    @property
+    def oldest_active_lane(self) -> int | None:
+        """The oldest lane in SRV-replay: the non-speculative lane."""
+        return self.replay.lowest_set()
+
+    def reset(self) -> None:
+        self.replay = BitVector.zeros(self.lanes)
+        self.needs_replay = BitVector.zeros(self.lanes)
+        self.restart_pc = NORMAL_EXECUTION_PC
+
+    def snapshot(self) -> "SrvRegisters":
+        return SrvRegisters(
+            lanes=self.lanes,
+            replay=self.replay,
+            needs_replay=self.needs_replay,
+            restart_pc=self.restart_pc,
+            direction=self.direction,
+        )

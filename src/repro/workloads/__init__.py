@@ -1,0 +1,20 @@
+"""Synthetic benchmark kernels modelled on the paper's evaluation suites."""
+
+from repro.workloads.base import LoopSpec, Workload
+from repro.workloads.suite import (
+    ALL_WORKLOADS,
+    HPC_WORKLOADS,
+    SPEC_WORKLOADS,
+    all_loops,
+    by_name,
+)
+
+__all__ = [
+    "LoopSpec",
+    "Workload",
+    "ALL_WORKLOADS",
+    "HPC_WORKLOADS",
+    "SPEC_WORKLOADS",
+    "all_loops",
+    "by_name",
+]

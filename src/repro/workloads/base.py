@@ -1,0 +1,426 @@
+"""Workload framework: benchmark kernels modelled on the paper's suites.
+
+The paper evaluates SRV on SPEC CPU2006 plus HPC suites (NPB, Livermore,
+SSCA2, HPCC, Rodinia).  We cannot run those binaries here, so each
+benchmark is substituted by a :class:`Workload` — a set of *SRV-
+vectorisable loops* (loops whose only obstacle to vectorisation is a
+statically-unknown memory dependence) in the compiler IR, with input
+generators calibrated to the paper's per-benchmark commentary:
+
+* body composition (contiguous vs gather/scatter mix, memory-to-compute
+  ratio) drives the figure 6 loop speedups;
+* ``coverage`` is the fraction of whole-program dynamic instructions
+  spent in these loops, taken from figure 6's coverage series;
+* trip counts drive the figure 8 barrier fractions (short-trip-count
+  loops serialise more);
+* index-array conflict patterns drive the figure 9 violation mix — only
+  bzip2, hmmer, is and randacc actually violate at run time; the rest
+  have statically-unknown but dynamically clean dependences.
+
+Every loop's inputs are produced by a deterministic seeded generator, so
+experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.rng import (
+    conflict_free_permutation,
+    forward_alias_indices,
+    make_rng,
+    periodic_conflict_indices,
+    sparse_conflict_indices,
+    uniform_indices,
+    values,
+)
+from repro.compiler.ir import (
+    Affine,
+    BinOp,
+    Const,
+    Indirect,
+    Loop,
+    LoopIndex,
+    Param,
+    Read,
+    Select,
+    Store,
+)
+
+ArrayBuilder = Callable[[int], dict[str, list[int]]]
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One SRV-vectorisable loop plus its input generator."""
+
+    loop: Loop
+    n: int
+    arrays: ArrayBuilder
+    params: dict[str, int] = field(default_factory=dict)
+    weight: float = 1.0          # share of the benchmark's SRV-covered work
+    description: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.loop.name
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark: its SRV-vectorisable loops and whole-program coverage."""
+
+    name: str
+    suite: str                   # "spec" or "hpc"
+    coverage: float              # fraction of dynamic instructions (fig 6)
+    loops: tuple[LoopSpec, ...]
+    description: str = ""
+
+    def normalised_weights(self) -> list[float]:
+        total = sum(spec.weight for spec in self.loops)
+        return [spec.weight / total for spec in self.loops]
+
+
+# ---------------------------------------------------------------------------
+# kernel shape library
+# ---------------------------------------------------------------------------
+#
+# Each helper returns a Loop in the IR.  Array-name conventions: data
+# arrays a/b/c/h/t, index arrays x/y/z/r.  All loops are inner loops whose
+# sole vectorisation obstacle is the indirect reference — exactly the
+# class the paper targets.
+
+
+def indirect_update(name: str = "indirect_update", add: int = 2) -> Loop:
+    """``a[x[i]] = a[i] + add`` — the paper's listing 1."""
+    return Loop(
+        name, {"a": 4, "x": 4},
+        [Store("a", Indirect("x"), BinOp("+", Read("a", Affine()), Const(add)))],
+    )
+
+
+def gather_accumulate(name: str = "gather_accumulate") -> Loop:
+    """``a[i] += a[x[i]] * k`` — gather from the updated array itself, the
+    classic statically-undecidable RAW the compiler cannot rule out."""
+    return Loop(
+        name, {"a": 4, "x": 4},
+        [
+            Store(
+                "a", Affine(),
+                BinOp("+", Read("a", Affine()),
+                      BinOp("*", Read("a", Indirect("x")), Param("k"))),
+            )
+        ],
+    )
+
+
+def histogram(name: str = "histogram") -> Loop:
+    """``h[x[i]] += 1`` — indirect read-modify-write (bin collisions)."""
+    return Loop(
+        name, {"h": 4, "x": 4},
+        [Store("h", Indirect("x"), BinOp("+", Read("h", Indirect("x")), Const(1)))],
+    )
+
+
+def stencil_scatter(name: str = "stencil_scatter") -> Loop:
+    """Three-point stencil scattered through an index array."""
+    return Loop(
+        name, {"a": 4, "y": 4},
+        [
+            Store(
+                "a", Indirect("y"),
+                BinOp(
+                    "/",
+                    BinOp(
+                        "+",
+                        BinOp("+", Read("a", Affine()), Read("a", Affine(1, 1))),
+                        Read("a", Affine(1, 2)),
+                    ),
+                    Const(3),
+                ),
+            )
+        ],
+    )
+
+
+def masked_threshold(name: str = "masked_threshold") -> Loop:
+    """If-converted thresholding with an indirect store (section III-C)."""
+    return Loop(
+        name, {"a": 4, "x": 4},
+        [
+            Store(
+                "a", Indirect("x"),
+                Select(
+                    ">", Read("a", Affine()), Param("t"),
+                    BinOp("-", Read("a", Affine()), Param("t")),
+                    Read("a", Affine()),
+                ),
+            )
+        ],
+    )
+
+
+def masked_threshold_mem(name: str = "masked_threshold_mem") -> Loop:
+    """Like :func:`masked_threshold` but the threshold lives in memory —
+    every lane broadcast-loads ``t0[0]``, exercising the broadcast access
+    type of the horizontal disambiguation logic (section IV-C4)."""
+    thresh = Read("t0", Affine(0, 0))
+    return Loop(
+        name, {"a": 4, "x": 4, "t0": 4},
+        [
+            Store(
+                "a", Indirect("x"),
+                Select(
+                    ">", Read("a", Affine()), thresh,
+                    BinOp("-", Read("a", Affine()), thresh),
+                    Read("a", Affine()),
+                ),
+            )
+        ],
+    )
+
+
+def two_phase(name: str = "two_phase") -> Loop:
+    """Scale then permute-store: two statements, cross-statement deps."""
+    return Loop(
+        name, {"a": 4, "c": 4, "x": 4},
+        [
+            Store("c", Affine(), BinOp("*", Read("a", Affine()), Const(2))),
+            Store("a", Indirect("x"), Read("c", Affine())),
+        ],
+    )
+
+
+def gather_heavy(name: str = "gather_heavy") -> Loop:
+    """``a[x[i]] = b[y[i]] + a[z[i]]`` — the omnetpp/soplex shape: "high
+    memory-to-computation ratios in which one operation requires multiple
+    gather instructions", with a read of the scattered array keeping the
+    dependence statically unknown."""
+    return Loop(
+        name, {"a": 4, "b": 4, "x": 4, "y": 4, "z": 4},
+        [
+            Store(
+                "a", Indirect("x"),
+                BinOp("+", Read("b", Indirect("y")), Read("a", Indirect("z"))),
+            )
+        ],
+    )
+
+
+def random_access(name: str = "random_access") -> Loop:
+    """HPCC RandomAccess: ``t[r[i]] ^= r[i]`` table updates."""
+    return Loop(
+        name, {"t": 8, "r": 4},
+        [
+            Store(
+                "t", Indirect("r"),
+                BinOp("^", Read("t", Indirect("r")), Read("r", Affine())),
+            )
+        ],
+    )
+
+
+def rank_permute(name: str = "rank_permute") -> Loop:
+    """NPB IS-style ranking: a key-count increment through an index array
+    plus contiguous key-shuffling work — "all but one operation
+    vectorisable using existing techniques"; the RMW through ``x`` is the
+    sole obstacle that prevents vectorising the whole body."""
+    return Loop(
+        name, {"a": 4, "b": 4, "c": 4, "d": 4, "x": 4},
+        [
+            Store("b", Indirect("x"), BinOp("+", Read("b", Indirect("x")), Const(1))),
+            Store("a", Affine(), BinOp("+", Read("a", Affine()), LoopIndex())),
+            Store(
+                "c", Affine(),
+                BinOp(
+                    "&",
+                    BinOp(
+                        "+",
+                        BinOp("*", Read("c", Affine()), Const(5)),
+                        BinOp(">>", Read("a", Affine()), Const(2)),
+                    ),
+                    Const(0x7FFFFFFF),
+                ),
+            ),
+            Store(
+                "d", Affine(),
+                BinOp("^", BinOp("+", Read("d", Affine()), Read("c", Affine())),
+                      BinOp("<<", Read("a", Affine()), Const(1))),
+            ),
+            Store(
+                "a", Affine(),
+                BinOp("max", Read("a", Affine()),
+                      BinOp("-", Read("d", Affine()), Read("c", Affine()))),
+            ),
+        ],
+    )
+
+
+def big_body(name: str = "big_body") -> Loop:
+    """A wide loop body with many memory references (figure 10's tail).
+
+    Eight contiguous reads feeding one indirect store: 10+ references.
+    """
+    acc: "Expr" = Read("a", Affine())
+    for k in range(1, 8):
+        acc = BinOp("+", acc, Read("a", Affine(1, k)))
+    return Loop(
+        name, {"a": 4, "b": 4, "y": 4},
+        [
+            Store("b", Indirect("y"), acc),
+            Store("a", Affine(), BinOp(">>", acc, Const(3))),
+        ],
+    )
+
+
+def overflow_body(name: str = "overflow_body") -> Loop:
+    """A pathological wide body with five gather/scatter references,
+    exceeding the 64-entry LSU (5 x 16 + extras > 64) — exercises the
+    sequential fallback of section III-D7 and sits in figure 10's >16
+    bucket."""
+    gathered = BinOp(
+        "+",
+        BinOp("+", Read("a", Indirect("y")), Read("b", Indirect("z"))),
+        BinOp("+", Read("a", Indirect("z")), Read("b", Indirect("y"))),
+    )
+    window: "Expr" = Read("b", Affine())
+    for k in range(1, 8):
+        window = BinOp("+", window, Read("b", Affine(1, k)))
+    return Loop(
+        name, {"a": 4, "b": 4, "x": 4, "y": 4, "z": 4},
+        [Store("a", Indirect("x"), BinOp("+", gathered, window))],
+    )
+
+
+def chain_update(name: str = "chain_update", stride_table: str = "x") -> Loop:
+    """``a[x[i]] = ((a[i] * k + 1) ^ (a[i] >> 3)) & 0xFFFF`` — a
+    compute-dense update with a permuted store (block-sort flavour)."""
+    return Loop(
+        name, {"a": 4, stride_table: 4},
+        [
+            Store(
+                "a", Indirect(stride_table),
+                BinOp(
+                    "&",
+                    BinOp(
+                        "^",
+                        BinOp("+", BinOp("*", Read("a", Affine()), Param("k")),
+                              Const(1)),
+                        BinOp(">>", Read("a", Affine()), Const(3)),
+                    ),
+                    Const(0xFFFF),
+                ),
+            )
+        ],
+    )
+
+
+def saxpy_indirect(name: str = "saxpy_indirect") -> Loop:
+    """Livermore hydro-fragment shape with a permuted result vector:
+    ``y[p[i]] = q + x1[i] * (r * y[i] + t * y[i+1])`` — real arithmetic
+    density, one indirect store."""
+    return Loop(
+        name, {"y": 4, "x1": 4, "p": 4},
+        [
+            Store(
+                "y", Indirect("p"),
+                BinOp(
+                    "+",
+                    Param("q"),
+                    BinOp(
+                        "*",
+                        Read("x1", Affine()),
+                        BinOp(
+                            "+",
+                            BinOp("*", Param("r"), Read("y", Affine())),
+                            BinOp("*", Param("t"), Read("y", Affine(1, 1))),
+                        ),
+                    ),
+                ),
+            )
+        ],
+    )
+
+
+def edge_relax(name: str = "edge_relax") -> Loop:
+    """SSCA2-style edge relaxation: ``d[head[i]] = min(d[head[i]],
+    d[tail[i]] + w[i])``."""
+    return Loop(
+        name, {"d": 4, "head": 4, "tail": 4, "w": 4},
+        [
+            Store(
+                "d", Indirect("head"),
+                BinOp(
+                    "min",
+                    Read("d", Indirect("head")),
+                    BinOp("+", Read("d", Indirect("tail")), Read("w", Affine())),
+                ),
+            )
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# input-generator helpers
+# ---------------------------------------------------------------------------
+
+
+def clean_indices(n: int, lanes: int = 16):
+    """Statically-unknown but dynamically conflict-free index array."""
+
+    def build(seed: int) -> list[int]:
+        return conflict_free_permutation(n, lanes, seed=seed)
+
+    return build
+
+
+def sparse_indices(n: int, rate: float, lanes: int = 16):
+    def build(seed: int) -> list[int]:
+        return sparse_conflict_indices(n, lanes, rate, seed=seed)
+
+    return build
+
+
+def aliasing_indices(
+    n: int,
+    rate: float,
+    lanes: int = 16,
+    max_dist: int = 48,
+    margin: int = 0,
+):
+    """Forward cross-group aliases: no SRV replays, real scalar hazards.
+
+    ``margin`` widens the minimum distance beyond the lane count — needed
+    when the loop body also reads ahead (e.g. a stencil reading ``a[i+2]``
+    requires ``margin >= 2`` to stay replay-free).
+    """
+
+    def build(seed: int) -> list[int]:
+        return forward_alias_indices(
+            n, lanes, rate, min_dist=lanes + margin, max_dist=max_dist + margin,
+            seed=seed,
+        )
+
+    return build
+
+
+def periodic_indices(n: int, period: int, jitter: float = 0.0):
+    def build(seed: int) -> list[int]:
+        return periodic_conflict_indices(n, period, seed=seed, jitter=jitter)
+
+    return build
+
+
+def uniform_table_indices(n: int, table: int):
+    def build(seed: int) -> list[int]:
+        return uniform_indices(n, table, seed=seed)
+
+    return build
+
+
+def data_values(n: int, lo: int = 0, hi: int = 1000):
+    def build(seed: int) -> list[int]:
+        return values(n, lo, hi, seed=seed)
+
+    return build

@@ -1,0 +1,52 @@
+"""is — NAS Parallel Benchmarks integer sort (class A scale-down).
+
+Paper calibration: the star benchmark — loop speedup above 5x and the
+largest whole-program gain (1.26x) at 25.3% coverage.  "The loop that
+covers the biggest fraction of is has all but one operation vectorisable
+using existing techniques" — the key-ranking RMW through the key array is
+the sole obstacle.  It is also one of the four benchmarks with run-time
+violations: 29% of its (few) loop instructions cause RAW violations, yet
+the replay overhead is only 0.001% extra iterations, because collisions
+in a vector group are rare with a realistic key range.
+"""
+
+from repro.workloads.base import (
+    LoopSpec,
+    Workload,
+    data_values,
+    rank_permute,
+    uniform_table_indices,
+)
+
+_N = 2048
+_KEY_RANGE = 2048  # keys per bucket: rare intra-group collisions
+
+
+def _arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n, 0, 100)(seed),
+            "b": [0] * _KEY_RANGE,
+            "c": data_values(n, 0, 100)(seed + 2),
+            "d": data_values(n, 0, 100)(seed + 3),
+            "x": uniform_table_indices(n, _KEY_RANGE)(seed + 1),
+        }
+
+    return build
+
+
+WORKLOAD = Workload(
+    name="is",
+    suite="hpc",
+    coverage=0.253,
+    loops=(
+        LoopSpec(
+            loop=rank_permute("is_key_rank"),
+            n=_N,
+            arrays=_arrays(_N),
+            weight=1.0,
+            description="key ranking: histogram RMW over the key range",
+        ),
+    ),
+    description="NPB integer sort key-ranking loop",
+)

@@ -1,0 +1,106 @@
+"""lc — Rodinia-style cell-tracking workload.
+
+Paper calibration: 11.4% coverage and loop speedup close to 4x — mostly
+contiguous image-processing bodies whose cell-index write is the only
+unvectorisable reference; no run-time violations; one deliberately wide
+body exceeds 16 memory references (figure 10's tail) and one pathological
+variant exceeds the LSU budget, exercising the sequential fallback.
+"""
+
+from repro.workloads.base import (
+    LoopSpec,
+    Workload,
+    aliasing_indices,
+    big_body,
+    chain_update,
+    clean_indices,
+    data_values,
+    overflow_body,
+    stencil_scatter,
+)
+
+_N = 1024
+_N_WIDE = 256
+
+
+def _chain_arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n, 0, 255)(seed),
+            "x": aliasing_indices(n, 0.35)(seed + 1),
+        }
+
+    return build
+
+
+def _stencil_arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n + 2, 0, 255)(seed),
+            "y": aliasing_indices(n, 0.30, margin=3)(seed + 1),
+        }
+
+    return build
+
+
+def _wide_arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n + 8, 0, 128)(seed),
+            "b": [0] * n,
+            "y": clean_indices(n)(seed + 1),
+        }
+
+    return build
+
+
+def _overflow_arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n)(seed),
+            "b": data_values(n + 8)(seed + 1),
+            "x": clean_indices(n)(seed + 2),
+            "y": clean_indices(n)(seed + 3),
+            "z": clean_indices(n)(seed + 4),
+        }
+
+    return build
+
+
+WORKLOAD = Workload(
+    name="lc",
+    suite="hpc",
+    coverage=0.114,
+    loops=(
+        LoopSpec(
+            loop=chain_update("lc_intensity_update"),
+            n=_N,
+            arrays=_chain_arrays(_N),
+            params={"k": 3},
+            weight=0.5,
+            description="cell-intensity update through detected-cell ids",
+        ),
+        LoopSpec(
+            loop=stencil_scatter("lc_snake_evolve"),
+            n=_N,
+            arrays=_stencil_arrays(_N),
+            weight=0.3,
+            description="active-contour evolution scattered to cell slots",
+        ),
+        LoopSpec(
+            loop=big_body("lc_feature_window"),
+            n=_N_WIDE,
+            arrays=_wide_arrays(_N_WIDE),
+            weight=0.15,
+            description="feature window reduction (wide body, figure 10 tail)",
+        ),
+        LoopSpec(
+            loop=overflow_body("lc_dense_flow"),
+            n=_N_WIDE,
+            arrays=_overflow_arrays(_N_WIDE),
+            weight=0.05,
+            description="dense-flow variant exceeding the LSU budget (III-D7)",
+        ),
+    ),
+    description="cell tracking: contiguous image kernels with id scatters",
+)

@@ -1,0 +1,66 @@
+"""livermore — Livermore loops (kernel style).
+
+Paper calibration: loop speedup close to 4x — classic HPC kernels whose
+bodies are almost entirely contiguous, blocked only by a permuted result
+vector the compiler cannot disambiguate; no run-time violations; long
+trip counts.
+"""
+
+from repro.workloads.base import (
+    LoopSpec,
+    Workload,
+    aliasing_indices,
+    clean_indices,
+    data_values,
+    chain_update,
+    saxpy_indirect,
+)
+
+_N = 1024
+
+
+def _saxpy_arrays(n):
+    def build(seed: int):
+        return {
+            "y": data_values(n + 1)(seed),
+            "x1": data_values(n, 0, 100)(seed + 1),
+            "p": aliasing_indices(n, 0.35, margin=2)(seed + 2),
+        }
+
+    return build
+
+
+def _hydro_arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n)(seed),
+            "x": aliasing_indices(n, 0.35)(seed + 1),
+        }
+
+    return build
+
+
+WORKLOAD = Workload(
+    name="livermore",
+    suite="hpc",
+    coverage=0.050,
+    loops=(
+        LoopSpec(
+            loop=saxpy_indirect("livermore_k1_hydro"),
+            n=_N,
+            arrays=_saxpy_arrays(_N),
+            params={"q": 5, "r": 3, "t": 2},
+            weight=0.6,
+            description="kernel 1 hydro fragment with permuted output",
+        ),
+        LoopSpec(
+            loop=chain_update("livermore_k12_first_diff"),
+            n=_N,
+            arrays=_hydro_arrays(_N),
+            params={"k": 4},
+            weight=0.4,
+            description="first-difference update through a gather map",
+        ),
+    ),
+    description="Livermore kernels with indirectly-addressed results",
+)

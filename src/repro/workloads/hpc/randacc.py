@@ -1,0 +1,44 @@
+"""randacc — HPC Challenge RandomAccess (GUPS).
+
+Paper calibration: high coverage (17.3% of dynamic instructions); one of
+the four benchmarks with run-time violations — uniformly random table
+indices occasionally collide inside a vector group; the replay overhead
+stays tiny because the table is large.
+"""
+
+from repro.workloads.base import (
+    LoopSpec,
+    Workload,
+    random_access,
+    uniform_table_indices,
+)
+
+_N = 2048
+_TABLE = 4096
+
+
+def _arrays(n):
+    def build(seed: int):
+        return {
+            "t": [((seed + 1) * (i + 1) * 2654435761) % (1 << 63) for i in range(_TABLE)],
+            "r": uniform_table_indices(n, _TABLE)(seed + 1),
+        }
+
+    return build
+
+
+WORKLOAD = Workload(
+    name="randacc",
+    suite="hpc",
+    coverage=0.173,
+    loops=(
+        LoopSpec(
+            loop=random_access("randacc_gups"),
+            n=_N,
+            arrays=_arrays(_N),
+            weight=1.0,
+            description="XOR table updates at uniformly random locations",
+        ),
+    ),
+    description="HPCC RandomAccess table-update loop",
+)

@@ -1,0 +1,45 @@
+"""ssca2 — HPC graph-analysis benchmark (SSCA#2 kernel 4 style).
+
+Paper calibration: moderate coverage and speedup; betweenness-style edge
+relaxation where head/tail indices are data-dependent; no run-time
+violations on the generated graph (edge lists are pre-partitioned).
+"""
+
+from repro.workloads.base import (
+    LoopSpec,
+    Workload,
+    clean_indices,
+    data_values,
+    edge_relax,
+)
+
+_N = 1024
+
+
+def _arrays(n):
+    def build(seed: int):
+        return {
+            "d": data_values(n, 0, 100_000)(seed),
+            "head": clean_indices(n)(seed + 1),
+            "tail": clean_indices(n)(seed + 2),
+            "w": data_values(n, 1, 16)(seed + 3),
+        }
+
+    return build
+
+
+WORKLOAD = Workload(
+    name="ssca2",
+    suite="hpc",
+    coverage=0.040,
+    loops=(
+        LoopSpec(
+            loop=edge_relax("ssca2_edge_relax"),
+            n=_N,
+            arrays=_arrays(_N),
+            weight=1.0,
+            description="per-edge distance relaxation over the edge list",
+        ),
+    ),
+    description="graph kernel: edge relaxation with data-dependent targets",
+)

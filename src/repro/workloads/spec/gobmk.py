@@ -1,0 +1,44 @@
+"""gobmk — SPEC CPU2006 Go-playing workload.
+
+Paper calibration: small coverage, observable (>1%) speedup; board-state
+update loops with influence indices the compiler cannot disambiguate; no
+run-time violations.
+"""
+
+from repro.workloads.base import (
+    LoopSpec,
+    Workload,
+    clean_indices,
+    data_values,
+    masked_threshold_mem,
+)
+
+_N = 361  # a 19x19 board
+
+
+def _arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n, 0, 64)(seed),
+            "x": clean_indices(n)(seed + 1),
+            "t0": [32],   # broadcast-loaded decay threshold
+        }
+
+    return build
+
+
+WORKLOAD = Workload(
+    name="gobmk",
+    suite="spec",
+    coverage=0.015,
+    loops=(
+        LoopSpec(
+            loop=masked_threshold_mem("gobmk_influence_decay"),
+            n=_N,
+            arrays=_arrays(_N),
+            weight=1.0,
+            description="influence-map decay through neighbour tables",
+        ),
+    ),
+    description="board influence updates with computed neighbour indices",
+)

@@ -1,0 +1,65 @@
+"""hmmer — SPEC CPU2006 profile-HMM search workload.
+
+Paper calibration: loop speedup close to 4x; *short trip counts* make the
+srv_end barrier significant (figure 8); one of the four benchmarks with
+actual run-time violations (figure 9) — occasional state-transition
+aliases.
+"""
+
+from repro.workloads.base import (
+    LoopSpec,
+    Workload,
+    chain_update,
+    data_values,
+    saxpy_indirect,
+    sparse_indices,
+)
+
+_N = 64  # short trip count: one HMM row per invocation
+
+
+def _saxpy_arrays(n):
+    def build(seed: int):
+        return {
+            "y": data_values(n + 1, 0, 500)(seed),
+            "x1": data_values(n, 0, 100)(seed + 1),
+            "p": sparse_indices(n, 0.25)(seed + 2),
+        }
+
+    return build
+
+
+def _chain_arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n, 0, 500)(seed),
+            "x": sparse_indices(n, 0.10)(seed + 3),
+        }
+
+    return build
+
+
+WORKLOAD = Workload(
+    name="hmmer",
+    suite="spec",
+    coverage=0.035,
+    loops=(
+        LoopSpec(
+            loop=saxpy_indirect("hmmer_viterbi_row"),
+            n=_N,
+            arrays=_saxpy_arrays(_N),
+            params={"q": 7, "r": 2, "t": 3},
+            weight=0.7,
+            description="Viterbi row update scattered through transitions",
+        ),
+        LoopSpec(
+            loop=chain_update("hmmer_state_bump"),
+            n=_N,
+            arrays=_chain_arrays(_N),
+            params={"k": 2},
+            weight=0.3,
+            description="per-state score bump with aliasing transitions",
+        ),
+    ),
+    description="HMM row updates: short loops with rare real conflicts",
+)

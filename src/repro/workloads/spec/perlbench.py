@@ -1,0 +1,63 @@
+"""perlbench — SPEC CPU2006 interpreter workload.
+
+Paper calibration: tiny SRV coverage (<5%); loops are small with *short
+trip counts*, making perlbench one of the benchmarks where the ``srv_end``
+execution barrier is most visible (figure 8).  No run-time violations —
+hash-bucket indices are disjoint in practice.
+"""
+
+from repro.workloads.base import (
+    LoopSpec,
+    Workload,
+    clean_indices,
+    data_values,
+    indirect_update,
+    masked_threshold,
+)
+
+
+def _threshold_arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n, 0, 200)(seed),
+            "x": clean_indices(n)(seed + 1),
+        }
+
+    return build
+
+
+def _update_arrays(n):
+    def build(seed: int):
+        return {
+            "a": data_values(n)(seed),
+            "x": clean_indices(n)(seed + 1),
+        }
+
+    return build
+
+
+_N_SHORT = 96   # short trip counts: barrier cycles dominate (figure 8)
+
+WORKLOAD = Workload(
+    name="perlbench",
+    suite="spec",
+    coverage=0.020,
+    loops=(
+        LoopSpec(
+            loop=masked_threshold("perlbench_magic_clip"),
+            n=_N_SHORT,
+            arrays=_threshold_arrays(_N_SHORT),
+            params={"t": 100},
+            weight=0.6,
+            description="if-converted clipping over hash-ordered slots",
+        ),
+        LoopSpec(
+            loop=indirect_update("perlbench_slot_bump", add=1),
+            n=_N_SHORT,
+            arrays=_update_arrays(_N_SHORT),
+            weight=0.4,
+            description="symbol-table slot updates via computed indices",
+        ),
+    ),
+    description="interpreter hash/symbol-table maintenance loops",
+)

@@ -1,0 +1,61 @@
+"""Benchmark-suite registry.
+
+Mirrors the paper's evaluation set (section V): eleven C/C++ SPEC CPU2006
+benchmarks plus five HPC applications (NPB is, Livermore, SSCA2, HPCC
+RandomAccess, Rodinia lc).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LoopSpec, Workload
+from repro.workloads.hpc.is_npb import WORKLOAD as IS
+from repro.workloads.hpc.lc import WORKLOAD as LC
+from repro.workloads.hpc.livermore import WORKLOAD as LIVERMORE
+from repro.workloads.hpc.randacc import WORKLOAD as RANDACC
+from repro.workloads.hpc.ssca2 import WORKLOAD as SSCA2
+from repro.workloads.spec.astar import WORKLOAD as ASTAR
+from repro.workloads.spec.bzip2 import WORKLOAD as BZIP2
+from repro.workloads.spec.gcc import WORKLOAD as GCC
+from repro.workloads.spec.gobmk import WORKLOAD as GOBMK
+from repro.workloads.spec.h264ref import WORKLOAD as H264REF
+from repro.workloads.spec.hmmer import WORKLOAD as HMMER
+from repro.workloads.spec.milc import WORKLOAD as MILC
+from repro.workloads.spec.omnetpp import WORKLOAD as OMNETPP
+from repro.workloads.spec.perlbench import WORKLOAD as PERLBENCH
+from repro.workloads.spec.soplex import WORKLOAD as SOPLEX
+from repro.workloads.spec.xalancbmk import WORKLOAD as XALANCBMK
+
+SPEC_WORKLOADS: tuple[Workload, ...] = (
+    PERLBENCH,
+    BZIP2,
+    GCC,
+    GOBMK,
+    HMMER,
+    H264REF,
+    OMNETPP,
+    ASTAR,
+    SOPLEX,
+    XALANCBMK,
+    MILC,
+)
+
+HPC_WORKLOADS: tuple[Workload, ...] = (
+    IS,
+    LIVERMORE,
+    SSCA2,
+    RANDACC,
+    LC,
+)
+
+ALL_WORKLOADS: tuple[Workload, ...] = SPEC_WORKLOADS + HPC_WORKLOADS
+
+
+def by_name(name: str) -> Workload:
+    for workload in ALL_WORKLOADS:
+        if workload.name == name:
+            return workload
+    raise KeyError(f"no workload named {name!r}")
+
+
+def all_loops() -> list[tuple[Workload, LoopSpec]]:
+    return [(w, spec) for w in ALL_WORKLOADS for spec in w.loops]

@@ -1,0 +1,177 @@
+"""Tests for the text assembler, including listing round-trips."""
+
+import pytest
+
+from repro.common.errors import IsaError
+from repro.common.rng import periodic_conflict_indices
+from repro.compiler import Strategy, compile_loop
+from repro.emu import run_program
+from repro.isa import Program, ProgramBuilder, imm, p, v, x
+from repro.isa.assembler import parse_asm
+from repro.memory import MemoryImage
+from repro.workloads.base import indirect_update, masked_threshold_mem
+
+LISTING2 = """
+; the paper's listing 2
+Loop:
+    srv_start (up)
+    v_load v0, [x5, #0] (4B)
+    v_add v0, v0, #2
+    v_load v1, [x6, #0] (4B)
+    v_scatter v0, [x1, v1] (4B)
+    srv_end
+    add x3, x3, #16
+    blt x3, x4, Loop
+    halt
+"""
+
+
+class TestParsing:
+    def test_listing2_shape(self):
+        program = parse_asm(LISTING2)
+        assert isinstance(program, Program)
+        assert len(program) == 9
+        assert program.labels["Loop"] == 0
+        assert program.region_spans() == [(0, 5)]
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = parse_asm("""
+            // comment
+            mov x1, #5   ; trailing comment
+
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_predicate_annotation(self):
+        program = parse_asm("v_add v1, v1, #1 (p2/m)\nhalt")
+        inst = program[0]
+        assert inst.pred == p(2)
+
+    def test_elem_annotation(self):
+        program = parse_asm("v_load v1, [x1, #8] (1B)\nhalt")
+        assert program[0].elem == 1
+        assert program[0].offset == 8
+
+    def test_scalar_memory_defaults_to_8_bytes(self):
+        program = parse_asm("ldr x2, [x1, #0]\nhalt")
+        assert program[0].elem == 8
+
+    def test_down_direction(self):
+        from repro.isa import SrvDirection
+
+        program = parse_asm("srv_start (down)\nsrv_end\nhalt")
+        assert program[0].direction is SrvDirection.DOWN
+
+    def test_gather_scatter_index_operand(self):
+        program = parse_asm("v_gather v2, [x1, v3] (4B)\nhalt")
+        assert program[0].index == v(3)
+
+    def test_lane_extract(self):
+        program = parse_asm("v_extract x1, v2[7]\nhalt")
+        assert program[0].lane == 7
+
+    def test_predicate_ops(self):
+        program = parse_asm("""
+            ptrue p1
+            pfalse p2
+            p_and p3, p1, p2
+            p_not p4, p3
+            pcount x1, p4
+            pfirstn p5, x1
+            prange p6, x1, x2
+            halt
+        """)
+        assert len(program) == 8
+
+    def test_fma(self):
+        program = parse_asm("v_fma v1, v2, v3, v4\nhalt")
+        assert program[0].src3 == v(4)
+
+    def test_reduce(self):
+        program = parse_asm("v_reduce_add x1, v2\nhalt")
+        assert program[0].op == "add"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IsaError):
+            parse_asm("frobnicate x1, x2\nhalt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(IsaError):
+            parse_asm("v_load v0, [x1 x2]\nhalt")
+
+    def test_undefined_label_fails_validation(self):
+        with pytest.raises(IsaError):
+            parse_asm("b nowhere\nhalt")
+
+
+class TestRoundTrip:
+    def roundtrip(self, program: Program) -> Program:
+        return parse_asm(program.listing(), name=program.name)
+
+    def assert_equivalent(self, prog_a: Program, prog_b: Program, mem_builder):
+        mem_a, mem_b = mem_builder(), mem_builder()
+        metrics_a, _ = run_program(prog_a, mem_a)
+        metrics_b, _ = run_program(prog_b, mem_b)
+        assert mem_a.snapshot() == mem_b.snapshot()
+        assert (
+            metrics_a.dynamic_instructions == metrics_b.dynamic_instructions
+        )
+
+    def test_builder_program_roundtrips(self):
+        b = ProgramBuilder("rt")
+        b.mov(x(1), imm(3))
+        b.label("top")
+        b.add(x(1), x(1), imm(-1))
+        b.bgt(x(1), imm(0), "top")
+        b.halt()
+        original = b.build()
+        parsed = self.roundtrip(original)
+        assert len(parsed) == len(original)
+        assert parsed.labels == original.labels
+
+    @pytest.mark.parametrize("strategy", [Strategy.SCALAR, Strategy.SRV])
+    def test_compiled_listing1_roundtrips(self, strategy):
+        n = 48
+        loop = indirect_update()
+        x_vals = periodic_conflict_indices(n, 4)
+
+        def mem_builder():
+            mem = MemoryImage()
+            mem.alloc("a", n, 4, init=range(n))
+            mem.alloc("x", n, 4, init=x_vals)
+            return mem
+
+        original = compile_loop(loop, mem_builder(), n, strategy)
+        parsed = self.roundtrip(original)
+        self.assert_equivalent(original, parsed, mem_builder)
+
+    def test_compiled_broadcast_and_select_roundtrips(self):
+        n = 32
+        loop = masked_threshold_mem()
+
+        def mem_builder():
+            mem = MemoryImage()
+            mem.alloc("a", n, 4, init=[i * 5 % 90 for i in range(n)])
+            mem.alloc("x", n, 4, init=range(n))
+            mem.alloc("t0", 1, 4, init=[40])
+            return mem
+
+        original = compile_loop(loop, mem_builder(), n, Strategy.SRV)
+        parsed = self.roundtrip(original)
+        self.assert_equivalent(original, parsed, mem_builder)
+
+    def test_flexvec_roundtrips(self):
+        n = 32
+        loop = indirect_update()
+        x_vals = periodic_conflict_indices(n, 4)
+
+        def mem_builder():
+            mem = MemoryImage()
+            mem.alloc("a", n, 4, init=range(n))
+            mem.alloc("x", n, 4, init=x_vals)
+            return mem
+
+        original = compile_loop(loop, mem_builder(), n, Strategy.FLEXVEC)
+        parsed = self.roundtrip(original)
+        self.assert_equivalent(original, parsed, mem_builder)

@@ -1,0 +1,202 @@
+"""Unit and property tests for repro.common.bitvec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitvec import (
+    BitVector,
+    lane_mask_below,
+    lane_mask_strictly_above,
+    lane_mask_up_from,
+)
+
+
+class TestConstruction:
+    def test_zeros(self):
+        bv = BitVector.zeros(64)
+        assert bv.none()
+        assert not bv.any()
+        assert bv.popcount() == 0
+        assert len(bv) == 64
+
+    def test_ones(self):
+        bv = BitVector.ones(16)
+        assert bv.all()
+        assert bv.popcount() == 16
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+        with pytest.raises(ValueError):
+            BitVector(-3)
+
+    def test_bits_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(4, 0b10000)
+
+    def test_from_range_basic(self):
+        bv = BitVector.from_range(64, 16, 16)
+        assert bv.popcount() == 16
+        assert bv.test(16) and bv.test(31)
+        assert not bv.test(15) and not bv.test(32)
+
+    def test_from_range_clipping(self):
+        bv = BitVector.from_range(64, 60, 16)
+        assert bv.popcount() == 4
+        bv2 = BitVector.from_range(64, -8, 16)
+        assert bv2.popcount() == 8
+        assert bv2.test(0) and bv2.test(7)
+
+    def test_from_range_empty(self):
+        assert BitVector.from_range(64, 70, 5).none()
+        assert BitVector.from_range(64, 3, 0).none()
+
+    def test_from_range_negative_length(self):
+        with pytest.raises(ValueError):
+            BitVector.from_range(64, 0, -1)
+
+    def test_from_indices(self):
+        bv = BitVector.from_indices(16, [0, 3, 15])
+        assert sorted(bv.set_indices()) == [0, 3, 15]
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitVector.from_indices(8, [8])
+
+
+class TestOperations:
+    def test_and_or_xor(self):
+        a = BitVector(8, 0b1100)
+        b = BitVector(8, 0b1010)
+        assert (a & b).bits == 0b1000
+        assert (a | b).bits == 0b1110
+        assert (a ^ b).bits == 0b0110
+
+    def test_invert(self):
+        a = BitVector(4, 0b0101)
+        assert (~a).bits == 0b1010
+
+    def test_andnot(self):
+        a = BitVector(8, 0b1111)
+        b = BitVector(8, 0b0101)
+        assert a.andnot(b).bits == 0b1010
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector(8) & BitVector(16)
+
+    def test_shift_left_drops_high_bits(self):
+        a = BitVector(4, 0b1001)
+        assert a.shift_left(1).bits == 0b0010
+
+    def test_shift_right(self):
+        a = BitVector(4, 0b1001)
+        assert a.shift_right(3).bits == 0b0001
+
+    def test_negative_shift_flips_direction(self):
+        a = BitVector(8, 0b0010)
+        assert a.shift_left(-1) == a.shift_right(1)
+
+    def test_with_bit(self):
+        a = BitVector.zeros(8).with_bit(3)
+        assert a.test(3)
+        assert a.with_bit(3, False).none()
+
+    def test_lowest_set(self):
+        assert BitVector(8, 0b0110).lowest_set() == 1
+        assert BitVector.zeros(8).lowest_set() is None
+
+    def test_test_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(8).test(8)
+
+
+class TestReduce:
+    def test_reduce_4byte_elements(self):
+        # Bits 12-15, 28-31 set (the paper's section IV-D example pattern,
+        # truncated): reducing by 4 gives lanes 3 and 7.
+        bv = BitVector.from_range(64, 12, 4) | BitVector.from_range(64, 28, 4)
+        lanes = bv.reduce(4)
+        assert sorted(lanes.set_indices()) == [3, 7]
+
+    def test_reduce_full_paper_example(self):
+        # Section IV-D: bits 12-15, 28-31, 44-47, 60-63 set, element size 4
+        # -> SRV-needs-replay lanes 3, 7, 11, 15.
+        bv = BitVector.zeros(64)
+        for start in (12, 28, 44, 60):
+            bv = bv | BitVector.from_range(64, start, 4)
+        assert sorted(bv.reduce(4).set_indices()) == [3, 7, 11, 15]
+
+    def test_reduce_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            BitVector(10).reduce(4)
+
+    def test_expand_inverse(self):
+        lanes = BitVector.from_indices(16, [0, 5, 15])
+        assert lanes.expand(4).reduce(4) == lanes
+
+
+class TestLaneMasks:
+    def test_up_from(self):
+        m = lane_mask_up_from(16, 4)
+        assert sorted(m.set_indices()) == list(range(4, 16))
+
+    def test_strictly_above(self):
+        m = lane_mask_strictly_above(16, 4)
+        assert sorted(m.set_indices()) == list(range(5, 16))
+
+    def test_strictly_above_last_lane_empty(self):
+        assert lane_mask_strictly_above(16, 15).none()
+
+    def test_below(self):
+        m = lane_mask_below(16, 4)
+        assert sorted(m.set_indices()) == [0, 1, 2, 3]
+
+    def test_partition(self):
+        full = lane_mask_below(16, 7) | lane_mask_up_from(16, 7)
+        assert full.all()
+
+
+@given(st.integers(1, 128), st.data())
+def test_property_invert_involution(width, data):
+    bits = data.draw(st.integers(0, (1 << width) - 1))
+    bv = BitVector(width, bits)
+    assert ~~bv == bv
+
+
+@given(st.integers(1, 128), st.data())
+def test_property_and_or_identities(width, data):
+    bits = data.draw(st.integers(0, (1 << width) - 1))
+    bv = BitVector(width, bits)
+    assert (bv & BitVector.ones(width)) == bv
+    assert (bv | BitVector.zeros(width)) == bv
+    assert (bv & ~bv).none()
+    assert (bv | ~bv).all()
+
+
+@given(st.integers(0, 80), st.integers(0, 80))
+def test_property_from_range_popcount(start, length):
+    bv = BitVector.from_range(64, start, length)
+    expected = max(0, min(start + length, 64) - max(start, 0))
+    assert bv.popcount() == expected
+
+
+@given(st.integers(1, 16), st.integers(1, 8), st.data())
+def test_property_reduce_expand_roundtrip(lanes, group, data):
+    bits = data.draw(st.integers(0, (1 << lanes) - 1))
+    lane_vec = BitVector(lanes, bits)
+    assert lane_vec.expand(group).reduce(group) == lane_vec
+
+
+@given(st.integers(1, 64), st.integers(0, 70), st.data())
+def test_property_shift_roundtrip_preserves_low_bits(width, amount, data):
+    bits = data.draw(st.integers(0, (1 << width) - 1))
+    bv = BitVector(width, bits)
+    back = bv.shift_left(amount).shift_right(amount)
+    if amount >= width:
+        assert back.none()
+    else:
+        # low (width - amount) bits survive the round trip
+        keep = BitVector.from_range(width, 0, width - amount)
+        assert back == (bv & keep)

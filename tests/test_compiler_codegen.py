@@ -1,0 +1,306 @@
+"""End-to-end codegen tests: every strategy must match the IR oracle.
+
+These are the compiler's conformance tests: for each loop shape and each
+strategy (scalar, SVE, SRV, FlexVec), the compiled program executed on the
+functional emulator must produce exactly the arrays computed by the pure-
+Python sequential reference.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import periodic_conflict_indices, sparse_conflict_indices
+from repro.compiler import (
+    Affine,
+    BinOp,
+    Const,
+    Indirect,
+    Loop,
+    LoopIndex,
+    Param,
+    Read,
+    Select,
+    Store,
+    Strategy,
+    compile_loop,
+    scalar_reference,
+)
+from repro.emu import run_program
+from repro.isa.instructions import SrvStart, VecLoadContig, VecStoreContig
+from repro.memory import MemoryImage
+
+VL = 16
+ALL_STRATEGIES = [Strategy.SCALAR, Strategy.SVE, Strategy.SRV, Strategy.FLEXVEC]
+
+
+def run_strategy(loop, arrays, n, strategy, params=None):
+    mem = MemoryImage()
+    for name, values in arrays.items():
+        mem.alloc(name, len(values), loop.arrays[name], init=values)
+    prog = compile_loop(loop, mem, n, strategy, params=params)
+    metrics, _ = run_program(prog, mem)
+    out = {name: mem.load_array(mem.allocation(name)) for name in arrays}
+    return out, metrics, prog
+
+
+def check_all(loop, arrays, n, params=None, strategies=ALL_STRATEGIES):
+    ref = scalar_reference(loop, arrays, n, params=params)
+    results = {}
+    for strategy in strategies:
+        out, metrics, _ = run_strategy(loop, arrays, n, strategy, params)
+        for name in arrays:
+            assert out[name] == ref[name], (
+                f"{strategy.value} mismatch on {name!r} for loop {loop.name!r}"
+            )
+        results[strategy] = metrics
+    return results
+
+
+def listing1():
+    return Loop(
+        "listing1", {"a": 4, "x": 4},
+        [Store("a", Indirect("x"), BinOp("+", Read("a", Affine()), Const(2)))],
+    )
+
+
+class TestListing1AllStrategies:
+    def test_periodic_conflicts(self):
+        n = 64
+        arrays = {
+            "a": list(range(100, 100 + n)),
+            "x": periodic_conflict_indices(n, 4),
+        }
+        results = check_all(listing1(), arrays, n)
+        assert results[Strategy.SRV].srv.replays > 0
+
+    def test_no_conflicts(self):
+        n = 64
+        arrays = {"a": list(range(n)), "x": list(range(n))}
+        results = check_all(listing1(), arrays, n)
+        assert results[Strategy.SRV].srv.replays == 0
+
+    def test_sve_falls_back_to_scalar(self):
+        n = 32
+        arrays = {"a": list(range(n)), "x": list(range(n))}
+        results = check_all(listing1(), arrays, n)
+        assert (
+            results[Strategy.SVE].dynamic_instructions
+            == results[Strategy.SCALAR].dynamic_instructions
+        )
+        assert results[Strategy.SVE].vector_instructions == 0
+
+    def test_srv_far_fewer_instructions(self):
+        n = 128
+        arrays = {"a": list(range(n)), "x": list(range(n))}
+        results = check_all(listing1(), arrays, n)
+        assert (
+            results[Strategy.SRV].dynamic_instructions
+            < results[Strategy.SCALAR].dynamic_instructions / 4
+        )
+
+    def test_flexvec_cheaper_than_scalar_but_dearer_than_srv(self):
+        """Figure 13's shape: SRV needs fewer dynamic instructions."""
+        n = 128
+        arrays = {
+            "a": list(range(n)),
+            "x": sparse_conflict_indices(n, VL, 0.2, seed=5),
+        }
+        results = check_all(listing1(), arrays, n)
+        assert (
+            results[Strategy.SRV].dynamic_instructions
+            < results[Strategy.FLEXVEC].dynamic_instructions
+        )
+
+    def test_non_multiple_trip_count_epilogue(self):
+        """Tail iterations handled by the whilelt predicate."""
+        for n in (1, 7, 17, 33, 50):
+            arrays = {"a": list(range(n + 20)), "x": list(range(n))}
+            check_all(listing1(), arrays, n)
+
+
+class TestCleanLoops:
+    def test_axpy_vectorised_by_sve(self):
+        n = 80
+        loop = Loop(
+            "axpy", {"y": 4, "z": 4},
+            [
+                Store(
+                    "y", Affine(),
+                    BinOp("+", BinOp("*", Param("alpha"), Read("z", Affine())),
+                          Read("y", Affine())),
+                )
+            ],
+        )
+        arrays = {"y": list(range(n)), "z": [2 * i for i in range(n)]}
+        results = check_all(loop, arrays, n, params={"alpha": 3},
+                            strategies=[Strategy.SCALAR, Strategy.SVE, Strategy.SRV])
+        assert results[Strategy.SVE].vector_instructions > 0
+        assert (
+            results[Strategy.SVE].dynamic_instructions
+            < results[Strategy.SCALAR].dynamic_instructions
+        )
+
+    def test_iota_with_loop_index(self):
+        n = 40
+        loop = Loop("iota", {"a": 4}, [Store("a", Affine(), LoopIndex())])
+        check_all(loop, {"a": [0] * n}, n,
+                  strategies=[Strategy.SCALAR, Strategy.SVE, Strategy.SRV])
+
+    def test_offset_shift(self):
+        """y[i] = y[i + 20] — provably safe at VL 16."""
+        n = 20
+        loop = Loop(
+            "shift", {"y": 4},
+            [Store("y", Affine(), Read("y", Affine(1, 20)))],
+        )
+        check_all(loop, {"y": list(range(100, 140))}, n,
+                  strategies=[Strategy.SCALAR, Strategy.SVE, Strategy.SRV])
+
+
+class TestSelectIfConversion:
+    def test_clamp_all_strategies(self):
+        n = 48
+        loop = Loop(
+            "clamp", {"a": 4, "x": 4},
+            [
+                Store(
+                    "a", Indirect("x"),
+                    Select("<", Read("a", Affine()), Const(50), Const(0),
+                           Read("a", Affine())),
+                )
+            ],
+        )
+        arrays = {
+            "a": [(i * 13) % 100 for i in range(n)],
+            "x": sparse_conflict_indices(n, VL, 0.3, seed=9),
+        }
+        check_all(loop, arrays, n)
+
+
+class TestElementSizes:
+    @pytest.mark.parametrize("elem", [1, 2, 4, 8])
+    def test_byte_short_word_double(self, elem):
+        n = 32
+        loop = Loop(
+            "sized", {"a": elem, "x": 4},
+            [Store("a", Indirect("x"), BinOp("+", Read("a", Affine()), Const(3)))],
+        )
+        arrays = {
+            "a": [i % 100 for i in range(n)],
+            "x": periodic_conflict_indices(n, 4),
+        }
+        check_all(loop, arrays, n,
+                  strategies=[Strategy.SCALAR, Strategy.SRV])
+
+
+class TestDownwardLoops:
+    def test_down_loop_srv(self):
+        n = 48
+        loop = Loop(
+            "down", {"a": 4, "x": 4},
+            [Store("a", Indirect("x"), BinOp("+", Read("a", Affine()), Const(1)))],
+            step=-1,
+        )
+        arrays = {"a": list(range(n)), "x": list(range(n))}
+        check_all(loop, arrays, n, strategies=[Strategy.SCALAR, Strategy.SRV])
+
+    def test_down_loop_uses_down_attribute(self):
+        loop = Loop(
+            "down", {"a": 4},
+            [Store("a", Affine(), Read("a", Affine()))],
+            step=-1,
+        )
+        mem = MemoryImage()
+        mem.alloc("a", 16, 4, init=range(16))
+        prog = compile_loop(loop, mem, 16, Strategy.SRV)
+        starts = [i for i in prog.instructions if isinstance(i, SrvStart)]
+        from repro.isa import SrvDirection
+
+        assert starts and starts[0].direction is SrvDirection.DOWN
+
+
+class TestGeneratedShape:
+    def test_srv_region_contains_only_vector_instructions(self):
+        mem = MemoryImage()
+        mem.alloc("a", 32, 4, init=range(32))
+        mem.alloc("x", 32, 4, init=range(32))
+        prog = compile_loop(listing1(), mem, 32, Strategy.SRV)
+        for start, end in prog.region_spans():
+            for inst in prog.instructions[start + 1 : end]:
+                assert inst.is_vector, f"non-vector {inst!r} inside SRV-region"
+
+    def test_contiguous_accesses_use_contiguous_instructions(self):
+        n = 32
+        loop = Loop(
+            "copy", {"a": 4, "b": 4},
+            [Store("a", Affine(), Read("b", Affine()))],
+        )
+        mem = MemoryImage()
+        mem.alloc("a", n, 4, init=[0] * n)
+        mem.alloc("b", n, 4, init=range(n))
+        prog = compile_loop(loop, mem, n, Strategy.SVE)
+        kinds = [type(i) for i in prog.instructions]
+        assert VecLoadContig in kinds and VecStoreContig in kinds
+        assert prog.static_counts()["gather_scatter"] == 0
+
+    def test_multi_statement_loop(self):
+        n = 64
+        loop = Loop(
+            "two", {"a": 4, "b": 4, "x": 4},
+            [
+                Store("b", Affine(), BinOp("*", Read("a", Affine()), Const(2))),
+                Store("a", Indirect("x"), Read("b", Affine())),
+            ],
+        )
+        arrays = {
+            "a": list(range(n)),
+            "b": [0] * n,
+            "x": sparse_conflict_indices(n, VL, 0.4, seed=2),
+        }
+        check_all(loop, arrays, n,
+                  strategies=[Strategy.SCALAR, Strategy.SRV, Strategy.FLEXVEC])
+
+
+# ---------------------------------------------------------------------------
+# Property-based conformance
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x_vals=st.lists(st.integers(0, 47), min_size=48, max_size=48),
+    seed=st.integers(0, 1000),
+)
+def test_property_all_strategies_match_oracle(x_vals, seed):
+    n = 48
+    loop = listing1()
+    arrays = {"a": [(seed * 7 + i * 3) % 251 for i in range(n)], "x": x_vals}
+    ref = scalar_reference(loop, arrays, n)
+    for strategy in (Strategy.SRV, Strategy.FLEXVEC):
+        out, _, _ = run_strategy(loop, arrays, n, strategy)
+        assert out["a"] == ref["a"], strategy
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 70),
+    offset=st.integers(-4, 4),
+    k=st.integers(-3, 3),
+)
+def test_property_affine_loops_sve_matches(n, offset, k):
+    """SVE-compiled affine loops (safe or fallback) always match."""
+    size = n + 10
+    loop = Loop(
+        "affine", {"a": 4, "b": 4},
+        [
+            Store(
+                "a", Affine(),
+                BinOp("+", Read("b", Affine(1, max(0, offset))), Const(k)),
+            )
+        ],
+    )
+    arrays = {"a": [0] * size, "b": list(range(size))}
+    ref = scalar_reference(loop, arrays, n)
+    out, _, _ = run_strategy(loop, arrays, n, Strategy.SVE)
+    assert out["a"] == ref["a"]

@@ -1,0 +1,154 @@
+"""Tests for the loop IR and its sequential reference executor."""
+
+import pytest
+
+from repro.common.errors import CompilerError
+from repro.compiler import (
+    Affine,
+    BinOp,
+    Const,
+    Indirect,
+    Loop,
+    LoopIndex,
+    Param,
+    Read,
+    Select,
+    Store,
+    scalar_reference,
+)
+
+
+def listing1():
+    return Loop(
+        "listing1",
+        {"a": 4, "x": 4},
+        [Store("a", Indirect("x"), BinOp("+", Read("a", Affine()), Const(2)))],
+    )
+
+
+class TestConstruction:
+    def test_listing1_builds(self):
+        loop = listing1()
+        assert len(loop.body) == 1
+        assert loop.step == 1
+
+    def test_unknown_array_rejected(self):
+        with pytest.raises(CompilerError):
+            Loop("bad", {"a": 4}, [Store("b", Affine(), Const(0))])
+
+    def test_unknown_index_array_rejected(self):
+        with pytest.raises(CompilerError):
+            Loop("bad", {"a": 4}, [Store("a", Indirect("x"), Const(0))])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(CompilerError):
+            Loop("bad", {"a": 4}, [])
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(CompilerError):
+            Loop("bad", {"a": 4}, [Store("a", Affine(), Const(0))], step=2)
+
+    def test_invalid_binop_rejected(self):
+        with pytest.raises(CompilerError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_invalid_cmp_rejected(self):
+        with pytest.raises(CompilerError):
+            Select("~", Const(1), Const(2), Const(3), Const(4))
+
+
+class TestReferenceEnumeration:
+    def test_reads_found_in_nested_expressions(self):
+        loop = Loop(
+            "nest",
+            {"a": 4, "b": 4},
+            [
+                Store(
+                    "a",
+                    Affine(),
+                    Select(
+                        "<",
+                        Read("a", Affine()),
+                        Const(0),
+                        Read("b", Affine()),
+                        BinOp("+", Read("b", Affine(1, 1)), Const(1)),
+                    ),
+                )
+            ],
+        )
+        assert len(loop.reads()) == 3
+
+    def test_index_arrays(self):
+        assert listing1().index_arrays() == {"x"}
+
+    def test_gather_scatter_count(self):
+        loop = listing1()
+        assert loop.gather_scatter_count() == 1  # the indirect store
+        strided = Loop(
+            "strided", {"a": 4}, [Store("a", Affine(2), Read("a", Affine(2)))]
+        )
+        assert strided.gather_scatter_count() == 2
+
+
+class TestScalarReference:
+    def test_listing1_semantics(self):
+        x_vals = [3, 0, 1, 2, 7, 4, 5, 6]
+        a_vals = list(range(8))
+        out = scalar_reference(listing1(), {"a": a_vals, "x": x_vals}, 8)
+        expect = list(a_vals)
+        for i in range(8):
+            expect[x_vals[i]] = expect[i] + 2
+        assert out["a"] == expect
+
+    def test_param_binding(self):
+        loop = Loop(
+            "scaled", {"a": 4},
+            [Store("a", Affine(), BinOp("*", Read("a", Affine()), Param("k")))],
+        )
+        out = scalar_reference(loop, {"a": [1, 2, 3]}, 3, params={"k": 5})
+        assert out["a"] == [5, 10, 15]
+
+    def test_loop_index_value(self):
+        loop = Loop("iota", {"a": 4}, [Store("a", Affine(), LoopIndex())])
+        out = scalar_reference(loop, {"a": [0] * 5}, 5)
+        assert out["a"] == [0, 1, 2, 3, 4]
+
+    def test_select_semantics(self):
+        loop = Loop(
+            "clamp", {"a": 4},
+            [
+                Store(
+                    "a", Affine(),
+                    Select("<", Read("a", Affine()), Const(0), Const(0),
+                           Read("a", Affine())),
+                )
+            ],
+        )
+        out = scalar_reference(loop, {"a": [-3, 4, -1, 7]}, 4)
+        assert out["a"] == [0, 4, 0, 7]
+
+    def test_downward_loop_order(self):
+        # a[i] = a[i+1] + 1 with decreasing i: values ripple from the end.
+        loop = Loop(
+            "down", {"a": 4},
+            [Store("a", Affine(), BinOp("+", Read("a", Affine(1, 1)), Const(1)))],
+            step=-1,
+        )
+        out = scalar_reference(loop, {"a": [0, 0, 0, 10]}, 3)
+        assert out["a"] == [13, 12, 11, 10]
+
+    def test_division_semantics(self):
+        loop = Loop(
+            "div", {"a": 4},
+            [Store("a", Affine(), BinOp("/", Read("a", Affine()), Const(2)))],
+        )
+        out = scalar_reference(loop, {"a": [7, -7, 0, 9]}, 4)
+        assert out["a"] == [3, -3, 0, 4]
+
+    def test_store_wraps_to_element_size(self):
+        loop = Loop(
+            "wrap", {"a": 1},
+            [Store("a", Affine(), BinOp("+", Read("a", Affine()), Const(1)))],
+        )
+        out = scalar_reference(loop, {"a": [127, 255 - 256]}, 2)
+        assert out["a"][0] == -128  # 127 + 1 wraps in int8

@@ -1,0 +1,92 @@
+"""Tests for the machine configuration (Table I of the paper)."""
+
+import pytest
+
+from repro.common.config import (
+    TABLE_I,
+    BranchPredictorConfig,
+    CacheConfig,
+    MachineConfig,
+)
+
+
+class TestTableI:
+    """The defaults must match Table I exactly."""
+
+    def test_core(self):
+        assert TABLE_I.clock_ghz == 3.0
+        assert TABLE_I.pipeline_width == 8
+
+    def test_structures(self):
+        assert TABLE_I.lsu_entries == 64
+        assert TABLE_I.iq_entries == 32
+        assert TABLE_I.rob_entries == 400
+
+    def test_vector_length(self):
+        # "fixing the vector length to 16 elements (agnostic of the element
+        # size) for all simulations"
+        assert TABLE_I.vector_lanes == 16
+
+    def test_ports(self):
+        ports = TABLE_I.ports
+        assert (ports.saq_reads, ports.saq_writes, ports.saq_cams) == (2, 2, 2)
+        assert (ports.sdq_reads, ports.sdq_writes) == (5, 2)
+        assert (ports.vec_rf_reads, ports.vec_rf_writes) == (6, 2)
+        assert ports.cache_read_write == 1 and ports.cache_read_only == 1
+
+    def test_issue_limits(self):
+        issue = TABLE_I.issue
+        assert issue.vec_int_ops == 2
+        assert issue.vec_other_ops == 1
+        assert issue.vec_loads == 2
+        assert issue.vec_stores == 1
+
+    def test_branch_predictor(self):
+        bp = TABLE_I.branch
+        assert bp.local_entries == 64
+        assert bp.global_entries == 1024
+        assert bp.btb_entries == 128
+        assert bp.chooser_entries == 1024
+        assert bp.ras_entries == 8
+
+    def test_caches(self):
+        l1, l2 = TABLE_I.memory.l1, TABLE_I.memory.l2
+        assert l1.size_bytes == 32 * 1024 and l1.associativity == 4
+        assert l1.hit_latency == 2
+        assert l2.size_bytes == 1024 * 1024 and l2.associativity == 16
+        assert l2.hit_latency == 7
+
+    def test_alignment_region(self):
+        # Section IV-A's example uses 64-byte alignment regions.
+        assert TABLE_I.alignment_region_bytes == 64
+
+
+class TestValidation:
+    def test_cache_shape_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 1)
+
+    def test_num_sets(self):
+        assert CacheConfig(32 * 1024, 4, 2).num_sets == 128
+
+    def test_nonpositive_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(vector_lanes=0)
+
+    def test_alignment_power_of_two(self):
+        with pytest.raises(ValueError):
+            MachineConfig(alignment_region_bytes=48)
+
+    def test_with_overrides(self):
+        small = TABLE_I.with_overrides(lsu_entries=8)
+        assert small.lsu_entries == 8
+        assert small.rob_entries == TABLE_I.rob_entries
+        assert TABLE_I.lsu_entries == 64  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TABLE_I.lsu_entries = 128  # type: ignore[misc]
+
+    def test_branch_predictor_defaults_standalone(self):
+        bp = BranchPredictorConfig()
+        assert bp.mispredict_penalty > 0

@@ -1,0 +1,152 @@
+"""Scalar-instruction semantics of the functional emulator."""
+
+import pytest
+
+from repro.common.errors import SrvError
+from repro.emu import run_program
+from repro.isa import ProgramBuilder, imm, x
+from repro.memory import MemoryImage
+
+
+def run(build, mem=None):
+    mem = mem or MemoryImage()
+    metrics, state = run_program(build, mem)
+    return metrics, state, mem
+
+
+class TestScalarALU:
+    @pytest.mark.parametrize(
+        "method,a,b,expect",
+        [
+            ("add", 2, 3, 5),
+            ("sub", 2, 3, -1),
+            ("mul", -4, 3, -12),
+            ("div", 7, 2, 3),
+            ("div", -7, 2, -3),  # truncation toward zero
+            ("div", 7, -2, -3),
+            ("div", 5, 0, 0),    # division by zero yields zero
+            ("mod", 7, 3, 1),
+            ("mod", -7, 3, -1),
+            ("and_", 0b1100, 0b1010, 0b1000),
+            ("or_", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 4, 16),
+            ("min_", 3, -2, -2),
+            ("max_", 3, -2, 3),
+        ],
+    )
+    def test_binary_ops(self, method, a, b, expect):
+        b_ = ProgramBuilder()
+        b_.mov(x(1), imm(a)).mov(x(2), imm(b))
+        getattr(b_, method)(x(3), x(1), x(2))
+        b_.halt()
+        _, state, _ = run(b_.build())
+        assert state.read_scalar(x(3)) == expect
+
+    def test_shr_logical(self):
+        b = ProgramBuilder()
+        b.mov(x(1), imm(-8)).shr(x(2), x(1), imm(1)).halt()
+        _, state, _ = run(b.build())
+        assert state.read_scalar(x(2)) == (2**64 - 8) >> 1
+
+    def test_mov_immediate(self):
+        b = ProgramBuilder()
+        b.mov(x(5), imm(-42)).halt()
+        _, state, _ = run(b.build())
+        assert state.read_scalar(x(5)) == -42
+
+    def test_64bit_wrap(self):
+        b = ProgramBuilder()
+        b.mov(x(1), imm(2**63 - 1)).add(x(1), x(1), imm(1)).halt()
+        _, state, _ = run(b.build())
+        assert state.read_scalar(x(1)) == -(2**63)
+
+
+class TestScalarMemory:
+    def test_load_store_roundtrip(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 4, 8)
+        b = ProgramBuilder()
+        b.mov(x(1), imm(a.base))
+        b.mov(x(2), imm(-77))
+        b.store(x(2), x(1), 8)
+        b.load(x(3), x(1), 8)
+        b.halt()
+        _, state, _ = run(b.build(), mem)
+        assert state.read_scalar(x(3)) == -77
+        assert mem.read_int(a.base + 8, 8, signed=True) == -77
+
+    def test_narrow_load_sign_extends(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 4, 1, init=[0xFF, 1, 2, 3])
+        b = ProgramBuilder()
+        b.mov(x(1), imm(a.base)).load(x(2), x(1), 0, elem=1).halt()
+        _, state, _ = run(b.build(), mem)
+        assert state.read_scalar(x(2)) == -1
+
+
+class TestControlFlow:
+    def test_counting_loop(self):
+        b = ProgramBuilder()
+        b.mov(x(1), imm(0)).mov(x(2), imm(0))
+        b.label("top")
+        b.add(x(2), x(2), x(1))
+        b.add(x(1), x(1), imm(1))
+        b.blt(x(1), imm(10), "top")
+        b.halt()
+        metrics, state, _ = run(b.build())
+        assert state.read_scalar(x(2)) == sum(range(10))
+        assert metrics.branch_instructions == 10
+
+    def test_jump(self):
+        b = ProgramBuilder()
+        b.mov(x(1), imm(1))
+        b.jump("end")
+        b.mov(x(1), imm(99))
+        b.label("end")
+        b.halt()
+        _, state, _ = run(b.build())
+        assert state.read_scalar(x(1)) == 1
+
+    @pytest.mark.parametrize(
+        "method,a,b,taken",
+        [
+            ("beq", 1, 1, True),
+            ("beq", 1, 2, False),
+            ("bne", 1, 2, True),
+            ("blt", -1, 0, True),
+            ("ble", 0, 0, True),
+            ("bgt", 1, 0, True),
+            ("bge", 0, 1, False),
+        ],
+    )
+    def test_conditions(self, method, a, b, taken):
+        bld = ProgramBuilder()
+        bld.mov(x(1), imm(a)).mov(x(2), imm(b)).mov(x(3), imm(0))
+        getattr(bld, method)(x(1), x(2), "skip")
+        bld.mov(x(3), imm(1))
+        bld.label("skip")
+        bld.halt()
+        _, state, _ = run(bld.build())
+        assert state.read_scalar(x(3)) == (0 if taken else 1)
+
+    def test_infinite_loop_guard(self):
+        from repro.emu import Interpreter
+        from repro.common.config import TABLE_I
+
+        b = ProgramBuilder()
+        b.label("spin").jump("spin")
+        interp = Interpreter(b.build(), MemoryImage(), TABLE_I, max_steps=1000)
+        with pytest.raises(SrvError):
+            interp.run()
+
+    def test_dynamic_instruction_count(self):
+        b = ProgramBuilder()
+        b.mov(x(1), imm(0))
+        b.label("top")
+        b.add(x(1), x(1), imm(1))
+        b.blt(x(1), imm(5), "top")
+        b.halt()
+        metrics, _, _ = run(b.build())
+        # 1 mov + 5*(add+branch) + halt
+        assert metrics.dynamic_instructions == 1 + 10 + 1

@@ -1,0 +1,271 @@
+"""Vector-instruction semantics (non-SRV) of the functional emulator."""
+
+import pytest
+
+from repro.emu import run_program
+from repro.isa import CmpOpcode, ProgramBuilder, imm, p, v, x
+from repro.memory import MemoryImage
+
+LANES = 16
+
+
+def run(builder, mem=None):
+    mem = mem or MemoryImage()
+    metrics, state = run_program(builder.build(), mem)
+    return metrics, state, mem
+
+
+class TestVectorALU:
+    def test_elementwise_add(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(0))           # 0..15
+        b.v_index(v(2), imm(100), imm(2))  # 100,102,...
+        b.v_add(v(3), v(1), v(2))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_vector(v(3)) == [100 + 3 * i for i in range(LANES)]
+
+    def test_vector_scalar_operand(self):
+        b = ProgramBuilder()
+        b.mov(x(1), imm(7))
+        b.v_index(v(1), imm(0))
+        b.v_mul(v(2), v(1), x(1))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_vector(v(2)) == [7 * i for i in range(LANES)]
+
+    def test_immediate_operand(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(0))
+        b.v_add(v(2), v(1), imm(1000))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_vector(v(2))[5] == 1005
+
+    def test_fma(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(1))     # a = 1..16
+        b.v_splat(v(2), imm(3))     # b = 3
+        b.v_splat(v(3), imm(10))    # c = 10
+        b.v_fma(v(4), v(1), v(2), v(3))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_vector(v(4)) == [(1 + i) * 3 + 10 for i in range(LANES)]
+
+    def test_elem_size_wrapping(self):
+        b = ProgramBuilder()
+        b.v_splat(v(1), imm(255), elem=1)
+        b.v_add(v(2), v(1), imm(1), elem=1)
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_vector(v(2)) == [0] * LANES
+
+    def test_merging_predication(self):
+        """Inactive lanes keep their previous register contents (III-D5)."""
+        b = ProgramBuilder()
+        b.v_splat(v(1), imm(5))
+        b.mov(x(1), imm(4))
+        b.pfirstn(p(1), x(1))                     # lanes 0-3 active
+        b.v_add(v(1), v(1), imm(100), pred=p(1))
+        b.halt()
+        _, state, _ = run(b)
+        expect = [105] * 4 + [5] * 12
+        assert state.read_vector(v(1)) == expect
+
+
+class TestPredicates:
+    def test_ptrue_pfalse_count(self):
+        b = ProgramBuilder()
+        b.ptrue(p(1)).pcount(x(1), p(1))
+        b.pfalse(p(2)).pcount(x(2), p(2))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_scalar(x(1)) == LANES
+        assert state.read_scalar(x(2)) == 0
+
+    def test_pfirstn_clamps(self):
+        b = ProgramBuilder()
+        b.mov(x(1), imm(99)).pfirstn(p(1), x(1)).pcount(x(2), p(1))
+        b.mov(x(3), imm(-5)).pfirstn(p(2), x(3)).pcount(x(4), p(2))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_scalar(x(2)) == LANES
+        assert state.read_scalar(x(4)) == 0
+
+    def test_prange(self):
+        b = ProgramBuilder()
+        b.mov(x(1), imm(3)).mov(x(2), imm(7))
+        b.prange(p(1), x(1), x(2))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_pred(p(1)) == [3 <= i < 7 for i in range(LANES)]
+
+    def test_vcmp_and_logic(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(0))
+        b.v_cmp(CmpOpcode.GE, p(1), v(1), imm(8))    # lanes 8-15
+        b.v_cmp(CmpOpcode.LT, p(2), v(1), imm(12))   # lanes 0-11
+        b.p_and(p(3), p(1), p(2))                    # lanes 8-11
+        b.p_or(p(4), p(1), p(2))                     # all
+        b.p_not(p(5), p(4))                          # none
+        b.p_andnot(p(6), p(2), p(1))                 # lanes 0-7
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_pred(p(3)) == [8 <= i < 12 for i in range(LANES)]
+        assert all(state.read_pred(p(4)))
+        assert not any(state.read_pred(p(5)))
+        assert state.read_pred(p(6)) == [i < 8 for i in range(LANES)]
+
+    def test_vcmp_inactive_lanes_false(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(0))
+        b.mov(x(1), imm(4)).pfirstn(p(1), x(1))
+        b.v_cmp(CmpOpcode.GE, p(2), v(1), imm(0), pred=p(1))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_pred(p(2)) == [i < 4 for i in range(LANES)]
+
+
+class TestVectorMemory:
+    def test_contiguous_roundtrip(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", LANES, 4, init=range(10, 10 + LANES))
+        out = mem.alloc("out", LANES, 4)
+        b = ProgramBuilder()
+        b.mov(x(1), imm(a.base)).mov(x(2), imm(out.base))
+        b.v_load(v(1), x(1))
+        b.v_add(v(1), v(1), imm(1))
+        b.v_store(v(1), x(2))
+        b.halt()
+        run(b, mem)
+        assert mem.load_array(out) == list(range(11, 11 + LANES))
+
+    def test_contiguous_offset(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", LANES * 2, 4, init=range(LANES * 2))
+        b = ProgramBuilder()
+        b.mov(x(1), imm(a.base))
+        b.v_load(v(1), x(1), offset=4 * LANES)
+        b.halt()
+        _, state, _ = run(b, mem)
+        assert state.read_vector(v(1)) == list(range(LANES, 2 * LANES))
+
+    def test_gather(self):
+        mem = MemoryImage()
+        table = mem.alloc("t", 64, 4, init=[i * i for i in range(64)])
+        idx = mem.alloc("idx", LANES, 4, init=[3 * i for i in range(LANES)])
+        b = ProgramBuilder()
+        b.mov(x(1), imm(table.base)).mov(x(2), imm(idx.base))
+        b.v_load(v(1), x(2))
+        b.v_gather(v(2), x(1), v(1))
+        b.halt()
+        _, state, _ = run(b, mem)
+        assert state.read_vector(v(2)) == [(3 * i) ** 2 for i in range(LANES)]
+
+    def test_scatter(self):
+        mem = MemoryImage()
+        out = mem.alloc("out", 64, 4)
+        b = ProgramBuilder()
+        b.mov(x(1), imm(out.base))
+        b.v_index(v(1), imm(0), imm(2))   # even slots
+        b.v_index(v(2), imm(100))
+        b.v_scatter(v(2), x(1), v(1))
+        b.halt()
+        run(b, mem)
+        data = mem.load_array(out)
+        assert data[0] == 100 and data[2] == 101 and data[30] == 115
+        assert data[1] == 0
+
+    def test_broadcast(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 4, 4, init=[7, 8, 9, 10])
+        b = ProgramBuilder()
+        b.mov(x(1), imm(a.base))
+        b.v_bcast(v(1), x(1), offset=8)
+        b.halt()
+        _, state, _ = run(b, mem)
+        assert state.read_vector(v(1)) == [9] * LANES
+
+    def test_predicated_load_merging(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", LANES, 4, init=range(LANES))
+        b = ProgramBuilder()
+        b.v_splat(v(1), imm(-1))
+        b.mov(x(1), imm(a.base))
+        b.mov(x(2), imm(6)).pfirstn(p(1), x(2))
+        b.v_load(v(1), x(1), pred=p(1))
+        b.halt()
+        _, state, _ = run(b, mem)
+        assert state.read_vector(v(1)) == list(range(6)) + [2**32 - 1] * 10
+
+    def test_predicated_store_skips_lanes(self):
+        mem = MemoryImage()
+        out = mem.alloc("out", LANES, 4, init=[-1] * LANES)
+        b = ProgramBuilder()
+        b.mov(x(1), imm(out.base))
+        b.mov(x(2), imm(5)).pfirstn(p(1), x(2))
+        b.v_index(v(1), imm(0))
+        b.v_store(v(1), x(1), pred=p(1))
+        b.halt()
+        run(b, mem)
+        assert mem.load_array(out) == [0, 1, 2, 3, 4] + [-1] * 11
+
+
+class TestLaneUtilities:
+    def test_extract(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(50))
+        b.v_extract(x(1), v(1), 3)
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_scalar(x(1)) == 53
+
+    def test_reduce_add(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(0))
+        b.v_reduce("add", x(1), v(1))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_scalar(x(1)) == sum(range(LANES))
+
+    def test_reduce_min_max(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(-3), imm(2))
+        b.v_reduce("min", x(1), v(1))
+        b.v_reduce("max", x(2), v(1))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_scalar(x(1)) == -3
+        assert state.read_scalar(x(2)) == -3 + 2 * 15
+
+    def test_reduce_respects_predicate(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(1))
+        b.mov(x(9), imm(4)).pfirstn(p(1), x(9))
+        b.v_reduce("add", x(1), v(1), pred=p(1))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_scalar(x(1)) == 1 + 2 + 3 + 4
+
+    def test_reduce_empty_mask_is_zero(self):
+        b = ProgramBuilder()
+        b.v_index(v(1), imm(5))
+        b.pfalse(p(1))
+        b.v_reduce("min", x(1), v(1), pred=p(1))
+        b.halt()
+        _, state, _ = run(b)
+        assert state.read_scalar(x(1)) == 0
+
+    def test_vector_instruction_metrics(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", LANES, 4, init=range(LANES))
+        b = ProgramBuilder()
+        b.mov(x(1), imm(a.base))
+        b.v_load(v(1), x(1))
+        b.v_gather(v(2), x(1), v(1))
+        b.v_add(v(3), v(1), v(2))
+        b.halt()
+        metrics, _, _ = run(b, mem)
+        assert metrics.vector_instructions == 3
+        assert metrics.vector_mem_instructions == 2
+        assert metrics.gather_scatter_instructions == 1

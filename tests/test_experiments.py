@@ -1,0 +1,113 @@
+"""Tests for the experiment harnesses (reduced trip counts for speed)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, clear_cache
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import whole_program_speedup
+
+N = 96
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return ALL_EXPERIMENTS["figure6"](n_override=N)
+
+
+class TestRunnerHelpers:
+    def test_whole_program_speedup_amdahl(self):
+        assert whole_program_speedup(2.0, 0.5) == pytest.approx(1 / 0.75)
+        assert whole_program_speedup(10.0, 0.0) == 1.0
+        assert whole_program_speedup(1.0, 0.9) == pytest.approx(1.0)
+
+    def test_whole_program_speedup_validation(self):
+        with pytest.raises(ValueError):
+            whole_program_speedup(2.0, 1.5)
+        with pytest.raises(ValueError):
+            whole_program_speedup(-1.0, 0.5)
+
+
+class TestResultContainer:
+    def test_format_and_lookup(self, fig6):
+        table = fig6.format_table()
+        assert "Figure 6" in table
+        assert "bzip2" in table
+        row = fig6.row_for("is")
+        assert row[0] == "is"
+        with pytest.raises(KeyError):
+            fig6.row_for("nope")
+
+    def test_as_dict(self, fig6):
+        d = fig6.as_dict()
+        assert d["milc"]["coverage"] == pytest.approx(0.257)
+
+    def test_empty_result_formats(self):
+        empty = ExperimentResult("x", "Empty", ("a", "b"))
+        assert "Empty" in empty.format_table()
+
+
+class TestFigure6and7:
+    def test_all_benchmarks_present(self, fig6):
+        assert len(fig6.rows) == 16
+
+    def test_speedups_above_one(self, fig6):
+        assert all(row[2] > 1.0 for row in fig6.rows)
+
+    def test_fig7_consistency(self, fig6):
+        fig7 = ALL_EXPERIMENTS["figure7"](n_override=N)
+        for (name, _, loop_speedup, coverage), row7 in zip(fig6.rows, fig7.rows):
+            assert row7[0] == name
+            assert row7[2] == pytest.approx(
+                whole_program_speedup(loop_speedup, coverage)
+            )
+        assert 1.0 < fig7.summary["geomean_all"] < 1.2
+
+
+class TestOtherFigures:
+    def test_fig8_fractions_valid(self):
+        result = ALL_EXPERIMENTS["figure8"](n_override=N)
+        assert all(0 <= row[1] < 0.5 for row in result.rows)
+
+    def test_fig9_only_violators_listed(self):
+        result = ALL_EXPERIMENTS["figure9"]()  # full size: seeds matter
+        assert set(result.summary["violating_benchmarks"]) == {
+            "bzip2", "hmmer", "is", "randacc",
+        }
+
+    def test_fig10_static_shape(self):
+        result = ALL_EXPERIMENTS["figure10"](n_override=N)
+        assert sum(result.column("loops")) == 28  # all loops bucketed
+        assert result.summary["lsu_demand_10_access_loops"] == 55
+
+    def test_fig11_counts_positive(self):
+        result = ALL_EXPERIMENTS["figure11"](n_override=N)
+        for name, seq_v, srv_v, srv_h, ratio in result.rows:
+            assert seq_v > 0 and srv_h > 0
+            assert ratio > 0
+
+    def test_fig12_small_changes(self):
+        result = ALL_EXPERIMENTS["figure12"](n_override=N)
+        assert all(abs(row[1]) < 0.10 for row in result.rows)
+
+    def test_fig13_srv_wins(self):
+        result = ALL_EXPERIMENTS["figure13"](n_override=N)
+        assert all(row[3] < 1.0 for row in result.rows)
+
+    def test_limit_study_shape(self):
+        result = ALL_EXPERIMENTS["limit_study"](n_override=N)
+        assert result.summary["average_potential"] > result.summary[
+            "average_without_unknown"
+        ]
+        assert result.summary["average_without_unknown"] < 1.1
+
+    def test_headline_rows(self):
+        result = ALL_EXPERIMENTS["headline"](n_override=N)
+        metrics = {row[0] for row in result.rows}
+        assert "average_loop_speedup" in metrics
+        assert "geomean_whole_program" in metrics

@@ -1,0 +1,188 @@
+"""Tests for the ISA: registers, instructions, programs, builder."""
+
+import pytest
+
+from repro.common.errors import IsaError
+from repro.isa import (
+    Branch,
+    BranchCond,
+    ProgramBuilder,
+    ScalarALU,
+    ScalarOpcode,
+    SrvDirection,
+    SrvStart,
+    VecALU,
+    VecOpcode,
+    imm,
+    p,
+    v,
+    x,
+)
+from repro.isa.registers import PredReg, ScalarReg, VecReg
+
+
+class TestRegisters:
+    def test_valid_ranges(self):
+        assert x(0).index == 0 and x(31).index == 31
+        assert v(31).index == 31
+        assert p(15).index == 15
+
+    @pytest.mark.parametrize("ctor,bad", [(ScalarReg, 32), (VecReg, 32), (PredReg, 16)])
+    def test_out_of_range(self, ctor, bad):
+        with pytest.raises(IsaError):
+            ctor(bad)
+        with pytest.raises(IsaError):
+            ctor(-1)
+
+    def test_repr(self):
+        assert repr(x(3)) == "x3"
+        assert repr(v(7)) == "v7"
+        assert repr(p(2)) == "p2"
+        assert repr(imm(5)) == "#5"
+
+    def test_hashable_equality(self):
+        assert x(3) == x(3)
+        assert x(3) != x(4)
+        assert len({v(1), v(1), v(2)}) == 2
+
+
+class TestInstructionValidation:
+    def test_mov_single_operand(self):
+        ScalarALU(ScalarOpcode.MOV, x(1), x(2))
+        with pytest.raises(IsaError):
+            ScalarALU(ScalarOpcode.MOV, x(1), x(2), x(3))
+
+    def test_binary_requires_two_operands(self):
+        with pytest.raises(IsaError):
+            ScalarALU(ScalarOpcode.ADD, x(1), x(2))
+
+    def test_vec_fma_requires_accumulator(self):
+        with pytest.raises(IsaError):
+            VecALU(VecOpcode.FMA, v(0), v(1), v(2))
+
+    def test_vec_non_fma_rejects_third_operand(self):
+        with pytest.raises(IsaError):
+            VecALU(VecOpcode.ADD, v(0), v(1), v(2), v(3))
+
+    def test_elem_size_validation(self):
+        with pytest.raises(IsaError):
+            VecALU(VecOpcode.ADD, v(0), v(1), v(2), elem=3)
+
+    def test_classification_flags(self):
+        from repro.isa import VecLoadGather, VecStoreContig
+
+        gather = VecLoadGather(v(0), x(1), v(1))
+        assert gather.is_vector and gather.is_mem and gather.is_load
+        assert gather.access_kind == "gather"
+        store = VecStoreContig(v(0), x(1))
+        assert store.is_store and not store.is_load
+        assert store.access_kind == "contiguous"
+        branch = Branch(BranchCond.NE, x(1), imm(0), "top")
+        assert branch.is_branch and not branch.is_vector
+
+    def test_srv_start_direction(self):
+        assert SrvStart().direction is SrvDirection.UP
+        assert SrvStart(SrvDirection.DOWN).direction is SrvDirection.DOWN
+
+
+class TestProgramBuilder:
+    def test_listing2_shape(self):
+        """The paper's listing 2 builds and validates."""
+        b = ProgramBuilder("listing2")
+        b.label("Loop")
+        b.srv_start()
+        b.v_load(v(0), x(1))
+        b.v_add(v(0), v(0), imm(2))
+        b.v_scatter(v(0), x(1), v(1))
+        b.srv_end()
+        b.add(x(2), x(2), imm(16))
+        b.blt(x(2), x(3), "Loop")
+        b.halt()
+        prog = b.build()
+        assert len(prog) == 8
+        assert prog.labels["Loop"] == 0
+        assert prog.region_spans() == [(0, 4)]
+
+    def test_duplicate_label(self):
+        b = ProgramBuilder()
+        b.label("a")
+        with pytest.raises(IsaError):
+            b.label("a")
+
+    def test_undefined_branch_target(self):
+        b = ProgramBuilder()
+        b.bne(x(0), imm(0), "nowhere").halt()
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_nested_region_rejected(self):
+        b = ProgramBuilder()
+        b.srv_start().srv_start().srv_end().srv_end().halt()
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_unclosed_region_rejected(self):
+        b = ProgramBuilder()
+        b.srv_start().halt()
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_srv_end_without_start_rejected(self):
+        b = ProgramBuilder()
+        b.srv_end().halt()
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_branch_inside_region_rejected(self):
+        """Control flow in a region must be if-converted (section III-C)."""
+        b = ProgramBuilder()
+        b.label("top")
+        b.srv_start()
+        b.bne(x(0), imm(0), "top")
+        b.srv_end()
+        b.halt()
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_predicated_code_inside_region_allowed(self):
+        b = ProgramBuilder()
+        b.srv_start()
+        from repro.isa import CmpOpcode
+
+        b.v_cmp(CmpOpcode.GT, p(1), v(0), imm(0))
+        b.v_add(v(1), v(1), imm(1), pred=p(1))
+        b.srv_end()
+        b.halt()
+        prog = b.build()
+        assert prog.region_spans() == [(0, 3)]
+
+    def test_listing_renders_labels(self):
+        b = ProgramBuilder("demo")
+        b.label("start").nop().halt()
+        text = b.build().listing()
+        assert "start:" in text
+        assert "nop" in text
+
+    def test_static_counts(self):
+        b = ProgramBuilder()
+        b.srv_start()
+        b.v_load(v(0), x(1))
+        b.v_gather(v(1), x(1), v(0))
+        b.v_scatter(v(1), x(1), v(0))
+        b.v_add(v(1), v(1), imm(1))
+        b.srv_end()
+        b.halt()
+        counts = b.build().static_counts()
+        assert counts["vector_mem"] == 3
+        assert counts["gather_scatter"] == 2
+        assert counts["vector"] == 4
+
+    def test_builder_fluency(self):
+        prog = (
+            ProgramBuilder("fluent")
+            .mov(x(1), imm(1))
+            .add(x(1), x(1), imm(2))
+            .halt()
+            .build()
+        )
+        assert len(prog) == 3

@@ -1,0 +1,587 @@
+"""Tests for the LSU disambiguation microarchitecture (paper section IV).
+
+Includes byte-exact checks of the paper's three worked examples:
+figure 3 (vertical), figure 4 (horizontal WAR), and figure 5 / section
+IV-D (horizontal RAW producing replay lanes 3, 7, 11, 15).
+"""
+
+import pytest
+
+from repro.common.config import TABLE_I
+from repro.common.errors import LsuOverflowError
+from repro.isa.instructions import SrvDirection
+from repro.lsu import (
+    AccessType,
+    LoadStoreUnit,
+    LsuEntry,
+    align_base,
+    align_offset,
+    chunks_for_access,
+    forwardable_mask,
+    hob_for_pair,
+    horizontal_violation_vector,
+    overall_hob,
+    replay_lanes_from_hob,
+    vob_for_pair,
+)
+
+REGION = 64
+
+
+def make_entry(
+    *,
+    srv_id=0,
+    is_store=False,
+    access=AccessType.CONTIGUOUS,
+    addr=0,
+    size=16,
+    elem=1,
+    lane=0,
+    lanes_covered=16,
+    direction=SrvDirection.UP,
+    data=None,
+):
+    return LsuEntry.make(
+        srv_id=srv_id,
+        is_store=is_store,
+        access=access,
+        addr=addr,
+        size=size,
+        elem=elem,
+        lane=lane,
+        lanes_covered=lanes_covered,
+        region_bytes=REGION,
+        direction=direction,
+        data=data,
+    )
+
+
+class TestAlignment:
+    def test_base_and_offset(self):
+        assert align_base(0xAB10, 64) == 0xAB00
+        assert align_offset(0xAB10, 64) == 0x10
+        assert align_base(0xFF3F, 64) == 0xFF00
+
+    def test_single_region_chunk(self):
+        chunks = chunks_for_access(0xAB10, 16, 64)
+        assert len(chunks) == 1
+        assert chunks[0].base == 0xAB00
+        assert sorted(chunks[0].bytes_accessed.set_indices()) == list(range(16, 32))
+        assert chunks[0].offset == 16
+
+    def test_straddling_chunk(self):
+        # Paper IV-A: "The address space 0x0C-0x4C spans two consecutive
+        # alignment regions."
+        chunks = chunks_for_access(0x0C, 0x40, 64)
+        assert len(chunks) == 2
+        assert chunks[0].base == 0x00 and chunks[1].base == 0x40
+        assert chunks[0].bytes_accessed.popcount() == 64 - 0x0C
+        assert chunks[1].bytes_accessed.popcount() == 0x0C
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            chunks_for_access(0, 0, 64)
+
+
+class TestLaneGeometry:
+    def test_contiguous_up(self):
+        e = make_entry(addr=0x100, size=64, elem=4)
+        assert e.lane_of_byte(0x100) == 0
+        assert e.lane_of_byte(0x100 + 13) == 3
+        assert e.lane_of_byte(0x100 + 63) == 15
+
+    def test_contiguous_down_mirrors(self):
+        e = make_entry(addr=0x100, size=64, elem=4, direction=SrvDirection.DOWN)
+        assert e.lane_of_byte(0x100) == 15
+        assert e.lane_of_byte(0x100 + 63) == 0
+
+    def test_gather_lane_fixed(self):
+        e = make_entry(
+            access=AccessType.GATHER_SCATTER, addr=0x200, size=4, elem=4,
+            lane=7, lanes_covered=1,
+        )
+        assert e.lane_of_byte(0x200) == 7
+        assert e.lane_of_byte(0x203) == 7
+
+    def test_broadcast_span(self):
+        e = make_entry(access=AccessType.BROADCAST, addr=0x300, size=4, elem=4)
+        assert e.lane_span_of_byte(0x300) == (0, 15)
+
+    def test_out_of_range_byte(self):
+        e = make_entry(addr=0x100, size=16)
+        with pytest.raises(ValueError):
+            e.lane_of_byte(0x110)
+
+
+class TestFigure3Vertical:
+    """Store A then load B at the same 16 bytes: full forwarding."""
+
+    def setup_method(self):
+        self.store_a = make_entry(
+            srv_id=0, is_store=True, addr=0xAB10, size=16, elem=1
+        )
+        self.load_b = make_entry(srv_id=1, addr=0xAB10, size=16, elem=1)
+
+    def test_vob_bits_16_to_31(self):
+        vob = vob_for_pair(self.load_b, self.store_a)
+        assert set(vob) == {0xAB00}
+        assert sorted(vob[0xAB00].set_indices()) == list(range(16, 32))
+
+    def test_fully_forwardable_no_violation(self):
+        # Same offsets -> no horizontal violation; all bytes forwardable.
+        ok = forwardable_mask(self.load_b, self.store_a, REGION)
+        assert sorted(ok[0xAB00].set_indices()) == list(range(16, 32))
+        assert not hob_for_pair(self.load_b, self.store_a, REGION)
+
+
+class TestFigure4HorizontalWAR:
+    """Load C (offset 24) against store A (offset 16): bytes 24-31 violate."""
+
+    def setup_method(self):
+        self.store_a = make_entry(
+            srv_id=0, is_store=True, addr=0xAB10, size=16, elem=1
+        )
+        self.load_c = make_entry(srv_id=2, addr=0xAB18, size=16, elem=1)
+
+    def test_vob_bits_24_to_31(self):
+        vob = vob_for_pair(self.load_c, self.store_a)
+        assert sorted(vob[0xAB00].set_indices()) == list(range(24, 32))
+
+    def test_hob_marks_violating_bytes(self):
+        hob = hob_for_pair(self.load_c, self.store_a, REGION)
+        assert sorted(hob[0xAB00].set_indices()) == list(range(24, 32))
+
+    def test_no_bytes_forwardable(self):
+        # "the vector store cannot forward these bytes to the vector load,
+        # and instead the load has to obtain all bytes from the cache."
+        assert not forwardable_mask(self.load_c, self.store_a, REGION)
+
+    def test_reverse_offsets_fully_forwardable(self):
+        """C1: if the load's alignment offset <= the store's, forwardable."""
+        load_early = make_entry(srv_id=3, addr=0xAB08, size=16, elem=1)
+        ok = forwardable_mask(load_early, self.store_a, REGION)
+        assert sorted(ok[0xAB00].set_indices()) == list(range(16, 24))
+        assert not hob_for_pair(load_early, self.store_a, REGION)
+
+
+class TestFigure5SectionIVD:
+    """The worked RAW example: scatter against a prior contiguous load.
+
+    Array ``a`` at 0xFF00, 4-byte elements, v_load covers the whole
+    64-byte region; the scatter writes a[3], a[0], a[1], a[2], a[7], ...
+    Lanes 3, 7, 11, 15 must be flagged for replay.
+    """
+
+    def setup_method(self):
+        self.load = make_entry(srv_id=0, addr=0xFF00, size=64, elem=4)
+        self.x_pattern = []
+        for base in range(0, 16, 4):
+            self.x_pattern += [base + 3, base + 0, base + 1, base + 2]
+
+    def scatter_op(self, lane, target_index):
+        return make_entry(
+            srv_id=1,
+            is_store=True,
+            access=AccessType.GATHER_SCATTER,
+            addr=0xFF00 + 4 * target_index,
+            size=4,
+            elem=4,
+            lane=lane,
+            lanes_covered=1,
+        )
+
+    def test_step1_store_to_a3(self):
+        store = self.scatter_op(0, 3)
+        vob = vob_for_pair(store, self.load)
+        assert sorted(vob[0xFF00].set_indices()) == [12, 13, 14, 15]
+        violation = horizontal_violation_vector(store, self.load, 0xFF00, REGION)
+        # "All but the first 4 bits of the horizontal-violation bit vector
+        # are set to 1."
+        assert sorted(violation.set_indices()) == list(range(4, 64))
+        hob = hob_for_pair(store, self.load, REGION)
+        assert sorted(hob[0xFF00].set_indices()) == [12, 13, 14, 15]
+
+    def test_step2_store_to_a0_no_violation(self):
+        store = self.scatter_op(1, 0)
+        violation = horizontal_violation_vector(store, self.load, 0xFF00, REGION)
+        # "all bits from the 8th inwards are set"
+        assert sorted(violation.set_indices()) == list(range(8, 64))
+        assert not hob_for_pair(store, self.load, REGION)
+
+    def test_step5_store_to_a7(self):
+        store = self.scatter_op(4, 7)
+        hob = hob_for_pair(store, self.load, REGION)
+        assert sorted(hob[0xFF00].set_indices()) == [28, 29, 30, 31]
+
+    def test_full_scatter_flags_lanes_3_7_11_15(self):
+        flagged = set()
+        for lane, target in enumerate(self.x_pattern):
+            store = self.scatter_op(lane, target)
+            hob = overall_hob(store, [self.load], REGION)
+            flagged |= replay_lanes_from_hob(store, hob, [self.load], REGION)
+        assert flagged == {3, 7, 11, 15}
+
+    def test_overall_hob_bytes(self):
+        """ORing all micro-op HOBs gives bits 12-15, 28-31, 44-47, 60-63."""
+        bits = set()
+        for lane, target in enumerate(self.x_pattern):
+            store = self.scatter_op(lane, target)
+            for base, bv in overall_hob(store, [self.load], REGION).items():
+                bits.update(bv.set_indices())
+        expect = set()
+        for start in (12, 28, 44, 60):
+            expect.update(range(start, start + 4))
+        assert bits == expect
+
+
+class TestGatherScatterPairs:
+    """Section IV-C2: lane-field comparisons for gather x scatter."""
+
+    def micro(self, lane, addr, is_store):
+        return make_entry(
+            srv_id=int(is_store),
+            is_store=is_store,
+            access=AccessType.GATHER_SCATTER,
+            addr=addr,
+            size=4,
+            elem=4,
+            lane=lane,
+            lanes_covered=1,
+        )
+
+    def test_load_lane_geq_store_lane_forwardable(self):
+        store = self.micro(3, 0x100, True)
+        load = self.micro(5, 0x100, False)
+        assert forwardable_mask(load, store, REGION)
+        assert not hob_for_pair(load, store, REGION)
+
+    def test_load_lane_equal_forwardable(self):
+        store = self.micro(5, 0x100, True)
+        load = self.micro(5, 0x100, False)
+        assert forwardable_mask(load, store, REGION)
+
+    def test_load_lane_below_store_war(self):
+        store = self.micro(9, 0x100, True)
+        load = self.micro(2, 0x100, False)
+        assert not forwardable_mask(load, store, REGION)
+        assert hob_for_pair(load, store, REGION)
+
+    def test_disjoint_addresses_no_interaction(self):
+        store = self.micro(9, 0x100, True)
+        load = self.micro(2, 0x140, False)  # different alignment region
+        assert not forwardable_mask(load, store, REGION)
+        assert not hob_for_pair(load, store, REGION)
+
+
+class TestContiguousScatterMix:
+    """Section IV-C3: contiguous load x prior scatter and gather x prior
+    contiguous store."""
+
+    def test_contiguous_load_prior_scatter(self):
+        # scatter micro-op lane 9 wrote addr 0x10C; a contiguous load from
+        # 0x100 reads it with lane 3 (elem 4) -> 9 > 3 violates.
+        store = make_entry(
+            srv_id=0, is_store=True, access=AccessType.GATHER_SCATTER,
+            addr=0x10C, size=4, elem=4, lane=9, lanes_covered=1,
+        )
+        load = make_entry(srv_id=1, addr=0x100, size=64, elem=4)
+        hob = hob_for_pair(load, store, REGION)
+        assert sorted(hob[0x100].set_indices()) == [12, 13, 14, 15]
+
+    def test_contiguous_load_prior_scatter_older_lane_ok(self):
+        store = make_entry(
+            srv_id=0, is_store=True, access=AccessType.GATHER_SCATTER,
+            addr=0x10C, size=4, elem=4, lane=2, lanes_covered=1,
+        )
+        load = make_entry(srv_id=1, addr=0x100, size=64, elem=4)
+        assert not hob_for_pair(load, store, REGION)
+        assert forwardable_mask(load, store, REGION)
+
+    def test_gather_prior_contiguous_store(self):
+        # contiguous store covers lanes 0-15 at 0x100; gather micro-op lane
+        # 2 reads 0x120 (store lane 8) -> 8 > 2 violates.
+        store = make_entry(srv_id=0, is_store=True, addr=0x100, size=64, elem=4)
+        load = make_entry(
+            srv_id=1, access=AccessType.GATHER_SCATTER,
+            addr=0x120, size=4, elem=4, lane=2, lanes_covered=1,
+        )
+        assert hob_for_pair(load, store, REGION)
+        load_ok = make_entry(
+            srv_id=2, access=AccessType.GATHER_SCATTER,
+            addr=0x104, size=4, elem=4, lane=5, lanes_covered=1,
+        )
+        assert not hob_for_pair(load_ok, store, REGION)
+        assert forwardable_mask(load_ok, store, REGION)
+
+
+class TestBroadcastPairs:
+    """Section IV-C4: broadcast treated as an access by every lane."""
+
+    def test_broadcast_load_prior_contiguous_store(self):
+        store = make_entry(srv_id=0, is_store=True, addr=0x100, size=64, elem=4)
+        bcast = make_entry(
+            srv_id=1, access=AccessType.BROADCAST, addr=0x120, size=4, elem=4,
+            lane=0, lanes_covered=16,
+        )
+        # byte 0x120 is store lane 8; broadcast lanes 0-7 violate (younger
+        # than the writing lane) -> WAR for the broadcast as a whole.
+        assert hob_for_pair(bcast, store, REGION)
+
+    def test_broadcast_load_of_oldest_lane_data_ok(self):
+        store = make_entry(srv_id=0, is_store=True, addr=0x100, size=64, elem=4)
+        bcast = make_entry(
+            srv_id=1, access=AccessType.BROADCAST, addr=0x100, size=4, elem=4,
+            lane=0, lanes_covered=16,
+        )
+        # store lane for 0x100 is 0; no broadcast lane is younger than 0.
+        assert not hob_for_pair(bcast, store, REGION)
+
+    def test_store_vs_prior_broadcast_load_flags_later_lanes(self):
+        bcast = make_entry(
+            srv_id=0, access=AccessType.BROADCAST, addr=0x100, size=4, elem=4,
+            lane=0, lanes_covered=16,
+        )
+        store = make_entry(
+            srv_id=1, is_store=True, access=AccessType.GATHER_SCATTER,
+            addr=0x100, size=4, elem=4, lane=5, lanes_covered=1,
+        )
+        hob = overall_hob(store, [bcast], REGION)
+        lanes = replay_lanes_from_hob(store, hob, [bcast], REGION)
+        # lanes 6-15 of the broadcast read the byte before lane 5 wrote it.
+        assert lanes == set(range(6, 16))
+
+
+class TestDownDirection:
+    def test_down_reverses_violation(self):
+        """With a DOWN region, higher addresses belong to older lanes, so
+        the figure-4 pattern no longer violates."""
+        store = make_entry(
+            srv_id=0, is_store=True, addr=0xAB10, size=16, elem=1,
+            direction=SrvDirection.DOWN,
+        )
+        load = make_entry(
+            srv_id=1, addr=0xAB18, size=16, elem=1, direction=SrvDirection.DOWN
+        )
+        # Overlap bytes 24-31: store lane = 15-(byte-16), load lane =
+        # 15-(byte-24); store lane < load lane everywhere -> no violation.
+        assert not hob_for_pair(load, store, REGION)
+        assert forwardable_mask(load, store, REGION)
+
+    def test_down_violates_mirrored_pattern(self):
+        store = make_entry(
+            srv_id=0, is_store=True, addr=0xAB18, size=16, elem=1,
+            direction=SrvDirection.DOWN,
+        )
+        load = make_entry(
+            srv_id=1, addr=0xAB10, size=16, elem=1, direction=SrvDirection.DOWN
+        )
+        assert hob_for_pair(load, store, REGION)
+
+
+class TestLoadStoreUnit:
+    def unit(self, **overrides):
+        cfg = TABLE_I.with_overrides(**overrides) if overrides else TABLE_I
+        return LoadStoreUnit(cfg)
+
+    def test_baseline_load_counts_vertical(self):
+        lsu = self.unit()
+        load = make_entry(srv_id=0, addr=0x100, size=64, elem=4)
+        result = lsu.issue_load(load)
+        assert result.any_memory_bytes
+        assert lsu.counters.vertical_disambiguations == 1
+        assert lsu.counters.horizontal_disambiguations == 0
+        assert lsu.counters.cam_lookups_saq == 1
+        assert lsu.counters.cam_lookups_lq == 1
+
+    def test_baseline_forwarding(self):
+        lsu = self.unit()
+        store = make_entry(
+            srv_id=0, is_store=True, addr=0x100, size=64, elem=4,
+            data=bytes(64),
+        )
+        lsu.issue_store(store)
+        result = lsu.issue_load(make_entry(srv_id=1, addr=0x100, size=64, elem=4))
+        assert (0, 0) in result.forwarded_from
+        assert not result.any_memory_bytes
+
+    def test_region_load_counts_horizontal_not_vertical(self):
+        lsu = self.unit()
+        lsu.begin_region()
+        lsu.issue_load(make_entry(srv_id=0, addr=0x100, size=64, elem=4))
+        assert lsu.counters.horizontal_disambiguations == 1
+        assert lsu.counters.vertical_disambiguations == 0
+
+    def test_region_store_counts_both_and_extra_cam(self):
+        lsu = self.unit()
+        lsu.begin_region()
+        store = make_entry(
+            srv_id=0, is_store=True, addr=0x100, size=64, elem=4, data=bytes(64)
+        )
+        lsu.issue_store(store)
+        assert lsu.counters.vertical_disambiguations == 1
+        # horizontal disambiguation searches both LQ and SAQ (empty: one
+        # comparison charged per CAM activation)
+        assert lsu.counters.horizontal_disambiguations == 2
+        assert lsu.counters.cam_lookups_lq == 2   # doubled
+        assert lsu.counters.cam_lookups_saq == 1  # the extra store-buffer CAM
+
+    def test_disambiguation_scales_with_matching_rows(self):
+        """Figure 11 counts bit-vector generations: a load issuing against
+        matching SAQ rows performs more disambiguation work than one with
+        no matches."""
+        lsu = self.unit()
+        lsu.begin_region()
+        for sid in range(3):
+            lsu.issue_store(
+                make_entry(
+                    srv_id=sid, is_store=True, addr=0x100 + 4 * sid, size=4,
+                    elem=4, data=bytes(4),
+                )
+            )
+        before = lsu.counters.horizontal_disambiguations
+        lsu.issue_load(make_entry(srv_id=9, addr=0x100, size=4, elem=4))
+        with_matches = lsu.counters.horizontal_disambiguations - before
+        # same-base rows: 3 matches + 1 activation
+        assert with_matches == 4
+        before = lsu.counters.horizontal_disambiguations
+        lsu.issue_load(make_entry(srv_id=10, addr=0x9000, size=4, elem=4))
+        assert lsu.counters.horizontal_disambiguations - before == 1
+
+    def test_disambiguation_match_work_capped_by_sdq_ports(self):
+        lsu = self.unit()
+        lsu.begin_region()
+        for sid in range(10):
+            lsu.issue_store(
+                make_entry(
+                    srv_id=sid, is_store=True, addr=0x100 + 4 * sid, size=4,
+                    elem=4, data=bytes(4),
+                )
+            )
+        before = lsu.counters.horizontal_disambiguations
+        lsu.issue_load(make_entry(srv_id=20, addr=0x100, size=4, elem=4))
+        cap = lsu.config.ports.sdq_reads
+        assert lsu.counters.horizontal_disambiguations - before == 1 + cap
+
+    def test_figure5_end_to_end(self):
+        lsu = self.unit()
+        lsu.begin_region()
+        lsu.issue_load(make_entry(srv_id=0, addr=0xFF00, size=64, elem=4))
+        pattern = []
+        for base in range(0, 16, 4):
+            pattern += [base + 3, base + 0, base + 1, base + 2]
+        for lane, target in enumerate(pattern):
+            lsu.issue_store(
+                make_entry(
+                    srv_id=1, is_store=True, access=AccessType.GATHER_SCATTER,
+                    addr=0xFF00 + 4 * target, size=4, elem=4, lane=lane,
+                    lanes_covered=1, data=bytes(4),
+                )
+            )
+        lanes = lsu.end_region()
+        assert lanes == {3, 7, 11, 15}
+        assert lsu.in_region  # replay pending: region still active
+
+    def test_end_region_commit_clears(self):
+        lsu = self.unit()
+        lsu.begin_region()
+        store = make_entry(
+            srv_id=0, is_store=True, addr=0x100, size=64, elem=4, data=bytes(64)
+        )
+        lsu.issue_store(store)
+        assert store.speculative
+        assert lsu.end_region() == set()
+        assert not lsu.in_region
+        assert lsu.entries_used() == 0
+
+    def test_war_suppression_counted(self):
+        lsu = self.unit()
+        lsu.begin_region()
+        lsu.issue_store(
+            make_entry(
+                srv_id=0, is_store=True, addr=0xAB10, size=16, elem=1,
+                data=bytes(16),
+            )
+        )
+        result = lsu.issue_load(make_entry(srv_id=1, addr=0xAB18, size=16, elem=1))
+        assert result.war_suppressed
+        assert lsu.counters.war_suppressions == 1
+
+    def test_waw_detected(self):
+        lsu = self.unit()
+        lsu.begin_region()
+        lsu.issue_store(
+            make_entry(
+                srv_id=0, is_store=True, access=AccessType.GATHER_SCATTER,
+                addr=0x120, size=4, elem=4, lane=9, lanes_covered=1, data=bytes(4),
+            )
+        )
+        result = lsu.issue_store(
+            make_entry(
+                srv_id=1, is_store=True, access=AccessType.GATHER_SCATTER,
+                addr=0x120, size=4, elem=4, lane=2, lanes_covered=1, data=bytes(4),
+            )
+        )
+        assert result.waw
+        assert lsu.counters.waw_resolutions == 1
+
+    def test_overflow_in_region_raises(self):
+        lsu = self.unit(lsu_entries=2)
+        lsu.begin_region()
+        lsu.issue_load(make_entry(srv_id=0, addr=0x100, size=4, elem=4))
+        lsu.issue_load(make_entry(srv_id=1, addr=0x200, size=4, elem=4))
+        with pytest.raises(LsuOverflowError):
+            lsu.issue_load(make_entry(srv_id=2, addr=0x300, size=4, elem=4))
+
+    def test_overflow_outside_region_evicts_oldest(self):
+        """Baseline entries belong to committed accesses and drain; the
+        oldest is evicted instead of overflowing."""
+        lsu = self.unit(lsu_entries=2)
+        lsu.issue_load(make_entry(srv_id=0, addr=0x100, size=4, elem=4))
+        lsu.issue_load(make_entry(srv_id=1, addr=0x200, size=4, elem=4))
+        lsu.issue_load(make_entry(srv_id=2, addr=0x300, size=4, elem=4))
+        assert lsu.entries_used() == 2
+        assert (0, 0) not in lsu.lq  # the oldest entry was evicted
+        assert (2, 0) in lsu.lq
+
+    def test_srv_id_reuse_no_overflow(self):
+        """Replays update entries in place (section III-C)."""
+        lsu = self.unit(lsu_entries=1)
+        lsu.begin_region()
+        lsu.issue_load(make_entry(srv_id=0, addr=0x100, size=4, elem=4))
+        # Re-issue of the same SRV-id and lane must not allocate.
+        lsu.issue_load(make_entry(srv_id=0, addr=0x100, size=4, elem=4))
+        assert lsu.entries_used() == 1
+
+    def test_vertical_squash_outside_region(self):
+        lsu = self.unit()
+        # A program-order-younger load issued first (OoO reordering) ...
+        lsu.issue_load(make_entry(srv_id=5, addr=0x100, size=4, elem=4))
+        # ... then the older store to the same address issues: squash.
+        result = lsu.issue_store(
+            make_entry(
+                srv_id=1, is_store=True, addr=0x100, size=4, elem=4, data=bytes(4)
+            )
+        )
+        assert result.vertical_squash
+
+    def test_committed_store_order_last_writer_wins(self):
+        lsu = self.unit()
+        lsu.begin_region()
+        for lane in (9, 2):
+            lsu.issue_store(
+                make_entry(
+                    srv_id=lane, is_store=True, access=AccessType.GATHER_SCATTER,
+                    addr=0x120, size=4, elem=4, lane=lane, lanes_covered=1,
+                    data=bytes([lane] * 4),
+                )
+            )
+        ordered = lsu.committed_store_data()
+        assert [e.lane for e in ordered] == [2, 9]
+
+    def test_abort_region_discards(self):
+        lsu = self.unit()
+        lsu.begin_region()
+        lsu.issue_load(make_entry(srv_id=0, addr=0x100, size=4, elem=4))
+        lsu.abort_region()
+        assert lsu.entries_used() == 0
+        assert not lsu.in_region

@@ -1,0 +1,195 @@
+"""Tests for the memory image and cache timing hierarchy."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MemoryConfig
+from repro.common.errors import MemoryAccessError
+from repro.memory import Cache, CacheHierarchy, MemoryImage, to_signed, to_unsigned
+
+
+class TestIntConversions:
+    def test_roundtrip_signed(self):
+        for size in (1, 2, 4, 8):
+            for value in (0, 1, -1, 127, -128, 2 ** (size * 8 - 1) - 1):
+                assert to_signed(to_unsigned(value, size), size) == value
+
+    def test_wrap(self):
+        assert to_unsigned(-1, 1) == 0xFF
+        assert to_signed(0xFF, 1) == -1
+        assert to_signed(0x7F, 1) == 127
+
+
+class TestMemoryImage:
+    def test_read_write_int(self):
+        mem = MemoryImage(size=4096, base=0x1000)
+        mem.write_int(0x1000, -5, 4)
+        assert mem.read_int(0x1000, 4, signed=True) == -5
+        assert mem.read_int(0x1000, 4, signed=False) == 0xFFFFFFFB
+
+    def test_little_endian(self):
+        mem = MemoryImage(size=4096, base=0x1000)
+        mem.write_int(0x1000, 0x01020304, 4)
+        assert mem.read_bytes(0x1000, 4) == bytes([4, 3, 2, 1])
+
+    def test_out_of_bounds(self):
+        mem = MemoryImage(size=64, base=0x100)
+        with pytest.raises(MemoryAccessError):
+            mem.read_bytes(0x90, 4)
+        with pytest.raises(MemoryAccessError):
+            mem.read_bytes(0x100 + 62, 4)
+
+    def test_alloc_and_arrays(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 10, 4, init=range(10))
+        assert mem.load_array(a) == list(range(10))
+        assert a.base % 64 == 0
+
+    def test_alloc_duplicate_name(self):
+        mem = MemoryImage()
+        mem.alloc("a", 4)
+        with pytest.raises(MemoryAccessError):
+            mem.alloc("a", 4)
+
+    def test_allocation_lookup(self):
+        mem = MemoryImage()
+        mem.alloc("data", 8, 2)
+        assert mem.allocation("data").elem == 2
+        with pytest.raises(MemoryAccessError):
+            mem.allocation("missing")
+
+    def test_allocation_addr_bounds(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 4, 4)
+        assert a.addr(3) == a.base + 12
+        with pytest.raises(MemoryAccessError):
+            a.addr(4)
+
+    def test_allocations_do_not_overlap(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 100, 4)
+        b = mem.alloc("b", 100, 8)
+        assert a.end <= b.base
+
+    def test_store_array_overflow(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 4, 4)
+        with pytest.raises(MemoryAccessError):
+            mem.store_array(a, [1, 2, 3], start=2)
+
+    def test_clone_is_independent(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 4, 4, init=[1, 2, 3, 4])
+        copy = mem.clone()
+        copy.write_int(a.addr(0), 99, 4)
+        assert mem.read_int(a.addr(0), 4) == 1
+        assert copy.allocation("a").base == a.base
+
+    def test_signed_array_roundtrip(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 3, 4, init=[-1, -2, 3])
+        assert mem.load_array(a) == [-1, -2, 3]
+        assert mem.load_array(a, signed=False)[0] == 0xFFFFFFFF
+
+
+class TestCache:
+    def cfg(self, **kw):
+        defaults = dict(size_bytes=1024, associativity=2, hit_latency=1, line_bytes=64)
+        defaults.update(kw)
+        return CacheConfig(**defaults)
+
+    def test_miss_then_hit(self):
+        cache = Cache(self.cfg())
+        hit, _ = cache.access(0x1000, False)
+        assert not hit
+        hit, _ = cache.access(0x1000, False)
+        assert hit
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_same_line_hits(self):
+        cache = Cache(self.cfg())
+        cache.access(0x1000, False)
+        hit, _ = cache.access(0x103F, False)
+        assert hit
+
+    def test_lru_eviction(self):
+        # 2-way set: three conflicting lines evict the least recent.
+        cache = Cache(self.cfg())
+        sets = cache.config.num_sets
+        stride = sets * 64
+        cache.access(0, False)
+        cache.access(stride, False)
+        cache.access(2 * stride, False)  # evicts line 0
+        hit, _ = cache.access(0, False)
+        assert not hit
+
+    def test_lru_touch_on_hit(self):
+        cache = Cache(self.cfg())
+        stride = cache.config.num_sets * 64
+        cache.access(0, False)
+        cache.access(stride, False)
+        cache.access(0, False)                 # touch line 0
+        cache.access(2 * stride, False)        # should evict `stride`
+        hit, _ = cache.access(0, False)
+        assert hit
+
+    def test_dirty_writeback_counted(self):
+        cache = Cache(self.cfg())
+        stride = cache.config.num_sets * 64
+        cache.access(0, True)  # dirty
+        cache.access(stride, False)
+        cache.access(2 * stride, False)  # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate_all(self):
+        cache = Cache(self.cfg())
+        cache.access(0x2000, False)
+        cache.invalidate_all()
+        hit, _ = cache.access(0x2000, False)
+        assert not hit
+
+
+class TestHierarchy:
+    def test_latencies(self):
+        h = CacheHierarchy()
+        cold = h.access(0x4000, 4, False)
+        assert cold == 2 + 7 + h.config.dram_latency
+        l1_hit = h.access(0x4000, 4, False)
+        assert l1_hit == 2
+
+    def test_l2_hit_latency(self):
+        h = CacheHierarchy(
+            MemoryConfig(l1=CacheConfig(128, 2, 2), l2=CacheConfig(4096, 4, 7))
+        )
+        h.access(0, 4, False)
+        # Evict from tiny L1 by touching the same set
+        h.access(128, 4, False)
+        h.access(256, 4, False)
+        latency = h.access(0, 4, False)  # L1 miss, L2 hit
+        assert latency == 2 + 7
+
+    def test_line_straddle_charges_worst_line(self):
+        h = CacheHierarchy()
+        h.access(0x1000, 64, False)       # warm first line
+        latency = h.access(0x103C, 8, False)  # straddles into cold line
+        assert latency > h.config.l1.hit_latency
+
+    def test_stats_accumulate(self):
+        h = CacheHierarchy()
+        h.access(0, 4, False)
+        h.access(0, 4, False)
+        assert h.stats.l1_hits == 1
+        assert h.stats.l1_misses == 1
+        assert h.stats.l2_misses == 1
+
+    def test_warm_preserves_stats(self):
+        h = CacheHierarchy()
+        h.access(0x9000, 4, False)
+        before = (h.stats.l1_hits, h.stats.l1_misses)
+        h.warm(0x5000, 64)
+        assert (h.stats.l1_hits, h.stats.l1_misses) == before
+        assert h.access(0x5000, 4, False) == h.config.l1.hit_latency
+
+    def test_invalid_size(self):
+        h = CacheHierarchy()
+        with pytest.raises(ValueError):
+            h.access(0, 0, False)

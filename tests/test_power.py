@@ -1,0 +1,82 @@
+"""Tests for the McPAT-style power model (section VI-C)."""
+
+import pytest
+
+from repro.compiler import Strategy
+from repro.experiments.runner import run_loop
+from repro.power import LSU_POWER_SHARE, EnergyParams, PowerModel
+from repro.workloads import by_name
+
+
+def stats_for(workload_name: str, strategy: Strategy, loop_index: int = 0):
+    spec = by_name(workload_name).loops[loop_index]
+    run = run_loop(spec, strategy, n_override=128)
+    assert run.correct
+    return run.pipe
+
+
+class TestCalibration:
+    def test_baseline_lsu_share_is_11_percent(self):
+        """Calibration pins the LSU at the paper's 11% of core power."""
+        model = PowerModel()
+        baseline = stats_for("bzip2", Strategy.SCALAR)
+        scale = model.calibrate_scale(baseline)
+        estimate = model.estimate(baseline, scale)
+        assert estimate.lsu_share == pytest.approx(LSU_POWER_SHARE, rel=1e-6)
+
+    def test_scale_positive(self):
+        model = PowerModel()
+        baseline = stats_for("gcc", Strategy.SCALAR)
+        assert model.calibrate_scale(baseline) > 0
+
+    def test_estimate_components(self):
+        model = PowerModel()
+        baseline = stats_for("astar", Strategy.SCALAR)
+        est = model.estimate(baseline, 1.0)
+        assert est.lsu_energy > 0
+        assert est.other_energy > 0
+        assert est.power > 0
+
+
+class TestPowerChange:
+    def test_whole_program_power_change_bounded(self):
+        """Figure 12: the core-level change is within a few percent."""
+        model = PowerModel()
+        for name in ("bzip2", "astar", "is"):
+            workload = by_name(name)
+            base = stats_for(name, Strategy.SCALAR)
+            srv = stats_for(name, Strategy.SRV)
+            delta = model.whole_program_power_change(
+                base, srv, workload.coverage, loop_speedup=2.5
+            )
+            assert -0.10 < delta < 0.10, (name, delta)
+
+    def test_whole_program_validates_inputs(self):
+        model = PowerModel()
+        base = stats_for("gcc", Strategy.SCALAR)
+        srv = stats_for("gcc", Strategy.SRV)
+        with pytest.raises(ValueError):
+            model.whole_program_power_change(base, srv, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            model.whole_program_power_change(base, srv, 0.5, -1.0)
+
+    def test_identical_runs_no_change(self):
+        model = PowerModel()
+        base = stats_for("gcc", Strategy.SCALAR)
+        assert model.power_change(base, base) == pytest.approx(0.0)
+
+    def test_custom_energy_params(self):
+        model = PowerModel(EnergyParams(cam_lookup=10.0))
+        base = stats_for("milc", Strategy.SCALAR)
+        srv = stats_for("milc", Strategy.SRV)
+        delta = model.power_change(base, srv)
+        assert isinstance(delta, float)
+
+    def test_srv_cam_lookups_exceed_per_instruction(self):
+        """Inside regions stores double their CAM lookups plus one extra:
+        SRV's lookups-per-memory-op must exceed the baseline's."""
+        base = stats_for("bzip2", Strategy.SCALAR)
+        srv = stats_for("bzip2", Strategy.SRV)
+        base_rate = base.lsu.total_cam_lookups / max(base.loads + base.stores, 1)
+        srv_rate = srv.lsu.total_cam_lookups / max(srv.loads + srv.stores, 1)
+        assert srv_rate > base_rate

@@ -1,0 +1,156 @@
+"""Tests for reduction statements and their SRV legality boundary."""
+
+import pytest
+
+from repro.common.errors import CompilerError
+from repro.compiler import (
+    Affine,
+    BinOp,
+    Const,
+    Indirect,
+    Loop,
+    Read,
+    Reduce,
+    Store,
+    Strategy,
+    compile_loop,
+    scalar_reference,
+)
+from repro.emu import run_program
+from repro.memory import MemoryImage
+
+N = 48
+
+
+def sum_loop():
+    """acc[0] += a[i] * 2 — a clean, vectorisable reduction."""
+    return Loop(
+        "sum", {"a": 4, "acc": 8},
+        [Reduce("acc", "+", BinOp("*", Read("a", Affine()), Const(2)))],
+    )
+
+
+def minmax_loop():
+    return Loop(
+        "minmax", {"a": 4, "lo": 4, "hi": 4},
+        [
+            Reduce("lo", "min", Read("a", Affine())),
+            Reduce("hi", "max", Read("a", Affine())),
+        ],
+    )
+
+
+def unsafe_reduction_loop():
+    """Reduction + an unknown-dependence store: not SRV-vectorisable."""
+    return Loop(
+        "unsafe_red", {"a": 4, "x": 4, "acc": 8},
+        [
+            Store("a", Indirect("x"), BinOp("+", Read("a", Affine()), Const(1))),
+            Reduce("acc", "+", Read("a", Affine())),
+        ],
+    )
+
+
+def run_strategy(loop, arrays, strategy, n=N):
+    mem = MemoryImage()
+    for name, init in arrays.items():
+        mem.alloc(name, len(init), loop.arrays[name], init=init)
+    program = compile_loop(loop, mem, n, strategy)
+    metrics, _ = run_program(program, mem)
+    return {name: mem.load_array(mem.allocation(name)) for name in arrays}, metrics, program
+
+
+class TestIr:
+    def test_invalid_op_rejected(self):
+        with pytest.raises(CompilerError):
+            Reduce("acc", "*", Const(1))
+
+    def test_unknown_array_rejected(self):
+        with pytest.raises(CompilerError):
+            Loop("bad", {"a": 4}, [Reduce("acc", "+", Read("a", Affine()))])
+
+    def test_memory_reference_count_includes_accumulator(self):
+        assert sum_loop().memory_reference_count() == 3  # read + acc ld/st
+
+    def test_oracle_semantics(self):
+        arrays = {"a": [1, -2, 3, 4], "acc": [10]}
+        out = scalar_reference(sum_loop(), arrays, 4)
+        assert out["acc"] == [10 + 2 * (1 - 2 + 3 + 4)]
+
+    def test_oracle_minmax(self):
+        arrays = {"a": [5, -3, 9, 0], "lo": [100], "hi": [-100]}
+        out = scalar_reference(minmax_loop(), arrays, 4)
+        assert out["lo"] == [-3] and out["hi"] == [9]
+
+
+class TestCodegen:
+    @pytest.mark.parametrize("strategy", [Strategy.SCALAR, Strategy.SVE])
+    def test_sum_matches_oracle(self, strategy):
+        arrays = {"a": [(7 * i - 20) % 101 for i in range(N)], "acc": [5]}
+        ref = scalar_reference(sum_loop(), arrays, N)
+        out, _, _ = run_strategy(sum_loop(), arrays, strategy)
+        assert out["acc"] == ref["acc"]
+
+    @pytest.mark.parametrize("strategy", [Strategy.SCALAR, Strategy.SVE])
+    def test_minmax_matches_oracle(self, strategy):
+        arrays = {
+            "a": [((i * 37) % 200) - 100 for i in range(N)],
+            "lo": [2**31 - 1],
+            "hi": [-(2**31)],
+        }
+        ref = scalar_reference(minmax_loop(), arrays, N)
+        out, _, _ = run_strategy(minmax_loop(), arrays, strategy)
+        assert out["lo"] == ref["lo"] and out["hi"] == ref["hi"]
+
+    def test_sve_vectorises_clean_reduction(self):
+        arrays = {"a": list(range(N)), "acc": [0]}
+        _, metrics, _ = run_strategy(sum_loop(), arrays, Strategy.SVE)
+        assert metrics.vector_instructions > 0
+
+    def test_partial_tail_group(self):
+        n = 21  # not a multiple of the vector length
+        arrays = {"a": list(range(100)), "acc": [3]}
+        ref = scalar_reference(sum_loop(), arrays, n)
+        out, _, _ = run_strategy(sum_loop(), arrays, Strategy.SVE, n=n)
+        assert out["acc"] == ref["acc"]
+
+
+class TestSrvLegality:
+    def test_region_codegen_rejects_reductions(self):
+        from repro.compiler.codegen import LoopCodeGenerator
+
+        mem = MemoryImage()
+        mem.alloc("a", N, 4, init=range(N))
+        mem.alloc("acc", 1, 8, init=[0])
+        gen = LoopCodeGenerator(sum_loop(), mem, N)
+        with pytest.raises(CompilerError):
+            gen.vector_program(srv=True)
+
+    def test_srv_strategy_vectorises_clean_reduction_without_region(self):
+        arrays = {"a": list(range(N)), "acc": [0]}
+        out, metrics, program = run_strategy(sum_loop(), arrays, Strategy.SRV)
+        assert metrics.vector_instructions > 0
+        assert program.region_spans() == []  # no srv_start emitted
+        assert out["acc"][0] == 2 * sum(range(N))
+
+    def test_srv_strategy_falls_back_scalar_for_unsafe_reduction(self):
+        arrays = {
+            "a": list(range(N)),
+            "x": list(range(N)),
+            "acc": [0],
+        }
+        ref = scalar_reference(unsafe_reduction_loop(), arrays, N)
+        out, metrics, program = run_strategy(
+            unsafe_reduction_loop(), arrays, Strategy.SRV
+        )
+        assert metrics.vector_instructions == 0  # scalar fallback
+        assert out["a"] == ref["a"] and out["acc"] == ref["acc"]
+
+    def test_flexvec_falls_back_for_reductions(self):
+        arrays = {"a": list(range(N)), "x": list(range(N)), "acc": [0]}
+        ref = scalar_reference(unsafe_reduction_loop(), arrays, N)
+        out, metrics, _ = run_strategy(
+            unsafe_reduction_loop(), arrays, Strategy.FLEXVEC
+        )
+        assert metrics.vector_instructions == 0
+        assert out["acc"] == ref["acc"]

@@ -1,0 +1,74 @@
+"""Tests for pipeline resource trackers (ports and capacity buffers)."""
+
+import pytest
+
+from repro.pipeline.resources import CapacityTracker, PortPool
+
+
+class TestPortPool:
+    def test_slots_within_limit_share_cycle(self):
+        pool = PortPool({"load": 2})
+        assert pool.reserve("load", 5) == 5
+        assert pool.reserve("load", 5) == 5
+        assert pool.reserve("load", 5) == 6  # third load spills to next cycle
+
+    def test_later_ready_time_respected(self):
+        pool = PortPool({"store": 1})
+        assert pool.reserve("store", 3) == 3
+        assert pool.reserve("store", 10) == 10
+
+    def test_backfill_not_allowed_before_ready(self):
+        pool = PortPool({"store": 1})
+        pool.reserve("store", 5)
+        assert pool.reserve("store", 4) == 4  # earlier cycle still free
+
+    def test_kinds_isolated(self):
+        pool = PortPool({"load": 1, "store": 1})
+        assert pool.reserve("load", 2) == 2
+        assert pool.reserve("store", 2) == 2
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            PortPool({"load": 0})
+
+    def test_usage_query(self):
+        pool = PortPool({"load": 2})
+        pool.reserve("load", 7)
+        assert pool.usage_at("load", 7) == 1
+        assert pool.usage_at("load", 8) == 0
+
+
+class TestCapacityTracker:
+    def test_under_capacity_no_stall(self):
+        t = CapacityTracker(4)
+        for i in range(4):
+            assert t.allocate(i) == i
+            t.release(i + 100)
+
+    def test_at_capacity_waits_for_release(self):
+        t = CapacityTracker(2)
+        assert t.allocate(0) == 0
+        t.release(10)
+        assert t.allocate(1) == 1
+        t.release(20)
+        # full: next allocation waits for the earliest release (10)
+        assert t.allocate(2) == 10
+        t.release(30)
+        assert t.allocate(5) == 20
+
+    def test_ready_after_release_no_stall(self):
+        t = CapacityTracker(1)
+        t.allocate(0)
+        t.release(5)
+        assert t.allocate(50) == 50
+
+    def test_stall_cycles_accumulated(self):
+        t = CapacityTracker(1)
+        t.allocate(0)
+        t.release(10)
+        t.allocate(2)
+        assert t.stall_cycles == 8
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CapacityTracker(0)

@@ -1,0 +1,131 @@
+"""Direct unit tests for the SRV speculative buffer."""
+
+import pytest
+
+from repro.emu.metrics import SrvMetrics
+from repro.emu.speculative import SpeculativeBuffer
+from repro.memory import MemoryImage
+
+
+@pytest.fixture
+def mem():
+    image = MemoryImage(size=4096, base=0x1000)
+    for i in range(64):
+        image.write_int(0x1000 + 4 * i, 1000 + i, 4)
+    return image
+
+
+@pytest.fixture
+def buffer(mem):
+    return SpeculativeBuffer(mem, SrvMetrics())
+
+
+class TestLoadForwarding:
+    def test_memory_when_empty(self, buffer):
+        value, forwarded = buffer.load(0x1000, 4, lane=0, instr=0)
+        assert value == 1000
+        assert not forwarded
+
+    def test_same_lane_earlier_instr_forwards(self, buffer):
+        buffer.store(0x1000, 4, 77, lane=2, instr=0)
+        value, forwarded = buffer.load(0x1000, 4, lane=2, instr=1)
+        assert value == 77 and forwarded
+
+    def test_older_lane_forwards(self, buffer):
+        buffer.store(0x1000, 4, 55, lane=1, instr=3)
+        value, forwarded = buffer.load(0x1000, 4, lane=9, instr=0)
+        # lane 9 instr 0 is sequentially later than lane 1 instr 3
+        assert value == 55 and forwarded
+
+    def test_later_lane_suppressed_war(self, buffer):
+        buffer.store(0x1000, 4, 99, lane=9, instr=0)
+        value, forwarded = buffer.load(0x1000, 4, lane=1, instr=1)
+        assert value == 1000            # memory, not the future store
+        assert not forwarded
+        assert buffer.metrics.war_events == 1
+
+    def test_latest_older_store_wins(self, buffer):
+        buffer.store(0x1000, 4, 11, lane=0, instr=0)
+        buffer.store(0x1000, 4, 22, lane=3, instr=0)
+        value, _ = buffer.load(0x1000, 4, lane=8, instr=1)
+        assert value == 22
+
+    def test_partial_byte_forwarding(self, buffer):
+        """Bytes mix buffered-store data and memory (Witt-style)."""
+        buffer.store(0x1002, 2, 0xBEEF, lane=0, instr=0)
+        value, forwarded = buffer.load(0x1000, 4, lane=1, instr=1)
+        assert forwarded
+        assert value & 0xFFFF == 1000 & 0xFFFF       # low bytes from memory
+        assert value >> 16 == 0xBEEF                 # high bytes forwarded
+
+
+class TestRawDetection:
+    def test_store_flags_later_lane_load(self, buffer):
+        buffer.load(0x1008, 4, lane=5, instr=0)
+        buffer.store(0x1008, 4, 1, lane=2, instr=1)
+        assert buffer.needs_replay == {5}
+        assert buffer.metrics.raw_violations == 1
+
+    def test_store_ignores_older_lane_load(self, buffer):
+        buffer.load(0x1008, 4, lane=1, instr=0)
+        buffer.store(0x1008, 4, 1, lane=4, instr=1)
+        assert buffer.needs_replay == set()
+
+    def test_no_flag_without_overlap(self, buffer):
+        buffer.load(0x1008, 4, lane=5, instr=0)
+        buffer.store(0x1020, 4, 1, lane=2, instr=1)
+        assert buffer.needs_replay == set()
+
+    def test_load_after_store_not_flagged(self, buffer):
+        """A load that executes after the store forwarded correctly."""
+        buffer.store(0x1008, 4, 9, lane=2, instr=0)
+        buffer.load(0x1008, 4, lane=5, instr=1)
+        assert buffer.needs_replay == set()
+
+
+class TestCommit:
+    def test_commit_sequential_order(self, buffer, mem):
+        buffer.store(0x1000, 4, 111, lane=5, instr=0)   # sequentially later
+        buffer.store(0x1000, 4, 222, lane=2, instr=0)   # earlier
+        buffer.commit()
+        assert mem.read_int(0x1000, 4) == 111           # lane 5 wins
+
+    def test_replay_updates_entry_in_place(self, buffer, mem):
+        buffer.store(0x1000, 4, 1, lane=3, instr=0)
+        buffer.store(0x1000, 4, 2, lane=3, instr=0)     # replay: same SRV-id
+        buffer.commit()
+        assert mem.read_int(0x1000, 4) == 2
+        assert buffer.lsu_entries_used() == 1
+
+    def test_discard(self, buffer, mem):
+        buffer.store(0x1000, 4, 5, lane=0, instr=0)
+        buffer.discard()
+        buffer.commit()
+        assert mem.read_int(0x1000, 4) == 1000
+
+    def test_commit_prefix(self, buffer, mem):
+        buffer.store(0x1000, 4, 10, lane=0, instr=0)   # older lane: committed
+        buffer.store(0x1004, 4, 20, lane=2, instr=0)   # oldest active, <= offset
+        buffer.store(0x1008, 4, 30, lane=2, instr=5)   # beyond offset: dropped
+        buffer.store(0x100C, 4, 40, lane=7, instr=0)   # younger lane: dropped
+        buffer.commit_prefix(oldest_lane=2, offset=3)
+        assert mem.read_int(0x1000, 4) == 10
+        assert mem.read_int(0x1004, 4) == 20
+        assert mem.read_int(0x1008, 4) == 1002   # untouched
+        assert mem.read_int(0x100C, 4) == 1003   # untouched
+        assert buffer.lsu_entries_used() == 0
+        assert buffer.needs_replay == set()
+
+
+class TestTmMode:
+    def test_war_aborts_writing_lane(self, mem):
+        buffer = SpeculativeBuffer(mem, SrvMetrics(), tm_mode=True)
+        buffer.store(0x1000, 4, 99, lane=9, instr=0)
+        buffer.load(0x1000, 4, lane=1, instr=1)
+        assert 9 in buffer.needs_replay
+        assert buffer.metrics.tm_war_replays == 1
+
+    def test_srv_mode_does_not(self, buffer):
+        buffer.store(0x1000, 4, 99, lane=9, instr=0)
+        buffer.load(0x1000, 4, lane=1, instr=1)
+        assert buffer.needs_replay == set()

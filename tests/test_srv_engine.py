@@ -1,0 +1,218 @@
+"""Tests for the SRV region-control engine (paper section III-D)."""
+
+import pytest
+
+from repro.common.bitvec import BitVector
+from repro.common.errors import (
+    NestedSrvRegionError,
+    ReplayBoundExceededError,
+    SrvRegionStateError,
+)
+from repro.isa.instructions import SrvDirection
+from repro.srv import NORMAL_EXECUTION_PC, RegionOutcome, SrvEngine
+
+LANES = 16
+
+
+def engine():
+    return SrvEngine(lanes=LANES)
+
+
+class TestRegionLifecycle:
+    def test_start_sets_registers(self):
+        e = engine()
+        e.start_region(0x40, SrvDirection.DOWN)
+        assert e.regs.in_region
+        assert e.regs.restart_pc == 0x40
+        assert e.regs.replay.all()
+        assert e.regs.needs_replay.none()
+        assert e.regs.direction is SrvDirection.DOWN
+
+    def test_outside_region_restart_pc_is_zero(self):
+        e = engine()
+        assert e.regs.restart_pc == NORMAL_EXECUTION_PC
+        assert not e.regs.in_region
+
+    def test_nested_start_rejected(self):
+        e = engine()
+        e.start_region(0x40)
+        with pytest.raises(NestedSrvRegionError):
+            e.start_region(0x80)
+
+    def test_restart_pc_zero_reserved(self):
+        with pytest.raises(SrvRegionStateError):
+            engine().start_region(NORMAL_EXECUTION_PC)
+
+    def test_end_without_start_rejected(self):
+        with pytest.raises(SrvRegionStateError):
+            engine().end_region()
+
+    def test_clean_end_commits(self):
+        e = engine()
+        e.start_region(0x40)
+        decision = e.end_region()
+        assert decision.outcome is RegionOutcome.COMMIT
+        assert not decision.restart
+        assert not e.regs.in_region
+        assert e.serialisation_points == 1
+
+    def test_violation_outside_region_rejected(self):
+        with pytest.raises(SrvRegionStateError):
+            engine().record_violation({3})
+
+
+class TestReplayDecision:
+    def test_violations_trigger_replay(self):
+        e = engine()
+        e.start_region(0x40)
+        e.record_violation({3, 7, 11, 15})
+        decision = e.end_region()
+        assert decision.restart
+        assert sorted(decision.replay_lanes.set_indices()) == [3, 7, 11, 15]
+        # SRV-needs-replay copied into SRV-replay; sticky bits cleared.
+        assert sorted(e.regs.replay.set_indices()) == [3, 7, 11, 15]
+        assert e.regs.needs_replay.none()
+        assert e.regs.in_region
+
+    def test_sticky_accumulation(self):
+        e = engine()
+        e.start_region(0x40)
+        e.record_violation({3})
+        e.record_violation({7})
+        e.record_violation(BitVector.from_indices(LANES, [3, 11]))
+        assert sorted(e.regs.needs_replay.set_indices()) == [3, 7, 11]
+
+    def test_second_clean_pass_commits(self):
+        e = engine()
+        e.start_region(0x40)
+        e.record_violation({5})
+        assert e.end_region().restart
+        decision = e.end_region()
+        assert decision.outcome is RegionOutcome.COMMIT
+        assert e.rollbacks_this_region == 1
+
+    def test_rollback_bound_enforced(self):
+        e = engine()
+        e.start_region(0x40)
+        for _ in range(LANES - 1):
+            e.record_violation({15})
+            assert e.end_region().restart
+        e.record_violation({15})
+        with pytest.raises(ReplayBoundExceededError):
+            e.end_region()
+
+    def test_bound_can_be_disabled(self):
+        e = SrvEngine(lanes=4, enforce_bound=False)
+        e.start_region(0x40)
+        for _ in range(10):
+            e.record_violation({3})
+            e.end_region()
+        assert e.total_rollbacks == 10
+
+    def test_oldest_active_lane(self):
+        e = engine()
+        e.start_region(0x40)
+        assert e.regs.oldest_active_lane == 0
+        e.record_violation({5, 9})
+        e.end_region()
+        assert e.regs.oldest_active_lane == 5
+
+
+class TestContextSwitch:
+    def test_save_captures_three_values(self):
+        e = engine()
+        e.start_region(0x40)
+        e.record_violation({6})
+        e.end_region()  # replay pass for lane 6
+        saved = e.save_context(current_pc=0x44)
+        assert saved.current_pc == 0x44
+        assert saved.restart_pc == 0x40
+        assert sorted(saved.replay.set_indices()) == [6]
+        assert not e.regs.in_region  # engine state cleared after save
+
+    def test_save_outside_region_rejected(self):
+        with pytest.raises(SrvRegionStateError):
+            engine().save_context(0x44)
+
+    def test_resume_restores_only_oldest_lane(self):
+        """Section III-D2: only the oldest saved lane resumes; all younger
+        lanes are marked needs-replay."""
+        e = engine()
+        e.start_region(0x40)
+        saved = e.save_context(0x44)  # replay register was all lanes
+        e.resume_context(saved)
+        assert e.regs.in_region
+        assert sorted(e.regs.replay.set_indices()) == [0]
+        assert sorted(e.regs.needs_replay.set_indices()) == list(range(1, LANES))
+
+    def test_resume_mid_replay(self):
+        e = engine()
+        e.start_region(0x40)
+        e.record_violation({4, 9})
+        e.end_region()
+        saved = e.save_context(0x48)
+        e.resume_context(saved)
+        assert sorted(e.regs.replay.set_indices()) == [4]
+        # lanes younger than 4 (5..15) marked, including 9.
+        assert sorted(e.regs.needs_replay.set_indices()) == list(range(5, LANES))
+
+    def test_resume_into_active_region_rejected(self):
+        e = engine()
+        e.start_region(0x40)
+        saved = e.save_context(0x44)
+        e.resume_context(saved)
+        with pytest.raises(SrvRegionStateError):
+            e.resume_context(saved)
+
+
+class TestExceptions:
+    def test_oldest_lane_delivers(self):
+        e = engine()
+        e.start_region(0x40)
+        decision = e.exception_in_lane(0)
+        assert decision.deliver
+        assert decision.reexecute_lanes.none()
+
+    def test_younger_lane_marks_reexecution(self):
+        """Section III-D3: a fault in a speculative lane marks that lane
+        and all younger ones for re-execution instead of delivering."""
+        e = engine()
+        e.start_region(0x40)
+        decision = e.exception_in_lane(5)
+        assert not decision.deliver
+        assert sorted(decision.reexecute_lanes.set_indices()) == list(range(5, LANES))
+        assert sorted(e.regs.needs_replay.set_indices()) == list(range(5, LANES))
+
+    def test_oldest_lane_tracks_replay_set(self):
+        e = engine()
+        e.start_region(0x40)
+        e.record_violation({4, 8})
+        e.end_region()
+        assert e.exception_in_lane(4).deliver
+        decision = e.exception_in_lane(8)
+        assert not decision.deliver
+        # only active lanes are re-marked
+        assert sorted(decision.reexecute_lanes.set_indices()) == [8]
+
+    def test_exception_outside_region_rejected(self):
+        with pytest.raises(SrvRegionStateError):
+            engine().exception_in_lane(0)
+
+    def test_lane_out_of_range(self):
+        e = engine()
+        e.start_region(0x40)
+        with pytest.raises(SrvRegionStateError):
+            e.exception_in_lane(16)
+
+
+class TestStatistics:
+    def test_region_and_rollback_counters(self):
+        e = engine()
+        for _ in range(3):
+            e.start_region(0x40)
+            e.record_violation({2})
+            e.end_region()
+            e.end_region()
+        assert e.regions_entered == 3
+        assert e.total_rollbacks == 3
+        assert e.serialisation_points == 6

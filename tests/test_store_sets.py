@@ -1,0 +1,74 @@
+"""Tests for the store-set memory-dependence predictor."""
+
+from repro.pipeline.store_sets import StoreSetPredictor
+
+
+class TestColdBehaviour:
+    def test_untrained_load_has_no_dependence(self):
+        p = StoreSetPredictor()
+        assert p.load_depends_on(0x40) is None
+
+    def test_untrained_store_does_not_register(self):
+        p = StoreSetPredictor()
+        p.store_fetched(0x80, 5)
+        assert p.load_depends_on(0x40) is None
+
+
+class TestTraining:
+    def test_violation_creates_dependence(self):
+        p = StoreSetPredictor()
+        p.record_violation(load_pc=0x40, store_pc=0x80)
+        p.store_fetched(0x80, 7)
+        assert p.load_depends_on(0x40) == 7
+
+    def test_dependence_cleared_when_store_retires(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x40, 0x80)
+        p.store_fetched(0x80, 7)
+        p.store_retired(0x80, 7)
+        assert p.load_depends_on(0x40) is None
+
+    def test_retire_of_stale_instance_keeps_newer(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x40, 0x80)
+        p.store_fetched(0x80, 7)
+        p.store_fetched(0x80, 9)   # newer in-flight instance
+        p.store_retired(0x80, 7)   # stale retire must not clear
+        assert p.load_depends_on(0x40) == 9
+
+    def test_merge_into_existing_set(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x40, 0x80)
+        p.record_violation(0x44, 0x80)  # second load joins the same set
+        p.store_fetched(0x80, 3)
+        assert p.load_depends_on(0x40) == 3
+        assert p.load_depends_on(0x44) == 3
+
+    def test_two_sets_merge_to_lower_id(self):
+        """Merging reassigns only the two PCs involved (Chrysos & Emer):
+        after merging, 0x40 and 0x84 share set 0 while 0x44 stays in set 1."""
+        p = StoreSetPredictor()
+        p.record_violation(0x40, 0x80)   # set 0
+        p.record_violation(0x44, 0x84)   # set 1
+        p.record_violation(0x40, 0x84)   # merge the pair into set 0
+        p.store_fetched(0x84, 11)
+        assert p.load_depends_on(0x40) == 11
+        assert p.load_depends_on(0x44) is None
+
+    def test_stats(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x40, 0x80)
+        p.store_fetched(0x80, 1)
+        p.load_depends_on(0x40)
+        assert p.stats.merges == 1
+        assert p.stats.load_waits == 1
+
+
+class TestAliasing:
+    def test_pc_aliasing_within_table(self):
+        """PCs separated by the table size share SSIT slots — the standard
+        constructive-aliasing behaviour of the original design."""
+        p = StoreSetPredictor(entries=16)
+        p.record_violation(0x3, 0x8)
+        p.store_fetched(0x8 + 16, 4)  # aliases with 0x8
+        assert p.load_depends_on(0x3 + 16) == 4
