@@ -4,12 +4,21 @@
 Runs all ten experiment harnesses (section II limit study, figures 6-13,
 and the headline aggregates) at full workload sizes and prints each table.
 Pass ``--quick`` to trim trip counts for a fast smoke run.
+
+The sweep is hardened: completed loop runs are checkpointed to disk after
+every run (``--checkpoint``, atomic writes), so killing the script and
+re-running it resumes where it stopped instead of re-executing finished
+work.  A failing experiment is recorded as a structured failure table and
+the sweep continues with the next one.
 """
 
 import argparse
+import sys
 import time
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.common.errors import ReproError
+from repro.experiments import ALL_EXPERIMENTS, ExperimentResult, enable_checkpoint
+from repro.experiments.runner import RunFailure
 
 ORDER = (
     "limit_study",
@@ -24,8 +33,10 @@ ORDER = (
     "headline",
 )
 
+DEFAULT_CHECKPOINT = "results/experiments.ckpt"
 
-def main() -> None:
+
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true",
@@ -35,19 +46,47 @@ def main() -> None:
         "--only", choices=ORDER, default=None,
         help="run a single experiment",
     )
+    parser.add_argument(
+        "--checkpoint", default=DEFAULT_CHECKPOINT, metavar="PATH",
+        help="checkpoint file for resumable sweeps "
+             f"(default: {DEFAULT_CHECKPOINT})",
+    )
+    parser.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="disable checkpointing (every run re-executes)",
+    )
     args = parser.parse_args()
     n_override = 128 if args.quick else None
 
+    if not args.no_checkpoint:
+        resumed = enable_checkpoint(args.checkpoint)
+        if resumed:
+            print(f"[resumed {resumed} completed runs from {args.checkpoint}]")
+
+    failed = 0
     names = [args.only] if args.only else list(ORDER)
     for name in names:
         start = time.perf_counter()
-        result = ALL_EXPERIMENTS[name](n_override=n_override)
+        try:
+            result = ALL_EXPERIMENTS[name](n_override=n_override)
+        except ReproError as exc:
+            failed += 1
+            result = ExperimentResult(
+                name=name,
+                title=f"{name}: FAILED ({type(exc).__name__})",
+                columns=("error",),
+            )
+            result.failures.append(RunFailure(
+                loop="-", strategy="-", seed=0, stage="experiment",
+                error=type(exc).__name__, message=str(exc),
+            ))
         elapsed = time.perf_counter() - start
         print("=" * 72)
         print(result.format_table())
         print(f"[{name}: {elapsed:.1f}s]")
         print()
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

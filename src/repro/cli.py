@@ -6,7 +6,11 @@ Commands:
 * ``experiment <name>`` — regenerate one paper figure/table (or ``all``);
 * ``loop <workload> <loop>`` — run one loop under every strategy and
   print instructions/cycles/violations;
-* ``disasm <workload> <loop> [strategy]`` — show the generated program.
+* ``disasm <workload> <loop> [strategy]`` — show the generated program;
+* ``verify [workload]`` — run the invariant monitors, scalar-reference
+  oracle, and LSU differential cross-check over workload loops;
+* ``inject`` — run the fault-injection campaign and report which checker
+  detected each injected corruption.
 """
 
 from __future__ import annotations
@@ -87,6 +91,52 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.differential import verify_loop
+    from repro.workloads import ALL_WORKLOADS
+
+    strategy = Strategy(args.strategy)
+    if args.workload:
+        try:
+            workloads = [by_name(args.workload)]
+        except KeyError:
+            print(f"unknown workload {args.workload!r}; choose from: "
+                  f"{', '.join(w.name for w in ALL_WORKLOADS)}",
+                  file=sys.stderr)
+            return 2
+    else:
+        workloads = list(ALL_WORKLOADS)
+
+    total = violations = 0
+    for workload in workloads:
+        for spec in workload.loops:
+            if args.loop and args.loop not in spec.name:
+                continue
+            report = verify_loop(
+                spec, strategy, seed=args.seed,
+                n_override=args.n, timing=not args.no_timing,
+            )
+            total += 1
+            violations += len(report.violations)
+            for line in report.format_lines():
+                print(line)
+    print(f"\n{total} loop(s) verified, {violations} violation(s)")
+    return 1 if violations else 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from repro.verify.campaign import default_catalogue, run_campaign
+    from repro.verify.faults import FaultClass
+
+    catalogue = default_catalogue()
+    if args.fault != "all":
+        wanted = FaultClass(args.fault)
+        catalogue = [e for e in catalogue if e.spec.fault is wanted]
+    result = run_campaign(catalogue)
+    print(result.format_table())
+    return 0 if result.all_detected else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -111,12 +161,39 @@ def main(argv: list[str] | None = None) -> int:
     p_dis.add_argument("-n", type=int, default=None)
     p_dis.add_argument("--seed", type=int, default=0)
 
+    p_ver = sub.add_parser(
+        "verify",
+        help="run invariant monitors + differential oracle over loops",
+    )
+    p_ver.add_argument("workload", nargs="?", default=None,
+                       help="workload to verify (default: all)")
+    p_ver.add_argument("--loop", default=None,
+                       help="restrict to loops whose name contains this")
+    p_ver.add_argument("--strategy", default="srv",
+                       choices=[s.value for s in Strategy])
+    p_ver.add_argument("-n", type=int, default=128,
+                       help="trip-count override (default 128)")
+    p_ver.add_argument("--seed", type=int, default=0)
+    p_ver.add_argument("--no-timing", action="store_true",
+                       help="skip the LSU differential cross-check")
+
+    from repro.verify.faults import FaultClass
+
+    p_inj = sub.add_parser(
+        "inject", help="run the fault-injection campaign"
+    )
+    p_inj.add_argument("--fault", default="all",
+                       choices=["all"] + [f.value for f in FaultClass],
+                       help="restrict the campaign to one fault class")
+
     args = parser.parse_args(argv)
     handler = {
         "list": _cmd_list,
         "experiment": _cmd_experiment,
         "loop": _cmd_loop,
         "disasm": _cmd_disasm,
+        "verify": _cmd_verify,
+        "inject": _cmd_inject,
     }[args.command]
     return handler(args)
 

@@ -116,6 +116,10 @@ class MachineConfig:
     #: keeps no cache-line versions — WAR violations force lane
     #: re-execution in addition to RAW.
     srv_tm_mode: bool = False
+    #: Run every SRV-region through the section III-D7 sequential fallback
+    #: regardless of LSU demand.  The hardened experiment runner uses this
+    #: to degrade gracefully when the cycle model hits an LSU overflow.
+    srv_force_sequential: bool = False
 
     def __post_init__(self) -> None:
         if self.vector_lanes <= 0:

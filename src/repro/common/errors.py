@@ -55,3 +55,27 @@ class DependenceAnalysisError(CompilerError):
 
 class PipelineError(ReproError):
     """Inconsistent microarchitectural state in the cycle model."""
+
+
+class OracleMismatchError(ReproError):
+    """A run's architectural result diverged from the scalar reference.
+
+    Carries the loop name, the strategy that produced the wrong result,
+    and the first mismatching array so sweeps can report precisely what
+    broke instead of dying on a bare assertion.
+    """
+
+    def __init__(self, loop: str, strategy: str, array: str | None) -> None:
+        self.loop = loop
+        self.strategy = strategy
+        self.array = array
+        where = f" (first mismatching array: {array!r})" if array else ""
+        super().__init__(
+            f"loop {loop!r} under strategy {strategy!r} diverged from the "
+            f"scalar reference oracle{where}"
+        )
+
+
+class RunTimeoutError(ReproError):
+    """A single experiment run exceeded its wall-clock budget."""
+

@@ -64,6 +64,7 @@ from repro.isa.instructions import (
 from repro.isa.program import Program
 from repro.memory.image import MemoryImage, to_signed, to_unsigned
 from repro.pipeline.trace import MemAccess, OpClass, RegionEvent, Tracer
+from repro.verify import faults as _faults
 
 
 def _alu(op, a: int, b: int | None, c: int = 0) -> int:
@@ -238,6 +239,8 @@ class Interpreter:
         buffer: SpeculativeBuffer | None,
         region_offset: int,
     ) -> int:
+        if _faults.ACTIVE is not None and buffer is not None:
+            addr = _faults.ACTIVE.perturb_addr(addr, lane, is_store=False)
         self._mem_events.append(MemAccess(addr, size, False, lane))
         if buffer is not None:
             raw, forwarded = buffer.load(addr, size, lane, region_offset)
@@ -255,6 +258,9 @@ class Interpreter:
         buffer: SpeculativeBuffer | None,
         region_offset: int,
     ) -> None:
+        if _faults.ACTIVE is not None and buffer is not None:
+            addr = _faults.ACTIVE.perturb_addr(addr, lane, is_store=True)
+            value = _faults.ACTIVE.perturb_store_value(value, size, lane)
         self._mem_events.append(MemAccess(addr, size, True, lane))
         if buffer is not None:
             buffer.store(addr, size, value, lane, region_offset)
@@ -582,7 +588,7 @@ class Interpreter:
 
         demand = self._region_lsu_demand(body)
         srv.lsu_entries_peak = max(srv.lsu_entries_peak, demand)
-        if demand > self.config.lsu_entries:
+        if demand > self.config.lsu_entries or self.config.srv_force_sequential:
             self._exec_region_sequential(body, body_pc, end_pc)
             return
 
@@ -622,6 +628,10 @@ class Interpreter:
             if resume_replay:
                 buffer.needs_replay |= resume_replay
                 resume_replay = set()
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.perturb_needs_replay(
+                    buffer.needs_replay, self.lanes
+                )
             if not buffer.needs_replay:
                 if self.tracer is not None:
                     self.tracer.region_end(committed=True)
@@ -635,6 +645,8 @@ class Interpreter:
                     f"(> lanes-1 = {self.lanes - 1})"
                 )
             replay_set = frozenset(buffer.needs_replay)
+            if _faults.ACTIVE is not None:
+                replay_set = _faults.ACTIVE.perturb_replay_lanes(replay_set)
             if self.tracer is not None:
                 self.tracer.region_end(committed=False, replay_lanes=replay_set)
             active = [lane in replay_set for lane in range(self.lanes)]

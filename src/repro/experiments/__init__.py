@@ -24,9 +24,13 @@ from repro.experiments import (
 from repro.experiments.report import ExperimentResult
 from repro.experiments.runner import (
     LoopRun,
+    RunFailure,
     clear_cache,
+    disable_checkpoint,
+    enable_checkpoint,
     loop_speedup,
     run_loop,
+    run_loop_hardened,
     whole_program_speedup,
     workload_loop_speedup,
 )
@@ -51,9 +55,13 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
     "LoopRun",
+    "RunFailure",
     "clear_cache",
+    "disable_checkpoint",
+    "enable_checkpoint",
     "loop_speedup",
     "run_loop",
+    "run_loop_hardened",
     "whole_program_speedup",
     "workload_loop_speedup",
 ]

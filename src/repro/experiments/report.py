@@ -18,6 +18,14 @@ class ExperimentResult:
     columns: tuple[str, ...]
     rows: list[tuple] = field(default_factory=list)
     summary: dict[str, Any] = field(default_factory=dict)
+    #: structured per-run failure records (``RunFailure`` or compatible)
+    #: survived while producing the rows — degraded runs, retries,
+    #: skipped workloads.  Empty for a fully clean experiment.
+    failures: list[Any] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
 
     def row_for(self, key: str) -> tuple:
         for row in self.rows:
@@ -53,6 +61,10 @@ class ExperimentResult:
             lines.append("")
             for key, value in self.summary.items():
                 lines.append(f"{key}: {_fmt(value)}")
+        if self.failures:
+            lines.append("")
+            lines.append(f"failures ({len(self.failures)}):")
+            lines.extend(f"  {failure}" for failure in self.failures)
         return "\n".join(lines)
 
 

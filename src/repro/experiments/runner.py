@@ -1,4 +1,4 @@
-"""Shared experiment driver.
+"""Shared experiment driver, hardened for long sweeps.
 
 Compiles a workload loop under a strategy, executes it on the functional
 emulator (collecting dynamic-instruction and SRV metrics plus a trace),
@@ -7,19 +7,70 @@ the architectural result against the pure-Python IR oracle.
 
 Results are memoised per ``(loop, strategy, seed, config)`` because the
 figure harnesses share runs (e.g. the scalar baseline feeds figures 6, 7,
-11 and 12).
+11 and 12).  The memo is keyed on the *value* of the frozen
+:class:`~repro.common.config.MachineConfig` (never its ``id``, which can
+alias after garbage collection) and is LRU-bounded so unbounded sweeps
+cannot grow memory without limit.
+
+Hardening features:
+
+* **checkpoint/resume** — :func:`enable_checkpoint` persists every
+  completed run to disk (atomic replace), so a killed sweep resumes where
+  it stopped instead of re-executing finished work;
+* **graceful LSU-overflow degradation** — if the cycle model raises
+  :class:`~repro.common.errors.LsuOverflowError`, the run is re-executed
+  with the section III-D7 sequential fallback forced and the degradation
+  is recorded on the result instead of aborting the sweep;
+* **per-run timeouts and retry-with-reseed** — :func:`run_loop_hardened`
+  bounds each run's wall clock (SIGALRM, main thread only) and retries
+  transient failures with a derived seed, recording every failure as a
+  structured :class:`RunFailure`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import pickle
+import signal
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 
 from repro.common.config import TABLE_I, MachineConfig
+from repro.common.errors import (
+    LsuOverflowError,
+    OracleMismatchError,
+    ReproError,
+    RunTimeoutError,
+)
 from repro.compiler import Strategy, compile_loop, scalar_reference
 from repro.emu import EmuMetrics, run_program
 from repro.memory import MemoryImage
 from repro.pipeline import PipelineStats, Tracer, simulate
 from repro.workloads.base import LoopSpec
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Structured record of one failure encountered while producing a run."""
+
+    loop: str
+    strategy: str
+    seed: int
+    stage: str            # "emulate" | "timing" | "timeout" | "run"
+    error: str            # exception type name
+    message: str
+    attempt: int = 0
+    degraded: bool = False   # the run was completed in a degraded mode
+
+    def __str__(self) -> str:
+        mode = " [degraded]" if self.degraded else ""
+        return (
+            f"{self.loop}/{self.strategy} seed={self.seed} "
+            f"attempt={self.attempt} {self.stage}: {self.error}: "
+            f"{self.message}{mode}"
+        )
 
 
 @dataclass
@@ -29,6 +80,10 @@ class LoopRun:
     emu: EmuMetrics
     pipe: PipelineStats | None
     correct: bool
+    #: name of the first array diverging from the oracle (None if correct)
+    bad_array: str | None = None
+    #: failures survived while producing this result (degradations, retries)
+    failures: tuple[RunFailure, ...] = ()
 
     @property
     def cycles(self) -> int:
@@ -37,36 +92,133 @@ class LoopRun:
         return self.pipe.cycles
 
 
-_CACHE: dict[tuple, LoopRun] = {}
+# ---------------------------------------------------------------------------
+# memoisation + checkpointing
+# ---------------------------------------------------------------------------
+
+#: LRU-bounded memo of completed runs (insertion order = recency).
+_CACHE: OrderedDict[tuple, LoopRun] = OrderedDict()
+_CACHE_MAX = 2048
+
+_CHECKPOINT_PATH: str | None = None
+#: spec-free payloads loaded from / written to the checkpoint file
+_CHECKPOINT: dict[tuple, dict] = {}
 
 
 def clear_cache() -> None:
     _CACHE.clear()
 
 
-def run_loop(
+def _cache_key(
     spec: LoopSpec,
     strategy: Strategy,
-    seed: int = 0,
-    config: MachineConfig = TABLE_I,
-    timing: bool = True,
-    validate_lsu: bool = True,
-    check_oracle: bool = True,
-    n_override: int | None = None,
-    core: str = "ooo",
-) -> LoopRun:
-    """Compile, execute, time and verify one loop under one strategy.
+    seed: int,
+    config: MachineConfig,
+    timing: bool,
+    n: int,
+    core: str,
+) -> tuple:
+    # key on the frozen config *value*: ``id(config)`` can alias two
+    # different configs once the first is garbage collected
+    return (spec.loop.name, strategy, seed, config, timing, n, core)
 
-    ``core`` selects the timing model: ``"ooo"`` (Table I out-of-order)
-    or ``"inorder"`` (the section III-D6 dual-issue in-order variant).
+
+def _cache_store(key: tuple, run: LoopRun) -> None:
+    _CACHE[key] = run
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _CACHE_MAX:
+        _CACHE.popitem(last=False)
+
+
+def enable_checkpoint(path: str) -> int:
+    """Persist completed runs to ``path`` and pre-load any existing ones.
+
+    Returns the number of runs resumed from disk.  A corrupt or
+    unreadable checkpoint is ignored (the sweep simply starts fresh);
+    writes are atomic (tmp + rename) so a kill mid-write cannot corrupt
+    an existing checkpoint.
     """
-    if core not in ("ooo", "inorder"):
-        raise ValueError(f"unknown core model {core!r}")
-    n = spec.n if n_override is None else min(n_override, spec.n)
-    key = (spec.loop.name, strategy, seed, id(config), timing, n, core)
-    if key in _CACHE:
-        return _CACHE[key]
+    global _CHECKPOINT_PATH
+    _CHECKPOINT_PATH = path
+    _CHECKPOINT.clear()
+    try:
+        with open(path, "rb") as fh:
+            loaded = pickle.load(fh)
+        if isinstance(loaded, dict):
+            _CHECKPOINT.update(loaded)
+    except Exception:
+        # unpickling arbitrary corrupt bytes can raise nearly anything
+        # (ValueError, KeyError, ImportError, ...) — start fresh
+        pass
+    return len(_CHECKPOINT)
 
+
+def disable_checkpoint() -> None:
+    global _CHECKPOINT_PATH
+    _CHECKPOINT_PATH = None
+    _CHECKPOINT.clear()
+
+
+def _checkpoint_flush() -> None:
+    if _CHECKPOINT_PATH is None:
+        return
+    directory = os.path.dirname(_CHECKPOINT_PATH) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{_CHECKPOINT_PATH}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        pickle.dump(_CHECKPOINT, fh)
+    os.replace(tmp, _CHECKPOINT_PATH)
+
+
+def _checkpoint_record(key: tuple, run: LoopRun) -> None:
+    if _CHECKPOINT_PATH is None:
+        return
+    # LoopSpec carries callables (input generators), so persist a
+    # spec-free payload; the spec is re-attached on resume from the
+    # caller's own reference.
+    _CHECKPOINT[key] = {
+        "emu": run.emu,
+        "pipe": run.pipe,
+        "correct": run.correct,
+        "bad_array": run.bad_array,
+        "failures": run.failures,
+    }
+    _checkpoint_flush()
+
+
+def _checkpoint_lookup(key: tuple, spec: LoopSpec,
+                       strategy: Strategy) -> LoopRun | None:
+    payload = _CHECKPOINT.get(key)
+    if payload is None:
+        return None
+    return LoopRun(
+        spec=spec,
+        strategy=strategy,
+        emu=payload["emu"],
+        pipe=payload["pipe"],
+        correct=payload["correct"],
+        bad_array=payload.get("bad_array"),
+        failures=tuple(payload.get("failures", ())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def _execute(
+    spec: LoopSpec,
+    strategy: Strategy,
+    seed: int,
+    config: MachineConfig,
+    timing: bool,
+    validate_lsu: bool,
+    check_oracle: bool,
+    n: int,
+    core: str,
+) -> tuple[EmuMetrics, PipelineStats | None, bool, str | None]:
+    """One full compile/emulate/time/verify pass on fresh memory."""
     arrays = spec.arrays(seed)
     mem = MemoryImage()
     for name, init in arrays.items():
@@ -77,12 +229,14 @@ def run_loop(
     emu_metrics, _ = run_program(program, mem, config=config, tracer=tracer)
 
     correct = True
+    bad_array: str | None = None
     if check_oracle:
         reference = scalar_reference(spec.loop, arrays, n, params=spec.params)
         for name in arrays:
             got = mem.load_array(mem.allocation(name))
             if got != reference[name]:
                 correct = False
+                bad_array = name
                 break
 
     pipe: PipelineStats | None = None
@@ -95,10 +249,154 @@ def run_loop(
             pipe = simulate(
                 tracer.ops, config=config, validate_lsu=validate_lsu, warm=True
             )
+    return emu_metrics, pipe, correct, bad_array
 
-    run = LoopRun(spec, strategy, emu_metrics, pipe, correct)
-    _CACHE[key] = run
+
+def run_loop(
+    spec: LoopSpec,
+    strategy: Strategy,
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    timing: bool = True,
+    validate_lsu: bool = True,
+    check_oracle: bool = True,
+    n_override: int | None = None,
+    core: str = "ooo",
+    degrade_lsu_overflow: bool = True,
+) -> LoopRun:
+    """Compile, execute, time and verify one loop under one strategy.
+
+    ``core`` selects the timing model: ``"ooo"`` (Table I out-of-order)
+    or ``"inorder"`` (the section III-D6 dual-issue in-order variant).
+
+    With ``degrade_lsu_overflow`` (the default), an
+    :class:`LsuOverflowError` from the cycle model re-runs the loop with
+    the sequential fallback forced for every region and records the
+    degradation in ``LoopRun.failures`` instead of aborting the sweep.
+    """
+    if core not in ("ooo", "inorder"):
+        raise ValueError(f"unknown core model {core!r}")
+    n = spec.n if n_override is None else min(n_override, spec.n)
+    key = _cache_key(spec, strategy, seed, config, timing, n, core)
+    if key in _CACHE:
+        _CACHE.move_to_end(key)
+        return _CACHE[key]
+    resumed = _checkpoint_lookup(key, spec, strategy)
+    if resumed is not None:
+        _cache_store(key, resumed)
+        return resumed
+
+    failures: tuple[RunFailure, ...] = ()
+    try:
+        emu_metrics, pipe, correct, bad_array = _execute(
+            spec, strategy, seed, config, timing, validate_lsu,
+            check_oracle, n, core,
+        )
+    except LsuOverflowError as exc:
+        if not degrade_lsu_overflow:
+            raise
+        failures = (RunFailure(
+            loop=spec.name, strategy=strategy.value, seed=seed,
+            stage="timing", error=type(exc).__name__, message=str(exc),
+            degraded=True,
+        ),)
+        seq_config = config.with_overrides(srv_force_sequential=True)
+        emu_metrics, pipe, correct, bad_array = _execute(
+            spec, strategy, seed, seq_config, timing, validate_lsu,
+            check_oracle, n, core,
+        )
+
+    run = LoopRun(
+        spec, strategy, emu_metrics, pipe, correct,
+        bad_array=bad_array, failures=failures,
+    )
+    _cache_store(key, run)
+    _checkpoint_record(key, run)
     return run
+
+
+# ---------------------------------------------------------------------------
+# hardened wrapper: timeouts + bounded retry-with-reseed
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`RunTimeoutError` if the block runs past ``seconds``.
+
+    Uses ``SIGALRM``, so it only arms in the main thread on platforms
+    that have it; elsewhere the block runs unbounded rather than failing.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(f"run exceeded {seconds:.1f}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_loop_hardened(
+    spec: LoopSpec,
+    strategy: Strategy,
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    *,
+    timeout_s: float | None = None,
+    max_retries: int = 2,
+    reseed_stride: int = 7919,
+    **kwargs,
+) -> LoopRun:
+    """:func:`run_loop` with a wall-clock budget and bounded retries.
+
+    A timed-out or failed attempt is retried up to ``max_retries`` times
+    with a derived seed (``seed + attempt * reseed_stride``) so an
+    input-dependent pathology does not kill a whole sweep.  Every failed
+    attempt is recorded on the returned run's ``failures``; if all
+    attempts fail the last error propagates.
+    """
+    failures: list[RunFailure] = []
+    last_error: ReproError | None = None
+    for attempt in range(max_retries + 1):
+        attempt_seed = seed + attempt * reseed_stride
+        try:
+            with _deadline(timeout_s):
+                run = run_loop(spec, strategy, attempt_seed, config, **kwargs)
+            if failures:
+                run = replace(run, failures=run.failures + tuple(failures))
+            return run
+        except RunTimeoutError as exc:
+            last_error = exc
+            failures.append(RunFailure(
+                loop=spec.name, strategy=strategy.value, seed=attempt_seed,
+                stage="timeout", error=type(exc).__name__, message=str(exc),
+                attempt=attempt,
+            ))
+        except ReproError as exc:
+            last_error = exc
+            failures.append(RunFailure(
+                loop=spec.name, strategy=strategy.value, seed=attempt_seed,
+                stage="run", error=type(exc).__name__, message=str(exc),
+                attempt=attempt,
+            ))
+    assert last_error is not None
+    raise last_error
+
+
+# ---------------------------------------------------------------------------
+# derived metrics
+# ---------------------------------------------------------------------------
 
 
 def loop_speedup(
@@ -115,8 +413,13 @@ def loop_speedup(
     """
     base = run_loop(spec, baseline, seed, config, n_override=n_override)
     srv = run_loop(spec, Strategy.SRV, seed, config, n_override=n_override)
-    if not (base.correct and srv.correct):
-        raise AssertionError(f"loop {spec.name} produced incorrect results")
+    for run in (base, srv):
+        if not run.correct:
+            raise OracleMismatchError(
+                loop=spec.name,
+                strategy=run.strategy.value,
+                array=run.bad_array,
+            )
     return base.cycles / srv.cycles
 
 

@@ -31,6 +31,7 @@ from repro.lsu.horizontal import (
     replay_lanes_from_hob,
 )
 from repro.lsu.vertical import vob_for_pair
+from repro.verify import faults as _faults
 
 
 @dataclass
@@ -189,6 +190,8 @@ class LoadStoreUnit:
         self._check_allocate(key, self.lq)
         self._stamp(entry)
         self.lq[key] = entry
+        if _faults.ACTIVE is not None and _faults.ACTIVE.drop_lsu_entry("lq"):
+            del self.lq[key]
 
         self.counters.cam_lookups_saq += 1
         self.counters.cam_lookups_lq += 1  # load-ordering check
@@ -282,6 +285,8 @@ class LoadStoreUnit:
                     break
 
         self.saq[key] = entry
+        if _faults.ACTIVE is not None and _faults.ACTIVE.drop_lsu_entry("saq"):
+            del self.saq[key]
         return result
 
     # -- commit / drain ---------------------------------------------------------

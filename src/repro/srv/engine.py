@@ -26,6 +26,7 @@ from repro.common.errors import (
 )
 from repro.isa.instructions import SrvDirection
 from repro.srv.regs import NORMAL_EXECUTION_PC, SrvRegisters
+from repro.verify import faults as _faults
 
 
 class RegionOutcome(enum.Enum):
@@ -107,6 +108,10 @@ class SrvEngine:
             raise SrvRegionStateError("srv_end executed outside an SRV-region")
         self.serialisation_points += 1
         pending = self.regs.needs_replay
+        if _faults.ACTIVE is not None:
+            pending = _faults.ACTIVE.perturb_engine_pending(
+                pending, self.lanes
+            )
         if pending.none():
             self.regs.reset()
             return EndDecision(RegionOutcome.COMMIT, BitVector.zeros(self.lanes))

@@ -1,0 +1,66 @@
+"""Verification subsystem: fault injection + invariant checking.
+
+Three layers (see ``docs/ARCHITECTURE.md``, "Verification & fault
+injection"):
+
+* :mod:`repro.verify.faults` — seedable :class:`FaultPlan` perturbations
+  of microarchitectural state, armed via :func:`faults.inject`;
+* :mod:`repro.verify.monitors` — post-hoc invariant monitors over
+  dynamic traces (replay bound, region nesting, LSU occupancy,
+  predicate/bytes consistency, trace well-formedness);
+* :mod:`repro.verify.differential` / :mod:`repro.verify.campaign` — the
+  scalar-oracle + LSU differential checkers and the standing
+  fault-injection campaign that proves every fault class detectable.
+
+This ``__init__`` stays import-light on purpose: the core simulator
+modules (``srv.engine``, ``lsu.unit``, ``emu.interpreter``) import
+``repro.verify.faults`` at module scope for their hook points, so the
+package must not eagerly pull the emulator back in.  The heavier
+submodules load lazily through ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from repro.verify.faults import (
+    ACTIVE,
+    FaultClass,
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    inject,
+)
+
+_LAZY = {
+    "Violation": "repro.verify.monitors",
+    "run_monitors": "repro.verify.monitors",
+    "ALL_MONITORS": "repro.verify.monitors",
+    "VerifyReport": "repro.verify.differential",
+    "verify_loop": "repro.verify.differential",
+    "verify_workloads": "repro.verify.differential",
+    "Injection": "repro.verify.campaign",
+    "InjectionResult": "repro.verify.campaign",
+    "CampaignResult": "repro.verify.campaign",
+    "default_catalogue": "repro.verify.campaign",
+    "run_campaign": "repro.verify.campaign",
+    "run_injection": "repro.verify.campaign",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ACTIVE",
+    "FaultClass",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "inject",
+    *sorted(_LAZY),
+]

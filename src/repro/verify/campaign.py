@@ -1,0 +1,189 @@
+"""Fault-injection campaign: prove every fault class is detectable.
+
+The campaign arms one :class:`~repro.verify.faults.FaultPlan` at a time,
+runs a real figure-6 loop under it, and records which checker caught the
+corruption — an invariant monitor, the scalar-reference oracle, the LSU
+differential cross-check, or a typed runtime error.  An injection that
+fires but goes undetected is a hole in the verification net; the test
+suite fails on it.
+
+Loops are chosen so each fault class is guaranteed to matter: the
+replay-suppression faults target loops with real run-time violations
+(hmmer, is, randacc), while data/address corruptions work anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.compiler import Strategy
+from repro.verify import faults
+from repro.verify.differential import VerifyReport, verify_loop
+from repro.verify.faults import FaultClass, FaultPlan, FaultSpec
+from repro.workloads import by_name
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One campaign entry: a fault spec aimed at one loop run."""
+
+    spec: FaultSpec
+    workload: str
+    loop: str
+    n: int = 64
+    seed: int = 0
+
+
+@dataclass
+class InjectionResult:
+    injection: Injection
+    fired: bool
+    detected: bool
+    detectors: tuple[str, ...]
+    report: VerifyReport
+
+    @property
+    def ok(self) -> bool:
+        """An injection passes if it fired and something caught it."""
+        return self.fired and self.detected
+
+
+@dataclass
+class CampaignResult:
+    results: list[InjectionResult] = field(default_factory=list)
+
+    @property
+    def all_detected(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def undetected(self) -> list[InjectionResult]:
+        return [r for r in self.results if not r.ok]
+
+    def classes_covered(self) -> set[FaultClass]:
+        return {r.injection.spec.fault for r in self.results if r.fired}
+
+    def format_table(self) -> str:
+        lines = [
+            "Fault-injection campaign",
+            "",
+            f"{'fault':20s}  {'loop':26s}  {'n':>4s}  {'fired':5s}  "
+            f"{'detected':8s}  detector",
+        ]
+        lines.append("-" * len(lines[-1]))
+        for r in self.results:
+            detector = ", ".join(r.detectors) if r.detectors else "-"
+            lines.append(
+                f"{r.injection.spec.fault.value:20s}  "
+                f"{r.injection.loop:26s}  {r.injection.n:4d}  "
+                f"{str(r.fired):5s}  {str(r.detected):8s}  {detector}"
+            )
+        total = len(self.results)
+        caught = sum(1 for r in self.results if r.ok)
+        lines.append("")
+        lines.append(
+            f"{caught}/{total} injections fired and were detected "
+            f"({len(self.classes_covered())} fault classes)"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the catalogue
+# ---------------------------------------------------------------------------
+
+#: Loops with genuine run-time RAW violations at the given trip counts —
+#: required by faults that only matter when a replay is pending.
+_VIOLATING = (
+    ("hmmer", "hmmer_viterbi_row", 64),
+    ("hmmer", "hmmer_state_bump", 64),
+    ("is", "is_key_rank", 256),
+    ("randacc", "randacc_gups", 256),
+)
+
+#: Conflict-free loops for data/address corruption faults.
+_CLEAN = (
+    ("gcc", "gcc_df_propagate", 64),
+    ("livermore", "livermore_k1_hydro", 64),
+    ("astar", "astar_neighbour_relax", 64),
+    ("lc", "lc_intensity_update", 64),
+    ("gobmk", "gobmk_influence_decay", 64),
+    ("ssca2", "ssca2_edge_relax", 64),
+    ("bzip2", "bzip2_mtf_scan", 64),
+    ("milc", "milc_field_axpy", 64),
+)
+
+
+def default_catalogue() -> list[Injection]:
+    """The standing campaign: >= 20 injections over all 6 fault classes."""
+    entries: list[Injection] = []
+
+    for workload, loop, n in _VIOLATING:
+        entries.append(Injection(
+            FaultSpec(FaultClass.FLIP_NEEDS_REPLAY, repeat=True),
+            workload, loop, n,
+        ))
+    for workload, loop, n in _VIOLATING:
+        entries.append(Injection(
+            FaultSpec(FaultClass.DROP_REPLAY_LANE, repeat=True),
+            workload, loop, n,
+        ))
+    for workload, loop, n in _VIOLATING[:3]:
+        entries.append(Injection(
+            FaultSpec(FaultClass.DROP_LSU_ENTRY, repeat=True, table="lq"),
+            workload, loop, n,
+        ))
+    for workload, loop, n in _CLEAN[:4]:
+        entries.append(Injection(
+            FaultSpec(FaultClass.CORRUPT_STORE_DATA, repeat=True, bit=3),
+            workload, loop, n,
+        ))
+    for workload, loop, n in _CLEAN[4:8]:
+        entries.append(Injection(
+            FaultSpec(FaultClass.SKEW_LANE_ADDR, repeat=True, delta=4),
+            workload, loop, n,
+        ))
+    for workload, loop, n in (("perlbench", "perlbench_magic_clip", 64),
+                              ("milc", "milc_site_gather", 64),
+                              ("hmmer", "hmmer_viterbi_row", 64)):
+        entries.append(Injection(
+            FaultSpec(FaultClass.FORCE_REPLAY, repeat=True),
+            workload, loop, n,
+        ))
+    return entries
+
+
+def _find_spec(workload_name: str, loop_name: str):
+    workload = by_name(workload_name)
+    for spec in workload.loops:
+        if spec.name == loop_name:
+            return spec
+    raise KeyError(f"workload {workload_name!r} has no loop {loop_name!r}")
+
+
+def run_injection(
+    injection: Injection, config: MachineConfig = TABLE_I
+) -> InjectionResult:
+    """Arm one fault plan, run the target loop, judge the outcome."""
+    spec = _find_spec(injection.workload, injection.loop)
+    plan = FaultPlan([injection.spec], seed=injection.seed)
+    with faults.inject(plan):
+        report = verify_loop(
+            spec, Strategy.SRV, injection.seed, config,
+            n_override=injection.n,
+        )
+    return InjectionResult(
+        injection=injection,
+        fired=bool(plan.fired),
+        detected=bool(report.violations),
+        detectors=tuple(sorted(report.detectors())),
+        report=report,
+    )
+
+
+def run_campaign(
+    catalogue: list[Injection] | None = None,
+    config: MachineConfig = TABLE_I,
+) -> CampaignResult:
+    entries = default_catalogue() if catalogue is None else catalogue
+    return CampaignResult([run_injection(e, config) for e in entries])

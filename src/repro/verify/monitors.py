@@ -1,0 +1,291 @@
+"""Invariant monitors over dynamic execution traces.
+
+Each monitor re-derives one paper invariant from the trace alone and
+reports :class:`Violation` records instead of relying on the simulator's
+own inline assertions.  The monitors are deliberately independent of the
+emulator's bookkeeping: a corrupted simulator that *mis-reports* its own
+state is exactly what they exist to catch.
+
+Invariants checked (paper references in parentheses):
+
+* **replay bound** — a region rolls back at most ``lanes - 1`` times
+  (section III-A);
+* **region nesting** — ``srv_start`` never occurs inside an active region,
+  every region closes with a commit or a complete sequential fallback
+  (section III-A);
+* **LSU occupancy** — a non-fallback region's entry demand never exceeds
+  ``config.lsu_entries``; gathers/scatters cost one entry per lane
+  (section III-D7);
+* **predicate / bytes-accessed consistency** — a vector memory op touches
+  at most ``active_lane_count`` distinct lanes, lane ids are in range,
+  and contiguous/broadcast accesses have the address shape their opcode
+  promises (figures 3-5);
+* **trace well-formedness** — indices are sequential, branch outcomes are
+  recorded exactly for branch-class ops, and memory events appear only on
+  memory ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.pipeline.trace import OpClass, RegionEvent, TraceOp
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant breach."""
+
+    monitor: str
+    message: str
+    op_index: int | None = None
+
+    def __str__(self) -> str:
+        where = f" @op{self.op_index}" if self.op_index is not None else ""
+        return f"[{self.monitor}{where}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# individual monitors
+# ---------------------------------------------------------------------------
+
+
+def check_region_structure(
+    trace: list[TraceOp], config: MachineConfig
+) -> list[Violation]:
+    """Region nesting, closure, and the ``lanes - 1`` replay bound."""
+    violations: list[Violation] = []
+    lanes = config.vector_lanes
+    open_region = False
+    replay_ends = 0
+    fallback_passes = 0
+    in_fallback = False
+
+    for op in trace:
+        event = op.region_event
+        if event is RegionEvent.START:
+            if open_region:
+                violations.append(Violation(
+                    "region-nesting",
+                    "srv_start inside an active SRV-region",
+                    op.index,
+                ))
+            open_region = True
+            replay_ends = 0
+            fallback_passes = 0
+            in_fallback = False
+        if op.in_region != open_region:
+            violations.append(Violation(
+                "region-nesting",
+                f"op in_region={op.in_region} disagrees with region "
+                f"structure (open={open_region})",
+                op.index,
+            ))
+        if event is RegionEvent.END_REPLAY:
+            if not open_region:
+                violations.append(Violation(
+                    "region-nesting", "replay srv_end outside a region",
+                    op.index,
+                ))
+            replay_ends += 1
+            if replay_ends > lanes - 1:
+                violations.append(Violation(
+                    "replay-bound",
+                    f"region rolled back {replay_ends} times "
+                    f"(bound is lanes - 1 = {lanes - 1})",
+                    op.index,
+                ))
+        elif event is RegionEvent.END_COMMIT:
+            if not open_region:
+                violations.append(Violation(
+                    "region-nesting", "commit srv_end outside a region",
+                    op.index,
+                ))
+            open_region = False
+        elif event is RegionEvent.FALLBACK:
+            if not open_region:
+                violations.append(Violation(
+                    "region-nesting", "fallback srv_end outside a region",
+                    op.index,
+                ))
+            in_fallback = True
+            fallback_passes += 1
+            if fallback_passes == lanes:
+                open_region = False  # last single-lane pass commits
+            elif fallback_passes > lanes:
+                violations.append(Violation(
+                    "region-nesting",
+                    f"sequential fallback ran {fallback_passes} passes "
+                    f"for {lanes} lanes",
+                    op.index,
+                ))
+    if open_region:
+        where = trace[-1].index if trace else None
+        kind = "fallback " if in_fallback else ""
+        violations.append(Violation(
+            "region-nesting", f"trace ends inside an open {kind}SRV-region",
+            where,
+        ))
+    return violations
+
+
+def check_lsu_occupancy(
+    trace: list[TraceOp], config: MachineConfig
+) -> list[Violation]:
+    """Re-derive each region's LSU entry demand from its first pass.
+
+    Mirrors the section III-D7 sizing rule the emulator applies before
+    choosing speculative execution: contiguous / broadcast / scalar
+    accesses take one entry, gathers and scatters one per lane.  A
+    non-fallback region whose demand exceeds the configured LSU capacity
+    means the simulator speculated where the hardware could not.
+    """
+    violations: list[Violation] = []
+    lanes = config.vector_lanes
+    demand = 0
+    counting = False     # inside the first pass of a region
+    fallback = False
+    start_index: int | None = None
+
+    for op in trace:
+        if op.region_event is RegionEvent.START:
+            counting = True
+            fallback = False
+            demand = 0
+            start_index = op.index
+            continue
+        if op.region_event is RegionEvent.FALLBACK:
+            fallback = True
+        if op.op_class is OpClass.SRV_END:
+            if counting and not fallback and demand > config.lsu_entries:
+                violations.append(Violation(
+                    "lsu-occupancy",
+                    f"region at op {start_index} demands {demand} LSU "
+                    f"entries, capacity {config.lsu_entries}, without "
+                    "sequential fallback",
+                    op.index,
+                ))
+            counting = False
+            continue
+        if counting and op.inst.is_mem:
+            kind = getattr(op.inst, "access_kind", "scalar")
+            demand += lanes if kind in ("gather", "scatter") else 1
+    return violations
+
+
+def check_mem_consistency(
+    trace: list[TraceOp], config: MachineConfig
+) -> list[Violation]:
+    """Predicate / bytes-accessed consistency of per-lane memory events."""
+    violations: list[Violation] = []
+    lanes = config.vector_lanes
+
+    for op in trace:
+        if not op.mem:
+            continue
+        seen = {access.lane for access in op.mem}
+        if len(seen) != len(op.mem):
+            violations.append(Violation(
+                "mem-consistency", "duplicate lane in memory events",
+                op.index,
+            ))
+        bad = [lane for lane in seen if not 0 <= lane < lanes]
+        if bad:
+            violations.append(Violation(
+                "mem-consistency", f"lane ids {sorted(bad)} out of range",
+                op.index,
+            ))
+        limit = (
+            op.active_lane_count
+            if op.in_region and op.active_lane_count
+            else lanes
+        )
+        if len(seen) > limit:
+            violations.append(Violation(
+                "mem-consistency",
+                f"{len(seen)} lanes accessed memory but only {limit} "
+                "lanes are active in this pass",
+                op.index,
+            ))
+        elem = getattr(op.inst, "elem", None)
+        if elem is not None:
+            if any(access.size != elem for access in op.mem):
+                violations.append(Violation(
+                    "mem-consistency",
+                    f"access size disagrees with element size {elem}",
+                    op.index,
+                ))
+            kind = getattr(op.inst, "access_kind", None)
+            if kind == "contiguous":
+                # every lane's address must satisfy addr == base + lane*elem
+                bases = {a.addr - a.lane * elem for a in op.mem}
+                if len(bases) > 1:
+                    violations.append(Violation(
+                        "mem-consistency",
+                        "contiguous access lanes do not share one base "
+                        f"address (bases {sorted(bases)})",
+                        op.index,
+                    ))
+            elif kind == "broadcast":
+                if len({a.addr for a in op.mem}) > 1:
+                    violations.append(Violation(
+                        "mem-consistency",
+                        "broadcast access reads more than one address",
+                        op.index,
+                    ))
+    return violations
+
+
+def check_well_formedness(
+    trace: list[TraceOp], config: MachineConfig
+) -> list[Violation]:
+    """Structural sanity of the trace stream itself."""
+    violations: list[Violation] = []
+    for position, op in enumerate(trace):
+        if op.index != position:
+            violations.append(Violation(
+                "trace-form",
+                f"op index {op.index} at position {position}",
+                op.index,
+            ))
+        if op.op_class is OpClass.BRANCH and op.branch_taken is None:
+            violations.append(Violation(
+                "trace-form", "branch op without a recorded outcome",
+                op.index,
+            ))
+        if op.branch_taken is not None and op.op_class is not OpClass.BRANCH:
+            violations.append(Violation(
+                "trace-form",
+                f"{op.op_class.value} op carries a branch outcome",
+                op.index,
+            ))
+        if op.mem and not op.inst.is_mem:
+            violations.append(Violation(
+                "trace-form",
+                f"{op.op_class.value} op carries memory events",
+                op.index,
+            ))
+        if op.pc < 0:
+            violations.append(Violation(
+                "trace-form", f"negative pc {op.pc}", op.index
+            ))
+    return violations
+
+
+ALL_MONITORS = (
+    check_region_structure,
+    check_lsu_occupancy,
+    check_mem_consistency,
+    check_well_formedness,
+)
+
+
+def run_monitors(
+    trace: list[TraceOp], config: MachineConfig
+) -> list[Violation]:
+    """Run every invariant monitor over ``trace``; collect all violations."""
+    violations: list[Violation] = []
+    for monitor in ALL_MONITORS:
+        violations.extend(monitor(trace, config))
+    return violations

@@ -1,0 +1,194 @@
+"""Hardened experiment runner: memo keying, checkpoint/resume, timeout,
+retry-with-reseed, and the typed oracle mismatch error."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.common.config import TABLE_I
+from repro.common.errors import (
+    LsuOverflowError,
+    OracleMismatchError,
+    RunTimeoutError,
+)
+from repro.compiler import Strategy
+from repro.experiments import runner
+from repro.workloads import by_name
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runner_state():
+    runner.clear_cache()
+    runner.disable_checkpoint()
+    yield
+    runner.clear_cache()
+    runner.disable_checkpoint()
+
+
+def _spec(workload="gcc", index=0):
+    return by_name(workload).loops[index]
+
+
+class TestMemoisation:
+    def test_cache_keys_on_config_value_not_identity(self, monkeypatch):
+        """Two equal-but-distinct config objects must share a cache entry."""
+        spec = _spec()
+        config_a = TABLE_I.with_overrides(lsu_entries=TABLE_I.lsu_entries)
+        config_b = TABLE_I.with_overrides(lsu_entries=TABLE_I.lsu_entries)
+        assert config_a is not config_b and config_a == config_b
+
+        run_a = runner.run_loop(spec, Strategy.SRV, config=config_a,
+                                n_override=64)
+        calls = []
+        monkeypatch.setattr(
+            runner, "_execute",
+            lambda *a, **k: calls.append(1) or (_ for _ in ()).throw(
+                AssertionError("re-executed an equal config")),
+        )
+        run_b = runner.run_loop(spec, Strategy.SRV, config=config_b,
+                                n_override=64)
+        assert run_b is run_a
+        assert not calls
+
+    def test_different_config_values_do_not_alias(self):
+        spec = _spec()
+        run_big = runner.run_loop(spec, Strategy.SRV, n_override=64)
+        small = TABLE_I.with_overrides(vector_lanes=4)
+        run_small = runner.run_loop(spec, Strategy.SRV, config=small,
+                                    n_override=64)
+        assert run_small is not run_big
+        assert len(runner._CACHE) == 2
+
+    def test_cache_is_lru_bounded(self, monkeypatch):
+        monkeypatch.setattr(runner, "_CACHE_MAX", 4)
+        spec = _spec()
+        for seed in range(8):
+            runner.run_loop(spec, Strategy.SCALAR, seed=seed, n_override=16,
+                            timing=False)
+        assert len(runner._CACHE) == 4
+        # oldest seeds were evicted, newest survive
+        seeds_cached = {key[2] for key in runner._CACHE}
+        assert seeds_cached == {4, 5, 6, 7}
+
+
+class TestCheckpoint:
+    def test_resume_skips_execution(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "runs.ckpt")
+        spec = _spec()
+        assert runner.enable_checkpoint(path) == 0
+        first = runner.run_loop(spec, Strategy.SRV, n_override=64)
+        assert os.path.exists(path)
+
+        # simulate a fresh process: drop in-memory state, re-load the file
+        runner.clear_cache()
+        runner.disable_checkpoint()
+        resumed_count = runner.enable_checkpoint(path)
+        assert resumed_count == 1
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("resumed run must not re-execute")
+
+        monkeypatch.setattr(runner, "_execute", _boom)
+        second = runner.run_loop(spec, Strategy.SRV, n_override=64)
+        assert second.correct == first.correct
+        assert second.pipe.cycles == first.pipe.cycles
+        assert second.emu.dynamic_instructions \
+            == first.emu.dynamic_instructions
+
+    @pytest.mark.parametrize(
+        "junk", [b"not a pickle", b"garbage not pickle\n", b""]
+    )
+    def test_corrupt_checkpoint_is_ignored(self, tmp_path, junk):
+        path = tmp_path / "runs.ckpt"
+        path.write_bytes(junk)
+        assert runner.enable_checkpoint(str(path)) == 0
+        run = runner.run_loop(_spec(), Strategy.SCALAR, n_override=16,
+                              timing=False)
+        assert run.correct
+
+    def test_checkpoint_payload_is_spec_free(self, tmp_path):
+        """The file must not pickle LoopSpec (it carries callables)."""
+        path = str(tmp_path / "runs.ckpt")
+        runner.enable_checkpoint(path)
+        runner.run_loop(_spec(), Strategy.SCALAR, n_override=16,
+                        timing=False)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        assert payload  # round-trips through plain pickle without the spec
+
+
+class TestHardenedRunner:
+    def test_timeout_raises_after_retries(self, monkeypatch):
+        spec = _spec()
+
+        def slow_execute(*args, **kwargs):
+            raise RunTimeoutError("run exceeded 0.0s wall clock")
+
+        monkeypatch.setattr(runner, "_execute", slow_execute)
+        with pytest.raises(RunTimeoutError):
+            runner.run_loop_hardened(spec, Strategy.SRV, max_retries=1,
+                                     n_override=16)
+
+    def test_retry_with_reseed_recovers(self, monkeypatch):
+        """First attempt fails, reseeded retry succeeds; failure recorded."""
+        spec = _spec()
+        real_execute = runner._execute
+        attempts = []
+
+        def flaky_execute(spec, strategy, seed, *args, **kwargs):
+            attempts.append(seed)
+            if len(attempts) == 1:
+                raise LsuOverflowError("transient pathology")
+            return real_execute(spec, strategy, seed, *args, **kwargs)
+
+        monkeypatch.setattr(runner, "_execute", flaky_execute)
+        run = runner.run_loop_hardened(
+            spec, Strategy.SRV, seed=3, max_retries=2, reseed_stride=100,
+            n_override=64, degrade_lsu_overflow=False,
+        )
+        assert attempts == [3, 103]
+        assert run.correct
+        assert len(run.failures) == 1
+        assert run.failures[0].attempt == 0
+        assert run.failures[0].seed == 3
+        assert run.failures[0].error == "LsuOverflowError"
+
+    def test_failures_do_not_mutate_cached_run(self, monkeypatch):
+        spec = _spec()
+        clean = runner.run_loop(spec, Strategy.SRV, seed=100, n_override=64)
+        assert clean.failures == ()
+
+        calls = {"n": 0}
+        real_run_loop = runner.run_loop
+
+        def failing_first(spec, strategy, seed, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RunTimeoutError("synthetic")
+            return real_run_loop(spec, strategy, seed, *args, **kwargs)
+
+        monkeypatch.setattr(runner, "run_loop", failing_first)
+        hardened = runner.run_loop_hardened(
+            spec, Strategy.SRV, seed=0, max_retries=1, reseed_stride=100,
+            n_override=64,
+        )
+        assert hardened.failures  # retry recorded on the returned run
+        assert clean.failures == ()  # cached run untouched
+
+
+class TestOracleMismatch:
+    def test_typed_error_carries_context(self, monkeypatch):
+        spec = _spec()
+        real_execute = runner._execute
+        monkeypatch.setattr(
+            runner, "_execute",
+            lambda *a, **k: (*real_execute(*a, **k)[:2], False, "c"),
+        )
+        with pytest.raises(OracleMismatchError) as excinfo:
+            runner.loop_speedup(spec, n_override=16)
+        err = excinfo.value
+        assert err.loop == spec.name
+        assert err.array == "c"
+        assert err.strategy in {s.value for s in Strategy}
+        assert "scalar reference oracle" in str(err)

@@ -1,0 +1,158 @@
+"""Tests for the invariant monitors and the differential checker.
+
+Monitors are validated in both directions: clean traces from real
+workloads must produce zero violations, and synthetic corrupted traces
+must trip the matching monitor.
+"""
+
+from repro.common.config import TABLE_I
+from repro.compiler import Strategy
+from repro.isa import v, x
+from repro.isa.instructions import SrvEnd, SrvStart, VecLoadContig
+from repro.pipeline.trace import MemAccess, OpClass, RegionEvent, TraceOp
+from repro.verify.differential import verify_loop, verify_workloads
+from repro.verify.monitors import (
+    check_mem_consistency,
+    check_region_structure,
+    check_well_formedness,
+)
+from repro.workloads import by_name
+
+LANES = TABLE_I.vector_lanes
+
+
+def _op(index, op_class=OpClass.SCALAR_ALU, **kwargs):
+    inst = kwargs.pop("inst", None)
+    if inst is None:
+        inst = SrvStart() if op_class is OpClass.SRV_START else (
+            SrvEnd() if op_class is OpClass.SRV_END else None
+        )
+    return TraceOp(index=index, pc=4 * index, inst=inst, op_class=op_class,
+                   **kwargs)
+
+
+def _region_trace(end_events):
+    """A trace with one region: srv_start, a body op, then srv_end(s)."""
+    ops = [_op(0, OpClass.SRV_START, in_region=True,
+               region_event=RegionEvent.START)]
+    for event in end_events:
+        ops.append(_op(len(ops), OpClass.SCALAR_ALU, in_region=True,
+                       active_lane_count=LANES))
+        ops.append(_op(len(ops), OpClass.SRV_END, in_region=True,
+                       region_event=event))
+    return ops
+
+
+class TestRegionStructureMonitor:
+    def test_committed_region_is_clean(self):
+        trace = _region_trace([RegionEvent.END_COMMIT])
+        assert check_region_structure(trace, TABLE_I) == []
+
+    def test_replay_bound_violation(self):
+        events = [RegionEvent.END_REPLAY] * LANES + [RegionEvent.END_COMMIT]
+        trace = _region_trace(events)
+        violations = check_region_structure(trace, TABLE_I)
+        assert any(v.monitor == "replay-bound" for v in violations)
+
+    def test_nested_start_violation(self):
+        trace = [
+            _op(0, OpClass.SRV_START, in_region=True,
+                region_event=RegionEvent.START),
+            _op(1, OpClass.SRV_START, in_region=True,
+                region_event=RegionEvent.START),
+        ]
+        violations = check_region_structure(trace, TABLE_I)
+        assert any("inside an active" in v.message for v in violations)
+
+    def test_trace_ending_inside_region_violation(self):
+        trace = [
+            _op(0, OpClass.SRV_START, in_region=True,
+                region_event=RegionEvent.START),
+            _op(1, OpClass.SCALAR_ALU, in_region=True,
+                active_lane_count=LANES),
+        ]
+        violations = check_region_structure(trace, TABLE_I)
+        assert violations
+
+
+class TestMemConsistencyMonitor:
+    def test_duplicate_lane_violation(self):
+        op = _op(0, OpClass.VEC_LOAD, mem=[
+            MemAccess(addr=0x100, size=4, is_store=False, lane=0),
+            MemAccess(addr=0x104, size=4, is_store=False, lane=0),
+        ])
+        violations = check_mem_consistency([op], TABLE_I)
+        assert any("lane" in v.message for v in violations)
+
+    def test_out_of_range_lane_violation(self):
+        op = _op(0, OpClass.VEC_LOAD, mem=[
+            MemAccess(addr=0x100, size=4, is_store=False, lane=LANES + 3),
+        ])
+        violations = check_mem_consistency([op], TABLE_I)
+        assert violations
+
+    def test_contiguous_skew_violation(self):
+        inst = VecLoadContig(dst=v(0), base=x(1))
+        mem = [
+            MemAccess(addr=0x100 + 4 * lane, size=4, is_store=False, lane=lane)
+            for lane in range(LANES)
+        ]
+        # skew one lane's address: the common base is no longer unique
+        mem[2] = MemAccess(addr=mem[2].addr + 4, size=4, is_store=False, lane=2)
+        op = _op(0, OpClass.VEC_LOAD, inst=inst, mem=mem)
+        violations = check_mem_consistency([op], TABLE_I)
+        assert any("contiguous" in v.message for v in violations)
+
+    def test_clean_contiguous_access(self):
+        inst = VecLoadContig(dst=v(0), base=x(1))
+        mem = [
+            MemAccess(addr=0x100 + 4 * lane, size=4, is_store=False, lane=lane)
+            for lane in range(LANES)
+        ]
+        op = _op(0, OpClass.VEC_LOAD, inst=inst, mem=mem)
+        assert check_mem_consistency([op], TABLE_I) == []
+
+
+class TestWellFormednessMonitor:
+    def test_non_sequential_indices(self):
+        trace = [_op(0), _op(2)]
+        violations = check_well_formedness(trace, TABLE_I)
+        assert any("index" in v.message for v in violations)
+
+    def test_branch_without_outcome(self):
+        from repro.isa.instructions import Branch, BranchCond
+
+        inst = Branch(cond=BranchCond.LT, src1=x(1), src2=x(2), target="L")
+        trace = [_op(0, OpClass.BRANCH, inst=inst, branch_taken=None)]
+        violations = check_well_formedness(trace, TABLE_I)
+        assert violations
+
+
+class TestDifferentialChecker:
+    def test_clean_loop_verifies(self):
+        spec = by_name("hmmer").loops[0]
+        report = verify_loop(spec, Strategy.SRV, n_override=64)
+        assert report.clean
+        assert report.violations == []
+
+    def test_clean_loop_scalar_strategy(self):
+        spec = by_name("gcc").loops[0]
+        report = verify_loop(spec, Strategy.SCALAR, n_override=64)
+        assert report.clean
+
+    def test_verify_workloads_all_clean(self):
+        reports = verify_workloads(["livermore", "astar"], n_override=64)
+        assert reports
+        assert all(r.clean for r in reports)
+
+    def test_monitors_clean_on_real_srv_trace(self):
+        """Full-suite acceptance at small n: zero false positives."""
+        from repro.workloads import ALL_WORKLOADS
+
+        for workload in ALL_WORKLOADS:
+            for spec in workload.loops:
+                report = verify_loop(spec, Strategy.SRV, n_override=64,
+                                     timing=False)
+                assert report.clean, (
+                    f"{spec.name}: {[str(v) for v in report.violations]}"
+                )
