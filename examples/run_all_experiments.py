@@ -5,11 +5,19 @@ Runs all ten experiment harnesses (section II limit study, figures 6-13,
 and the headline aggregates) at full workload sizes and prints each table.
 Pass ``--quick`` to trim trip counts for a fast smoke run.
 
-The sweep is hardened: completed loop runs are checkpointed to disk after
-every run (``--checkpoint``, atomic writes), so killing the script and
-re-running it resumes where it stopped instead of re-executing finished
-work.  A failing experiment is recorded as a structured failure table and
-the sweep continues with the next one.
+The sweep is hardened and fast:
+
+* completed loop runs are checkpointed to disk after every run
+  (``--checkpoint``, atomic writes), so killing the script and re-running
+  it resumes where it stopped instead of re-executing finished work;
+* ``--jobs N`` shards the (loop x strategy x config) run matrix across N
+  worker processes (:mod:`repro.parallel`) that warm a content-addressed
+  on-disk result cache (``--cache-dir``); the harnesses then replay
+  sequentially against the cache, so the printed tables are bit-identical
+  to a ``--jobs 1`` run.  A checkpoint written by a sequential run is
+  honoured by a ``--jobs N`` run and vice versa;
+* a failing experiment is recorded as a structured failure table and the
+  sweep continues with the next one.
 """
 
 import argparse
@@ -17,7 +25,12 @@ import sys
 import time
 
 from repro.common.errors import ReproError
-from repro.experiments import ALL_EXPERIMENTS, ExperimentResult, enable_checkpoint
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    enable_checkpoint,
+    enable_disk_cache,
+)
 from repro.experiments.runner import RunFailure
 
 ORDER = (
@@ -34,6 +47,7 @@ ORDER = (
 )
 
 DEFAULT_CHECKPOINT = "results/experiments.ckpt"
+DEFAULT_CACHE_DIR = "results/cache"
 
 
 def main() -> int:
@@ -47,6 +61,11 @@ def main() -> int:
         help="run a single experiment",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard the run matrix across N worker processes "
+             "(default: 1, fully sequential)",
+    )
+    parser.add_argument(
         "--checkpoint", default=DEFAULT_CHECKPOINT, metavar="PATH",
         help="checkpoint file for resumable sweeps "
              f"(default: {DEFAULT_CHECKPOINT})",
@@ -54,6 +73,15 @@ def main() -> int:
     parser.add_argument(
         "--no-checkpoint", action="store_true",
         help="disable checkpointing (every run re-executes)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help="content-addressed result cache used by --jobs "
+             f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
     )
     args = parser.parse_args()
     n_override = 128 if args.quick else None
@@ -63,8 +91,41 @@ def main() -> int:
         if resumed:
             print(f"[resumed {resumed} completed runs from {args.checkpoint}]")
 
-    failed = 0
     names = [args.only] if args.only else list(ORDER)
+    cache_dir = None if args.no_cache else args.cache_dir
+
+    if args.jobs > 1:
+        # Warm phase: shard the run matrix across worker processes.  The
+        # engine skips cells already satisfied by the checkpoint loaded
+        # above, so sequential and parallel invocations compose.
+        from repro.parallel import cells_for_experiments, warm_cells
+        from repro.experiments import cache_key_for, checkpoint_has
+        from repro.parallel.cache import result_cache
+
+        enable_disk_cache(cache_dir or DEFAULT_CACHE_DIR)
+        cells = cells_for_experiments(names, n_override=n_override)
+        cache = result_cache()
+        pending = []
+        for cell in cells:
+            spec, strategy, config = cell.resolve()
+            key = cache_key_for(
+                spec, strategy, cell.seed, config, cell.timing,
+                cell.n_override, cell.core,
+            )
+            if not checkpoint_has(key) and not cache.contains(key):
+                pending.append(cell)
+        print(f"[warming {len(pending)} of {len(cells)} cells "
+              f"with {args.jobs} workers]")
+        start = time.perf_counter()
+        for report in warm_cells(pending, args.jobs, cache_dir, progress=print):
+            if report.failures:
+                for failure in report.failures:
+                    print(f"[shard {report.index} failure] {failure}")
+        print(f"[warm phase: {time.perf_counter() - start:.1f}s]")
+    elif cache_dir is not None:
+        enable_disk_cache(cache_dir)
+
+    failed = 0
     for name in names:
         start = time.perf_counter()
         try:

@@ -10,12 +10,17 @@ Commands:
 * ``verify [workload]`` — run the invariant monitors, scalar-reference
   oracle, and LSU differential cross-check over workload loops;
 * ``inject`` — run the fault-injection campaign and report which checker
-  detected each injected corruption.
+  detected each injected corruption;
+* ``sweep --jobs N`` — regenerate experiments through the parallel
+  sharded engine (:mod:`repro.parallel`): warm the content-addressed
+  result cache with N worker processes, then replay the harnesses
+  against it (bit-identical to sequential execution).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -124,6 +129,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.parallel import run_sweep
+
+    names = args.experiments
+    if not names or names == ["all"]:
+        names = list(ALL_EXPERIMENTS)
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from: "
+                  f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
+            return 2
+    outcome = run_sweep(
+        names,
+        jobs=args.jobs,
+        seed=args.seed,
+        n_override=args.n,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        checkpoint=args.checkpoint,
+        timeout_s=args.timeout,
+        progress=print,
+    )
+    for name in names:
+        print("=" * 72)
+        print(outcome.results[name].format_table())
+        print()
+    print(outcome.report.format_table())
+    return 1 if outcome.failed_experiments else 0
+
+
 def _cmd_inject(args: argparse.Namespace) -> int:
     from repro.verify.campaign import default_catalogue, run_campaign
     from repro.verify.faults import FaultClass
@@ -177,6 +211,28 @@ def main(argv: list[str] | None = None) -> int:
     p_ver.add_argument("--no-timing", action="store_true",
                        help="skip the LSU differential cross-check")
 
+    p_swp = sub.add_parser(
+        "sweep",
+        help="run experiments through the parallel sharded engine",
+    )
+    p_swp.add_argument(
+        "experiments", nargs="*", default=[],
+        help="experiment names (default: all)",
+    )
+    p_swp.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                       help="worker processes (default: CPU count)")
+    p_swp.add_argument("-n", type=int, default=None,
+                       help="trip-count override")
+    p_swp.add_argument("--seed", type=int, default=0)
+    p_swp.add_argument("--cache-dir", default="results/cache",
+                       help="content-addressed result cache directory")
+    p_swp.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+    p_swp.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="honour/extend a run checkpoint file")
+    p_swp.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock budget in seconds")
+
     from repro.verify.faults import FaultClass
 
     p_inj = sub.add_parser(
@@ -194,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
         "disasm": _cmd_disasm,
         "verify": _cmd_verify,
         "inject": _cmd_inject,
+        "sweep": _cmd_sweep,
     }[args.command]
     return handler(args)
 

@@ -40,6 +40,20 @@ class BitVector:
     # -- constructors ------------------------------------------------------
 
     @classmethod
+    def _new(cls, width: int, bits: int) -> "BitVector":
+        """Unvalidated constructor for internal hot paths.
+
+        Callers must guarantee ``bits`` fits in ``width``; every operator
+        below does (results of AND/OR/shift of already-valid vectors are
+        masked by construction).  Skipping ``__init__`` validation roughly
+        halves the cost of the operators, which dominate LSU issue time.
+        """
+        self = object.__new__(cls)
+        self.width = width
+        self._bits = bits
+        return self
+
+    @classmethod
     def zeros(cls, width: int) -> "BitVector":
         return cls(width)
 
@@ -62,7 +76,7 @@ class BitVector:
         hi = min(start + length, width)
         if hi <= lo:
             return cls(width)
-        return cls(width, ((1 << (hi - lo)) - 1) << lo)
+        return cls._new(width, ((1 << (hi - lo)) - 1) << lo)
 
     @classmethod
     def from_indices(cls, width: int, indices: Iterable[int]) -> "BitVector":
@@ -119,42 +133,42 @@ class BitVector:
 
     def __and__(self, other: "BitVector") -> "BitVector":
         self._check(other)
-        return BitVector(self.width, self._bits & other._bits)
+        return BitVector._new(self.width, self._bits & other._bits)
 
     def __or__(self, other: "BitVector") -> "BitVector":
         self._check(other)
-        return BitVector(self.width, self._bits | other._bits)
+        return BitVector._new(self.width, self._bits | other._bits)
 
     def __xor__(self, other: "BitVector") -> "BitVector":
         self._check(other)
-        return BitVector(self.width, self._bits ^ other._bits)
+        return BitVector._new(self.width, self._bits ^ other._bits)
 
     def __invert__(self) -> "BitVector":
-        return BitVector(self.width, self._bits ^ ((1 << self.width) - 1))
+        return BitVector._new(self.width, self._bits ^ ((1 << self.width) - 1))
 
     def andnot(self, other: "BitVector") -> "BitVector":
         """Bits set in ``self`` and clear in ``other`` (``self & ~other``)."""
         self._check(other)
-        return BitVector(self.width, self._bits & ~other._bits)
+        return BitVector._new(self.width, self._bits & ~other._bits)
 
     def shift_left(self, amount: int) -> "BitVector":
         """Shift towards higher bit indices, dropping bits past the width."""
         if amount < 0:
             return self.shift_right(-amount)
         mask = (1 << self.width) - 1
-        return BitVector(self.width, (self._bits << amount) & mask)
+        return BitVector._new(self.width, (self._bits << amount) & mask)
 
     def shift_right(self, amount: int) -> "BitVector":
         if amount < 0:
             return self.shift_left(-amount)
-        return BitVector(self.width, self._bits >> amount)
+        return BitVector._new(self.width, self._bits >> amount)
 
     def with_bit(self, index: int, value: bool = True) -> "BitVector":
         if not 0 <= index < self.width:
             raise IndexError(f"bit index {index} out of range for width {self.width}")
         if value:
-            return BitVector(self.width, self._bits | (1 << index))
-        return BitVector(self.width, self._bits & ~(1 << index))
+            return BitVector._new(self.width, self._bits | (1 << index))
+        return BitVector._new(self.width, self._bits & ~(1 << index))
 
     def reduce(self, group: int) -> "BitVector":
         """OR-reduce consecutive groups of ``group`` bits into single bits.
@@ -168,12 +182,15 @@ class BitVector:
             raise ValueError(
                 f"cannot reduce width {self.width} by group {group}"
             )
+        lanes = self.width // group
+        bits = self._bits
         out = 0
-        mask = (1 << group) - 1
-        for lane in range(self.width // group):
-            if self._bits >> (lane * group) & mask:
-                out |= 1 << lane
-        return BitVector(self.width // group, out)
+        if bits:
+            mask = (1 << group) - 1
+            for lane in range(lanes):
+                if bits >> (lane * group) & mask:
+                    out |= 1 << lane
+        return BitVector._new(lanes, out)
 
     def expand(self, group: int) -> "BitVector":
         """Inverse of :meth:`reduce`: each bit becomes ``group`` copies."""
@@ -183,7 +200,7 @@ class BitVector:
         chunk = (1 << group) - 1
         for lane in self.set_indices():
             out |= chunk << (lane * group)
-        return BitVector(self.width * group, out)
+        return BitVector._new(self.width * group, out)
 
     # -- dunder housekeeping -------------------------------------------------
 

@@ -67,74 +67,79 @@ from repro.pipeline.trace import MemAccess, OpClass, RegionEvent, Tracer
 from repro.verify import faults as _faults
 
 
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        return 0  # SVE-style: division by zero yields zero
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+#: ALU semantics by opcode *name* — both the scalar and vector opcode
+#: enums share mnemonics, so the per-member dispatch table below is
+#: populated lazily from this one.
+_ALU_BY_NAME = {
+    "ADD": lambda a, b, c: a + b,
+    "SUB": lambda a, b, c: a - b,
+    "MUL": lambda a, b, c: a * b,
+    "DIV": lambda a, b, c: _div(a, b),
+    "MOD": lambda a, b, c: a - b * _div(a, b) if b else 0,
+    "AND": lambda a, b, c: a & b,
+    "OR": lambda a, b, c: a | b,
+    "XOR": lambda a, b, c: a ^ b,
+    "SHL": lambda a, b, c: a << (b & 63),
+    "SHR": lambda a, b, c: (a & (1 << 64) - 1) >> (b & 63),
+    "MOV": lambda a, b, c: a,
+    "MIN": lambda a, b, c: min(a, b),
+    "MAX": lambda a, b, c: max(a, b),
+    "ABS": lambda a, b, c: abs(a),
+    "FMA": lambda a, b, c: a * b + c,
+    "CMP_LT": lambda a, b, c: int(a < b),
+    "CMP_LE": lambda a, b, c: int(a <= b),
+    "CMP_EQ": lambda a, b, c: int(a == b),
+    "CMP_NE": lambda a, b, c: int(a != b),
+}
+
+#: Per-enum-member dispatch, filled on first use (hashing an enum member
+#: is cheaper than its ``.name`` string walk through an if-chain).
+_ALU_DISPATCH: dict = {}
+
+
 def _alu(op, a: int, b: int | None, c: int = 0) -> int:
-    name = op.name
-    if name == "ADD":
-        return a + b
-    if name == "SUB":
-        return a - b
-    if name == "MUL":
-        return a * b
-    if name == "DIV":
-        if b == 0:
-            return 0  # SVE-style: division by zero yields zero
-        q = abs(a) // abs(b)
-        return q if (a >= 0) == (b >= 0) else -q
-    if name == "MOD":
-        if b == 0:
-            return 0
-        return a - b * _alu(ScalarOpcode.DIV, a, b)
-    if name == "AND":
-        return a & b
-    if name == "OR":
-        return a | b
-    if name == "XOR":
-        return a ^ b
-    if name == "SHL":
-        return a << (b & 63)
-    if name == "SHR":
-        return (a & (1 << 64) - 1) >> (b & 63)
-    if name == "MOV":
-        return a
-    if name == "MIN":
-        return min(a, b)
-    if name == "MAX":
-        return max(a, b)
-    if name == "ABS":
-        return abs(a)
-    if name == "FMA":
-        return a * b + c
-    if name == "CMP_LT":
-        return int(a < b)
-    if name == "CMP_LE":
-        return int(a <= b)
-    if name == "CMP_EQ":
-        return int(a == b)
-    if name == "CMP_NE":
-        return int(a != b)
-    raise IsaError(f"unhandled ALU opcode {op}")
+    fn = _ALU_DISPATCH.get(op)
+    if fn is None:
+        fn = _ALU_BY_NAME.get(op.name)
+        if fn is None:
+            raise IsaError(f"unhandled ALU opcode {op}")
+        _ALU_DISPATCH[op] = fn
+    return fn(a, b, c)
+
+
+_COMPARE = {
+    CmpOpcode.LT: lambda a, b: a < b,
+    CmpOpcode.LE: lambda a, b: a <= b,
+    CmpOpcode.EQ: lambda a, b: a == b,
+    CmpOpcode.NE: lambda a, b: a != b,
+    CmpOpcode.GT: lambda a, b: a > b,
+    CmpOpcode.GE: lambda a, b: a >= b,
+}
 
 
 def _compare(op: CmpOpcode, a: int, b: int) -> bool:
-    return {
-        CmpOpcode.LT: a < b,
-        CmpOpcode.LE: a <= b,
-        CmpOpcode.EQ: a == b,
-        CmpOpcode.NE: a != b,
-        CmpOpcode.GT: a > b,
-        CmpOpcode.GE: a >= b,
-    }[op]
+    return _COMPARE[op](a, b)
+
+
+_BRANCH_TAKEN = {
+    BranchCond.EQ: lambda a, b: a == b,
+    BranchCond.NE: lambda a, b: a != b,
+    BranchCond.LT: lambda a, b: a < b,
+    BranchCond.LE: lambda a, b: a <= b,
+    BranchCond.GT: lambda a, b: a > b,
+    BranchCond.GE: lambda a, b: a >= b,
+}
 
 
 def _branch_taken(cond: BranchCond, a: int, b: int) -> bool:
-    return {
-        BranchCond.EQ: a == b,
-        BranchCond.NE: a != b,
-        BranchCond.LT: a < b,
-        BranchCond.LE: a <= b,
-        BranchCond.GT: a > b,
-        BranchCond.GE: a >= b,
-    }[cond]
+    return _BRANCH_TAKEN[cond](a, b)
 
 
 class Interpreter:
@@ -167,6 +172,11 @@ class Interpreter:
         self._branch_taken: bool | None = None
         self._class_cache: dict[int, OpClass] = {}
         self._regs_cache: dict[int, tuple] = {}
+        #: per-instruction-object flag tuples for metrics counting — the
+        #: program's instruction objects are alive for the interpreter's
+        #: lifetime, so ``id()`` keys are stable (same contract as
+        #: ``_class_cache``)
+        self._count_cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ run
 
@@ -200,14 +210,18 @@ class Interpreter:
     # ------------------------------------------------------- bookkeeping
 
     def _count(self, inst: Instruction) -> None:
-        self.metrics.count(
-            is_vector=inst.is_vector,
-            is_mem=inst.is_mem,
-            is_branch=inst.is_branch,
-            is_gather_scatter=getattr(inst, "access_kind", None)
-            in ("gather", "scatter"),
-            is_load=inst.is_load,
-        )
+        key = id(inst)
+        flags = self._count_cache.get(key)
+        if flags is None:
+            flags = (
+                inst.is_vector,
+                inst.is_mem,
+                inst.is_branch,
+                getattr(inst, "access_kind", None) in ("gather", "scatter"),
+                inst.is_load,
+            )
+            self._count_cache[key] = flags
+        self.metrics.count(*flags)
 
     def _trace(self, pc: int, inst: Instruction) -> None:
         if self.tracer is None:
@@ -241,7 +255,8 @@ class Interpreter:
     ) -> int:
         if _faults.ACTIVE is not None and buffer is not None:
             addr = _faults.ACTIVE.perturb_addr(addr, lane, is_store=False)
-        self._mem_events.append(MemAccess(addr, size, False, lane))
+        if self.tracer is not None:
+            self._mem_events.append(MemAccess(addr, size, False, lane))
         if buffer is not None:
             raw, forwarded = buffer.load(addr, size, lane, region_offset)
             if forwarded:
@@ -261,7 +276,8 @@ class Interpreter:
         if _faults.ACTIVE is not None and buffer is not None:
             addr = _faults.ACTIVE.perturb_addr(addr, lane, is_store=True)
             value = _faults.ACTIVE.perturb_store_value(value, size, lane)
-        self._mem_events.append(MemAccess(addr, size, True, lane))
+        if self.tracer is not None:
+            self._mem_events.append(MemAccess(addr, size, True, lane))
         if buffer is not None:
             buffer.store(addr, size, value, lane, region_offset)
         else:
@@ -284,7 +300,9 @@ class Interpreter:
         speculative buffer when inside an SRV-region.
         """
         self._count(inst)
-        self._mem_events = []
+        if self.tracer is not None:
+            # fresh list per op: the tracer stores it by reference
+            self._mem_events = []
         self._branch_taken = None
         self._forwarded = False
         next_pc = self._dispatch(inst, pc, extra_mask, buffer, region_offset)
@@ -301,223 +319,256 @@ class Interpreter:
         buffer: SpeculativeBuffer | None,
         region_offset: int,
     ) -> int:
-        state = self.state
-
-        if isinstance(inst, ScalarALU):
-            a = state.read_operand(inst.src1)
-            b = None if inst.src2 is None else state.read_operand(inst.src2)
-            state.write_scalar(inst.dst, _alu(inst.op, a, b))
-            return pc + 1
-
-        if isinstance(inst, ScalarLoad):
-            addr = state.read_scalar(inst.base) + inst.offset
-            raw = self._read_mem(addr, inst.elem, 0, buffer, region_offset)
-            state.write_scalar(inst.dst, to_signed(raw, inst.elem))
-            return pc + 1
-
-        if isinstance(inst, ScalarStore):
-            addr = state.read_scalar(inst.base) + inst.offset
-            value = to_unsigned(state.read_scalar(inst.src), inst.elem)
-            self._write_mem(addr, inst.elem, value, 0, buffer, region_offset)
-            return pc + 1
-
-        if isinstance(inst, Branch):
-            a = state.read_scalar(inst.src1)
-            b = state.read_operand(inst.src2)
-            taken = _branch_taken(inst.cond, a, b)
-            self._branch_taken = taken
-            if taken:
-                return self.program.label_target(inst.target)
-            return pc + 1
-
-        if isinstance(inst, Jump):
-            self._branch_taken = True
-            return self.program.label_target(inst.target)
-
-        if isinstance(inst, Halt):
-            state.halted = True
-            return pc + 1
-
-        if isinstance(inst, Nop):
-            return pc + 1
-
-        # ---- vector --------------------------------------------------------
-
-        mask = self._mask(getattr(inst, "pred", None), extra_mask)
-
-        if isinstance(inst, VecALU):
-            elem = inst.elem
-            out = [0] * self.lanes
-            for lane in range(self.lanes):
-                if not mask[lane]:
-                    continue
-                a = state.read_lane(inst.src1, lane, elem)
-                b = (
-                    self._vec_operand(inst.src2, lane, elem)
-                    if inst.src2 is not None
-                    else None
-                )
-                c = (
-                    state.read_lane(inst.src3, lane, elem)
-                    if inst.src3 is not None
-                    else 0
-                )
-                out[lane] = _alu(inst.op, a, b, c)
-            state.write_vector_masked(inst.dst, out, mask, elem)
-            return pc + 1
-
-        if isinstance(inst, VecSplat):
-            value = state.read_operand(inst.src)
-            state.write_vector_masked(
-                inst.dst, [value] * self.lanes, mask, inst.elem
-            )
-            return pc + 1
-
-        if isinstance(inst, VecIndex):
-            start = state.read_operand(inst.start)
-            step = state.read_operand(inst.step)
-            values = [start + lane * step for lane in range(self.lanes)]
-            state.write_vector_masked(inst.dst, values, mask, inst.elem)
-            return pc + 1
-
-        if isinstance(inst, VecExtractLane):
-            if inst.lane >= self.lanes:
-                raise IsaError(f"lane {inst.lane} out of range")
-            state.write_scalar(
-                inst.dst, state.read_lane(inst.src, inst.lane, inst.elem)
-            )
-            return pc + 1
-
-        if isinstance(inst, VecReduce):
-            values = [
-                state.read_lane(inst.src, lane, inst.elem)
-                for lane in range(self.lanes)
-                if mask[lane]
-            ]
-            if inst.op == "add":
-                result = sum(values)
-            elif inst.op == "min":
-                result = min(values) if values else 0
-            elif inst.op == "max":
-                result = max(values) if values else 0
-            else:  # "or"
-                result = 0
-                for value in values:
-                    result |= to_unsigned(value, inst.elem)
-            state.write_scalar(inst.dst, result)
-            return pc + 1
-
-        if isinstance(inst, VecCmp):
-            out = [False] * self.lanes
-            for lane in range(self.lanes):
-                if not mask[lane]:
-                    continue
-                a = state.read_lane(inst.src1, lane, inst.elem)
-                b = self._vec_operand(inst.src2, lane, inst.elem)
-                out[lane] = _compare(inst.op, a, b)
-            state.write_pred(inst.dst, out)
-            return pc + 1
-
-        if isinstance(inst, PredSetAll):
-            state.write_pred(inst.dst, [inst.value] * self.lanes)
-            return pc + 1
-
-        if isinstance(inst, PredCount):
-            state.write_scalar(inst.dst, sum(state.read_pred(inst.src)))
-            return pc + 1
-
-        if isinstance(inst, PredFirstN):
-            n = max(0, min(self.lanes, state.read_scalar(inst.count)))
-            state.write_pred(inst.dst, [lane < n for lane in range(self.lanes)])
-            return pc + 1
-
-        if isinstance(inst, PredRange):
-            lo = state.read_scalar(inst.lo)
-            hi = state.read_scalar(inst.hi)
-            state.write_pred(
-                inst.dst, [lo <= lane < hi for lane in range(self.lanes)]
-            )
-            return pc + 1
-
-        if isinstance(inst, PredLogic):
-            a = state.read_pred(inst.src1)
-            if inst.op == "not":
-                out = [not bit for bit in a]
+        handler = _HANDLERS.get(type(inst))
+        if handler is None:
+            # subclasses of known instruction types still dispatch; cache
+            # the resolution so the scan happens once per type
+            for klass, fn in list(_HANDLERS.items()):
+                if isinstance(inst, klass):
+                    _HANDLERS[type(inst)] = fn
+                    handler = fn
+                    break
             else:
-                b = state.read_pred(inst.src2)
-                if inst.op == "and":
-                    out = [i and j for i, j in zip(a, b)]
-                elif inst.op == "or":
-                    out = [i or j for i, j in zip(a, b)]
-                elif inst.op == "xor":
-                    out = [i != j for i, j in zip(a, b)]
-                else:  # andnot
-                    out = [i and not j for i, j in zip(a, b)]
-            state.write_pred(inst.dst, out)
-            return pc + 1
+                if isinstance(inst, SrvEnd):
+                    raise SrvError("srv_end reached outside an SRV-region")
+                raise IsaError(f"unhandled instruction {inst!r}")
+        return handler(self, inst, pc, extra_mask, buffer, region_offset)
 
-        # ---- vector memory ----------------------------------------------------
+    # -- per-type handlers (wired into _HANDLERS after the class body) ----
 
-        if isinstance(inst, (VecLoadContig, VecLoadBroadcast)):
-            base = state.read_scalar(inst.base) + inst.offset
-            out = [0] * self.lanes
-            for lane in range(self.lanes):
-                if not mask[lane]:
-                    continue
-                addr = (
-                    base
-                    if isinstance(inst, VecLoadBroadcast)
-                    else base + lane * inst.elem
-                )
-                raw = self._read_mem(addr, inst.elem, lane, buffer, region_offset)
-                out[lane] = to_signed(raw, inst.elem)
-            state.write_vector_masked(inst.dst, out, mask, inst.elem)
-            return pc + 1
+    def _op_scalar_alu(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        a = state.read_operand(inst.src1)
+        b = None if inst.src2 is None else state.read_operand(inst.src2)
+        state.write_scalar(inst.dst, _alu(inst.op, a, b))
+        return pc + 1
 
-        if isinstance(inst, VecLoadGather):
-            base = state.read_scalar(inst.base)
-            scale = inst.effective_scale
-            out = [0] * self.lanes
-            for lane in range(self.lanes):
-                if not mask[lane]:
-                    continue
-                index = state.read_lane(inst.index, lane, inst.index_elem)
-                addr = base + index * scale
-                raw = self._read_mem(addr, inst.elem, lane, buffer, region_offset)
-                out[lane] = to_signed(raw, inst.elem)
-            state.write_vector_masked(inst.dst, out, mask, inst.elem)
-            return pc + 1
+    def _op_scalar_load(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        addr = state.read_scalar(inst.base) + inst.offset
+        raw = self._read_mem(addr, inst.elem, 0, buffer, region_offset)
+        state.write_scalar(inst.dst, to_signed(raw, inst.elem))
+        return pc + 1
 
-        if isinstance(inst, VecStoreContig):
-            base = state.read_scalar(inst.base) + inst.offset
-            for lane in range(self.lanes):
-                if not mask[lane]:
-                    continue
-                value = state.read_lane(inst.src, lane, inst.elem, signed=False)
-                self._write_mem(
-                    base + lane * inst.elem, inst.elem, value, lane,
-                    buffer, region_offset,
-                )
-            return pc + 1
+    def _op_scalar_store(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        addr = state.read_scalar(inst.base) + inst.offset
+        value = to_unsigned(state.read_scalar(inst.src), inst.elem)
+        self._write_mem(addr, inst.elem, value, 0, buffer, region_offset)
+        return pc + 1
 
-        if isinstance(inst, VecStoreScatter):
-            base = state.read_scalar(inst.base)
-            scale = inst.effective_scale
-            for lane in range(self.lanes):
-                if not mask[lane]:
-                    continue
-                index = state.read_lane(inst.index, lane, inst.index_elem)
-                value = state.read_lane(inst.src, lane, inst.elem, signed=False)
-                self._write_mem(
-                    base + index * scale, inst.elem, value, lane,
-                    buffer, region_offset,
-                )
-            return pc + 1
+    def _op_branch(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        a = state.read_scalar(inst.src1)
+        b = state.read_operand(inst.src2)
+        taken = _branch_taken(inst.cond, a, b)
+        self._branch_taken = taken
+        if taken:
+            return self.program.label_target(inst.target)
+        return pc + 1
 
-        if isinstance(inst, SrvEnd):
-            raise SrvError("srv_end reached outside an SRV-region")
+    def _op_jump(self, inst, pc, extra_mask, buffer, region_offset):
+        self._branch_taken = True
+        return self.program.label_target(inst.target)
 
-        raise IsaError(f"unhandled instruction {inst!r}")
+    def _op_halt(self, inst, pc, extra_mask, buffer, region_offset):
+        self.state.halted = True
+        return pc + 1
+
+    def _op_nop(self, inst, pc, extra_mask, buffer, region_offset):
+        return pc + 1
+
+    # ---- vector --------------------------------------------------------
+
+    def _op_vec_alu(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask(inst.pred, extra_mask)
+        elem = inst.elem
+        out = [0] * self.lanes
+        for lane in range(self.lanes):
+            if not mask[lane]:
+                continue
+            a = state.read_lane(inst.src1, lane, elem)
+            b = (
+                self._vec_operand(inst.src2, lane, elem)
+                if inst.src2 is not None
+                else None
+            )
+            c = (
+                state.read_lane(inst.src3, lane, elem)
+                if inst.src3 is not None
+                else 0
+            )
+            out[lane] = _alu(inst.op, a, b, c)
+        state.write_vector_masked(inst.dst, out, mask, elem)
+        return pc + 1
+
+    def _op_vec_splat(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask(inst.pred, extra_mask)
+        value = state.read_operand(inst.src)
+        state.write_vector_masked(
+            inst.dst, [value] * self.lanes, mask, inst.elem
+        )
+        return pc + 1
+
+    def _op_vec_index(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask(None, extra_mask)  # VecIndex is unpredicated
+        start = state.read_operand(inst.start)
+        step = state.read_operand(inst.step)
+        values = [start + lane * step for lane in range(self.lanes)]
+        state.write_vector_masked(inst.dst, values, mask, inst.elem)
+        return pc + 1
+
+    def _op_vec_extract(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        if inst.lane >= self.lanes:
+            raise IsaError(f"lane {inst.lane} out of range")
+        state.write_scalar(
+            inst.dst, state.read_lane(inst.src, inst.lane, inst.elem)
+        )
+        return pc + 1
+
+    def _op_vec_reduce(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask(inst.pred, extra_mask)
+        values = [
+            state.read_lane(inst.src, lane, inst.elem)
+            for lane in range(self.lanes)
+            if mask[lane]
+        ]
+        if inst.op == "add":
+            result = sum(values)
+        elif inst.op == "min":
+            result = min(values) if values else 0
+        elif inst.op == "max":
+            result = max(values) if values else 0
+        else:  # "or"
+            result = 0
+            for value in values:
+                result |= to_unsigned(value, inst.elem)
+        state.write_scalar(inst.dst, result)
+        return pc + 1
+
+    def _op_vec_cmp(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask(inst.pred, extra_mask)
+        out = [False] * self.lanes
+        for lane in range(self.lanes):
+            if not mask[lane]:
+                continue
+            a = state.read_lane(inst.src1, lane, inst.elem)
+            b = self._vec_operand(inst.src2, lane, inst.elem)
+            out[lane] = _compare(inst.op, a, b)
+        state.write_pred(inst.dst, out)
+        return pc + 1
+
+    def _op_pred_set_all(self, inst, pc, extra_mask, buffer, region_offset):
+        self.state.write_pred(inst.dst, [inst.value] * self.lanes)
+        return pc + 1
+
+    def _op_pred_count(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        state.write_scalar(inst.dst, sum(state.read_pred(inst.src)))
+        return pc + 1
+
+    def _op_pred_first_n(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        n = max(0, min(self.lanes, state.read_scalar(inst.count)))
+        state.write_pred(inst.dst, [lane < n for lane in range(self.lanes)])
+        return pc + 1
+
+    def _op_pred_range(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        lo = state.read_scalar(inst.lo)
+        hi = state.read_scalar(inst.hi)
+        state.write_pred(
+            inst.dst, [lo <= lane < hi for lane in range(self.lanes)]
+        )
+        return pc + 1
+
+    def _op_pred_logic(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        a = state.read_pred(inst.src1)
+        if inst.op == "not":
+            out = [not bit for bit in a]
+        else:
+            b = state.read_pred(inst.src2)
+            if inst.op == "and":
+                out = [i and j for i, j in zip(a, b)]
+            elif inst.op == "or":
+                out = [i or j for i, j in zip(a, b)]
+            elif inst.op == "xor":
+                out = [i != j for i, j in zip(a, b)]
+            else:  # andnot
+                out = [i and not j for i, j in zip(a, b)]
+        state.write_pred(inst.dst, out)
+        return pc + 1
+
+    # ---- vector memory --------------------------------------------------
+
+    def _op_vec_load_contig(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask(inst.pred, extra_mask)
+        base = state.read_scalar(inst.base) + inst.offset
+        elem = inst.elem
+        broadcast = isinstance(inst, VecLoadBroadcast)
+        out = [0] * self.lanes
+        for lane in range(self.lanes):
+            if not mask[lane]:
+                continue
+            addr = base if broadcast else base + lane * elem
+            raw = self._read_mem(addr, elem, lane, buffer, region_offset)
+            out[lane] = to_signed(raw, elem)
+        state.write_vector_masked(inst.dst, out, mask, elem)
+        return pc + 1
+
+    def _op_vec_load_gather(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask(inst.pred, extra_mask)
+        base = state.read_scalar(inst.base)
+        scale = inst.effective_scale
+        out = [0] * self.lanes
+        for lane in range(self.lanes):
+            if not mask[lane]:
+                continue
+            index = state.read_lane(inst.index, lane, inst.index_elem)
+            addr = base + index * scale
+            raw = self._read_mem(addr, inst.elem, lane, buffer, region_offset)
+            out[lane] = to_signed(raw, inst.elem)
+        state.write_vector_masked(inst.dst, out, mask, inst.elem)
+        return pc + 1
+
+    def _op_vec_store_contig(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask(inst.pred, extra_mask)
+        base = state.read_scalar(inst.base) + inst.offset
+        elem = inst.elem
+        for lane in range(self.lanes):
+            if not mask[lane]:
+                continue
+            value = state.read_lane(inst.src, lane, elem, signed=False)
+            self._write_mem(
+                base + lane * elem, elem, value, lane, buffer, region_offset,
+            )
+        return pc + 1
+
+    def _op_vec_store_scatter(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask(inst.pred, extra_mask)
+        base = state.read_scalar(inst.base)
+        scale = inst.effective_scale
+        for lane in range(self.lanes):
+            if not mask[lane]:
+                continue
+            index = state.read_lane(inst.index, lane, inst.index_elem)
+            value = state.read_lane(inst.src, lane, inst.elem, signed=False)
+            self._write_mem(
+                base + index * scale, inst.elem, value, lane,
+                buffer, region_offset,
+            )
+        return pc + 1
 
     def _mask(self, pred, extra_mask: list[bool] | None) -> list[bool]:
         mask = self.state.effective_mask(pred)
@@ -687,6 +738,37 @@ class Interpreter:
                     )
                     self.tracer.ops[-1].region_event = RegionEvent.FALLBACK
         self.state.pc = end_pc + 1
+
+
+#: Exact-type dispatch table for :meth:`Interpreter._dispatch`.  One dict
+#: lookup replaces the former 20-step ``isinstance`` chain on the hottest
+#: path of the emulator; subclasses resolve through the fallback scan in
+#: ``_dispatch`` and are cached here.
+_HANDLERS: dict[type, object] = {
+    ScalarALU: Interpreter._op_scalar_alu,
+    ScalarLoad: Interpreter._op_scalar_load,
+    ScalarStore: Interpreter._op_scalar_store,
+    Branch: Interpreter._op_branch,
+    Jump: Interpreter._op_jump,
+    Halt: Interpreter._op_halt,
+    Nop: Interpreter._op_nop,
+    VecALU: Interpreter._op_vec_alu,
+    VecSplat: Interpreter._op_vec_splat,
+    VecIndex: Interpreter._op_vec_index,
+    VecExtractLane: Interpreter._op_vec_extract,
+    VecReduce: Interpreter._op_vec_reduce,
+    VecCmp: Interpreter._op_vec_cmp,
+    PredSetAll: Interpreter._op_pred_set_all,
+    PredCount: Interpreter._op_pred_count,
+    PredFirstN: Interpreter._op_pred_first_n,
+    PredRange: Interpreter._op_pred_range,
+    PredLogic: Interpreter._op_pred_logic,
+    VecLoadContig: Interpreter._op_vec_load_contig,
+    VecLoadBroadcast: Interpreter._op_vec_load_contig,
+    VecLoadGather: Interpreter._op_vec_load_gather,
+    VecStoreContig: Interpreter._op_vec_store_contig,
+    VecStoreScatter: Interpreter._op_vec_store_scatter,
+}
 
 
 def run_program(

@@ -62,7 +62,7 @@ class EmuMetrics:
     loads_forwarded: int = 0
     srv: SrvMetrics = field(default_factory=SrvMetrics)
 
-    def count(self, *, is_vector: bool, is_mem: bool, is_branch: bool,
+    def count(self, is_vector: bool, is_mem: bool, is_branch: bool,
               is_gather_scatter: bool = False, is_load: bool = False) -> None:
         self.dynamic_instructions += 1
         if is_load:

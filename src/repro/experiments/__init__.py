@@ -21,13 +21,17 @@ from repro.experiments import (
     headline,
     limit_study,
 )
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, ShardReport, SweepReport
 from repro.experiments.runner import (
     LoopRun,
     RunFailure,
+    cache_key_for,
+    checkpoint_has,
     clear_cache,
     disable_checkpoint,
+    disable_disk_cache,
     enable_checkpoint,
+    enable_disk_cache,
     loop_speedup,
     run_loop,
     run_loop_hardened,
@@ -56,9 +60,15 @@ __all__ = [
     "ExperimentResult",
     "LoopRun",
     "RunFailure",
+    "ShardReport",
+    "SweepReport",
+    "cache_key_for",
+    "checkpoint_has",
     "clear_cache",
     "disable_checkpoint",
+    "disable_disk_cache",
     "enable_checkpoint",
+    "enable_disk_cache",
     "loop_speedup",
     "run_loop",
     "run_loop_hardened",

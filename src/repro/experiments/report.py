@@ -72,3 +72,79 @@ def _fmt(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+# ---------------------------------------------------------------------------
+# parallel-sweep reporting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardReport:
+    """Progress/timing record of one shard of a parallel sweep."""
+
+    index: int
+    cells: int                 # cells assigned to this shard
+    executed: int = 0          # computed fresh in the worker
+    cached: int = 0            # already present in a cache layer
+    elapsed_s: float = 0.0
+    pid: int = 0
+    #: structured ``RunFailure``-compatible records for cells that failed
+    #: (including a crashed worker, where every cell is recorded)
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class SweepReport:
+    """Aggregate accounting for one parallel sweep invocation."""
+
+    jobs: int
+    planned_cells: int = 0
+    skipped_checkpoint: int = 0    # honoured from a prior (sequential) run
+    skipped_cache: int = 0         # already in the content-addressed cache
+    shards: list = field(default_factory=list)
+    warm_elapsed_s: float = 0.0
+    replay_elapsed_s: float = 0.0
+    #: (experiment name, wall seconds) pairs from the replay phase
+    experiment_timings: list = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        return sum(shard.executed for shard in self.shards)
+
+    @property
+    def failures(self) -> list:
+        return [f for shard in self.shards for f in shard.failures]
+
+    def format_table(self) -> str:
+        lines = [
+            f"Sweep: {self.planned_cells} cells, {self.jobs} worker(s); "
+            f"{self.skipped_checkpoint} from checkpoint, "
+            f"{self.skipped_cache} from cache, {self.executed} executed",
+            "",
+            "shard  cells  executed  cached  failed  elapsed_s  pid",
+            "-" * 58,
+        ]
+        for shard in self.shards:
+            lines.append(
+                f"{shard.index:5d}  {shard.cells:5d}  {shard.executed:8d}  "
+                f"{shard.cached:6d}  {len(shard.failures):6d}  "
+                f"{shard.elapsed_s:9.2f}  {shard.pid}"
+            )
+        lines.append(
+            f"\nwarm phase: {self.warm_elapsed_s:.2f}s   "
+            f"replay phase: {self.replay_elapsed_s:.2f}s"
+        )
+        if self.experiment_timings:
+            timing = "  ".join(
+                f"{name}={seconds:.1f}s" for name, seconds in self.experiment_timings
+            )
+            lines.append(f"experiments: {timing}")
+        if self.failures:
+            lines.append(f"\nfailures ({len(self.failures)}):")
+            lines.extend(f"  {failure}" for failure in self.failures)
+        return "\n".join(lines)

@@ -7,10 +7,14 @@ the architectural result against the pure-Python IR oracle.
 
 Results are memoised per ``(loop, strategy, seed, config)`` because the
 figure harnesses share runs (e.g. the scalar baseline feeds figures 6, 7,
-11 and 12).  The memo is keyed on the *value* of the frozen
+11 and 12).  Memoisation lives in :mod:`repro.parallel.cache`: an
+in-process LRU keyed on the *value* of the frozen
 :class:`~repro.common.config.MachineConfig` (never its ``id``, which can
-alias after garbage collection) and is LRU-bounded so unbounded sweeps
-cannot grow memory without limit.
+alias after garbage collection), backed by an optional content-addressed
+on-disk store (:func:`enable_disk_cache`) shared with the parallel sweep
+engine — shard workers warm it, and a disk entry only matches while the
+simulator-core sources are unchanged (the key embeds a code-version
+hash).
 
 Hardening features:
 
@@ -33,7 +37,6 @@ import os
 import pickle
 import signal
 import threading
-from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
@@ -47,6 +50,7 @@ from repro.common.errors import (
 from repro.compiler import Strategy, compile_loop, scalar_reference
 from repro.emu import EmuMetrics, run_program
 from repro.memory import MemoryImage
+from repro.parallel.cache import result_cache
 from repro.pipeline import PipelineStats, Tracer, simulate
 from repro.workloads.base import LoopSpec
 
@@ -96,17 +100,14 @@ class LoopRun:
 # memoisation + checkpointing
 # ---------------------------------------------------------------------------
 
-#: LRU-bounded memo of completed runs (insertion order = recency).
-_CACHE: OrderedDict[tuple, LoopRun] = OrderedDict()
-_CACHE_MAX = 2048
-
 _CHECKPOINT_PATH: str | None = None
 #: spec-free payloads loaded from / written to the checkpoint file
 _CHECKPOINT: dict[tuple, dict] = {}
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the in-process memo (the disk layer, if enabled, persists)."""
+    result_cache().clear_memory()
 
 
 def _cache_key(
@@ -123,11 +124,60 @@ def _cache_key(
     return (spec.loop.name, strategy, seed, config, timing, n, core)
 
 
-def _cache_store(key: tuple, run: LoopRun) -> None:
-    _CACHE[key] = run
-    _CACHE.move_to_end(key)
-    while len(_CACHE) > _CACHE_MAX:
-        _CACHE.popitem(last=False)
+def cache_key_for(
+    spec: LoopSpec,
+    strategy: Strategy,
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    timing: bool = True,
+    n_override: int | None = None,
+    core: str = "ooo",
+) -> tuple:
+    """The memo/checkpoint key :func:`run_loop` would use for these args.
+
+    Exposed for the sweep engine, which needs to test cache/checkpoint
+    membership for planned cells without executing them.
+    """
+    n = spec.n if n_override is None else min(n_override, spec.n)
+    return _cache_key(spec, strategy, seed, config, timing, n, core)
+
+
+def run_payload(run: LoopRun) -> dict:
+    """Spec-free persistable payload of a run.
+
+    ``LoopSpec`` carries callables (input generators), so the checkpoint
+    and the disk cache persist this payload; the spec is re-attached on
+    lookup from the caller's own reference.
+    """
+    return {
+        "emu": run.emu,
+        "pipe": run.pipe,
+        "correct": run.correct,
+        "bad_array": run.bad_array,
+        "failures": run.failures,
+    }
+
+
+def payload_run(payload: dict, spec: LoopSpec, strategy: Strategy) -> LoopRun:
+    """Reconstruct a :class:`LoopRun` from a persisted payload."""
+    return LoopRun(
+        spec=spec,
+        strategy=strategy,
+        emu=payload["emu"],
+        pipe=payload["pipe"],
+        correct=payload["correct"],
+        bad_array=payload.get("bad_array"),
+        failures=tuple(payload.get("failures", ())),
+    )
+
+
+def enable_disk_cache(path: str) -> None:
+    """Back the run memo with the content-addressed store at ``path``."""
+    result_cache().enable_disk(path)
+
+
+def disable_disk_cache() -> None:
+    result_cache().disable_disk()
 
 
 def enable_checkpoint(path: str) -> int:
@@ -173,16 +223,7 @@ def _checkpoint_flush() -> None:
 def _checkpoint_record(key: tuple, run: LoopRun) -> None:
     if _CHECKPOINT_PATH is None:
         return
-    # LoopSpec carries callables (input generators), so persist a
-    # spec-free payload; the spec is re-attached on resume from the
-    # caller's own reference.
-    _CHECKPOINT[key] = {
-        "emu": run.emu,
-        "pipe": run.pipe,
-        "correct": run.correct,
-        "bad_array": run.bad_array,
-        "failures": run.failures,
-    }
+    _CHECKPOINT[key] = run_payload(run)
     _checkpoint_flush()
 
 
@@ -191,15 +232,17 @@ def _checkpoint_lookup(key: tuple, spec: LoopSpec,
     payload = _CHECKPOINT.get(key)
     if payload is None:
         return None
-    return LoopRun(
-        spec=spec,
-        strategy=strategy,
-        emu=payload["emu"],
-        pipe=payload["pipe"],
-        correct=payload["correct"],
-        bad_array=payload.get("bad_array"),
-        failures=tuple(payload.get("failures", ())),
-    )
+    return payload_run(payload, spec, strategy)
+
+
+def checkpoint_has(key: tuple) -> bool:
+    """True if the loaded checkpoint already holds this run.
+
+    Used by the sweep engine so a checkpoint written by a sequential run
+    is honoured by a ``--jobs N`` run: matching cells are never assigned
+    to a shard.
+    """
+    return key in _CHECKPOINT
 
 
 # ---------------------------------------------------------------------------
@@ -278,12 +321,16 @@ def run_loop(
         raise ValueError(f"unknown core model {core!r}")
     n = spec.n if n_override is None else min(n_override, spec.n)
     key = _cache_key(spec, strategy, seed, config, timing, n, core)
-    if key in _CACHE:
-        _CACHE.move_to_end(key)
-        return _CACHE[key]
+    cache = result_cache()
+    payload = cache.get(key)
+    if payload is not None:
+        return payload_run(payload, spec, strategy)
     resumed = _checkpoint_lookup(key, spec, strategy)
     if resumed is not None:
-        _cache_store(key, resumed)
+        # memory layer only: checkpoint entries are not content-addressed
+        # (they may predate a simulator edit), so they must not be
+        # promoted into the on-disk store under the current code version
+        cache.put_memory(key, run_payload(resumed))
         return resumed
 
     failures: tuple[RunFailure, ...] = ()
@@ -310,7 +357,7 @@ def run_loop(
         spec, strategy, emu_metrics, pipe, correct,
         bad_array=bad_array, failures=failures,
     )
-    _cache_store(key, run)
+    cache.put(key, run_payload(run))
     _checkpoint_record(key, run)
     return run
 

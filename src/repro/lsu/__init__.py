@@ -4,6 +4,7 @@ from repro.lsu.alignment import RegionChunk, align_base, align_offset, chunks_fo
 from repro.lsu.entries import AccessType, LsuEntry
 from repro.lsu.horizontal import (
     forwardable_mask,
+    hob_and_forwardable,
     hob_for_pair,
     horizontal_violation_vector,
     overall_hob,
@@ -20,6 +21,7 @@ __all__ = [
     "AccessType",
     "LsuEntry",
     "forwardable_mask",
+    "hob_and_forwardable",
     "hob_for_pair",
     "horizontal_violation_vector",
     "overall_hob",

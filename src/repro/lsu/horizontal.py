@@ -50,14 +50,45 @@ def horizontal_violation_vector(
     prior_chunk = prior.chunk_for_base(base)
     if prior_chunk is None:
         return BitVector.zeros(region_bytes)
-    bits = BitVector.zeros(region_bytes)
+    bits = 0
+    # Inlined lane geometry (LsuEntry.lane_span_of_byte and
+    # _issuing_lane_for_byte) with the per-entry attributes hoisted out of
+    # the per-byte loop: this function dominates LSU issue time.
+    p_lane = prior.lane
+    if prior.access is AccessType.BROADCAST:
+        p_base_lane, p_contig = p_lane + prior.lanes_covered - 1, False
+    elif prior.access is AccessType.CONTIGUOUS:
+        p_base_lane, p_contig = p_lane, True
+        p_addr, p_elem = prior.addr, prior.elem
+        p_mirror = (
+            prior.lanes_covered - 1
+            if prior.direction is SrvDirection.DOWN
+            else None
+        )
+    else:
+        p_base_lane, p_contig = p_lane, False
+    i_lane = issuing.lane
+    i_contig = issuing.access is AccessType.CONTIGUOUS
+    if i_contig:
+        i_addr, i_end, i_elem = issuing.addr, issuing.addr + issuing.size, issuing.elem
+        i_mirror = (
+            issuing.lanes_covered - 1
+            if issuing.direction is SrvDirection.DOWN
+            else None
+        )
     for bit in prior_chunk.bytes_accessed.set_indices():
         byte_addr = base + bit
-        _, prior_max = prior.lane_span_of_byte(byte_addr)
-        issuing_lane = _issuing_lane_for_byte(issuing, byte_addr)
+        prior_max = p_base_lane
+        if p_contig:
+            index = (byte_addr - p_addr) // p_elem
+            prior_max += p_mirror - index if p_mirror is not None else index
+        issuing_lane = i_lane
+        if i_contig and i_addr <= byte_addr < i_end:
+            index = (byte_addr - i_addr) // i_elem
+            issuing_lane += i_mirror - index if i_mirror is not None else index
         if prior_max > issuing_lane:
-            bits = bits.with_bit(bit)
-    return bits
+            bits |= 1 << bit
+    return BitVector._new(region_bytes, bits)
 
 
 def _issuing_lane_for_byte(issuing: LsuEntry, byte_addr: int) -> int:
@@ -88,6 +119,28 @@ def hob_for_pair(
         if hob.any():
             result[base] = hob
     return result
+
+
+def hob_and_forwardable(
+    issuing: LsuEntry, prior: LsuEntry, region_bytes: int
+) -> tuple[dict[int, BitVector], dict[int, BitVector]]:
+    """One pass yielding (:func:`hob_for_pair`, :func:`forwardable_mask`).
+
+    An issuing load needs both views of the same VOB/violation pair; the
+    LSU calls this so the violation vector is built once per (pair, base)
+    instead of twice.
+    """
+    hobs: dict[int, BitVector] = {}
+    forwardable: dict[int, BitVector] = {}
+    for base, vob in vob_for_pair(issuing, prior).items():
+        violation = horizontal_violation_vector(issuing, prior, base, region_bytes)
+        hob = vob & violation
+        if hob.any():
+            hobs[base] = hob
+        ok = vob.andnot(violation)
+        if ok.any():
+            forwardable[base] = ok
+    return hobs, forwardable
 
 
 def overall_hob(

@@ -25,7 +25,7 @@ from repro.common.errors import LsuOverflowError
 from repro.isa.instructions import SrvDirection
 from repro.lsu.entries import LsuEntry
 from repro.lsu.horizontal import (
-    forwardable_mask,
+    hob_and_forwardable,
     hob_for_pair,
     overall_hob,
     replay_lanes_from_hob,
@@ -207,11 +207,14 @@ class LoadStoreUnit:
 
         result = LoadIssueResult()
         priors = list(self.saq.values())
-        covered: set[int] = set()
+        # Coverage as an int mask relative to entry.addr: forwardable
+        # bytes always fall inside the load's own span, so bit i covers
+        # byte entry.addr + i.
+        covered = 0
+        addr = entry.addr
         for prior in priors:
             if self.in_region:
-                ok = forwardable_mask(entry, prior, self.region_bytes)
-                hob = hob_for_pair(entry, prior, self.region_bytes)
+                hob, ok = hob_and_forwardable(entry, prior, self.region_bytes)
                 if hob:
                     result.war_suppressed = True
                     self.counters.war_suppressions += 1
@@ -220,9 +223,13 @@ class LoadStoreUnit:
             if ok:
                 result.forwarded_from.add((prior.srv_id, prior.lane))
                 for base, bv in ok.items():
-                    covered.update(base + bit for bit in bv.set_indices())
-        accessed = set(range(entry.addr, entry.addr + entry.size))
-        result.any_memory_bytes = not accessed.issubset(covered)
+                    offset = base - addr
+                    if offset >= 0:
+                        covered |= bv.bits << offset
+                    else:
+                        covered |= bv.bits >> -offset
+        need = (1 << entry.size) - 1
+        result.any_memory_bytes = (covered & need) != need
         result.sdq_entries_combined = len(result.forwarded_from)
         if result.forwarded_from:
             self.counters.loads_forwarded += 1

@@ -1,0 +1,220 @@
+"""Content-addressed result cache for experiment runs.
+
+One cache, two layers:
+
+* an **in-process LRU** over spec-free run payloads — the successor of
+  the experiment runner's original ``OrderedDict`` memo (figures 6/7/11/12
+  share the scalar baseline runs, so a sweep hits this constantly);
+* an optional **on-disk store**, one file per entry under
+  ``<dir>/<digest[:2]>/<digest>.pkl``, written atomically (tmp + rename)
+  so concurrent shard workers can populate it without locking and a
+  killed worker cannot leave a torn entry.
+
+Entries are *content addressed*: the digest covers the loop name, the
+strategy, the seed, the run shape (timing / trip count / core model), the
+frozen :class:`~repro.common.config.MachineConfig` **value**, and a hash
+of the simulator-core sources (:func:`code_version_hash`).  Invalidation
+is therefore implicit — editing any core simulator module changes the
+code hash and every old entry simply stops matching, while editing an
+experiment harness (``repro.experiments``) or this engine leaves cached
+cells valid, so a re-run only recomputes what the edit actually affects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+#: Simulator-core packages whose sources determine run results.  The
+#: ``experiments``, ``parallel`` and CLI layers are deliberately absent:
+#: they orchestrate runs but cannot change a run's outcome.
+CORE_MODULES: tuple[str, ...] = (
+    "__init__.py",
+    "common",
+    "compiler",
+    "emu",
+    "isa",
+    "lsu",
+    "memory",
+    "pipeline",
+    "power",
+    "srv",
+    "verify",
+    "workloads",
+)
+
+_CODE_VERSION: str | None = None
+
+
+def code_version_hash(refresh: bool = False) -> str:
+    """SHA-256 over the simulator-core sources (cached per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is not None and not refresh:
+        return _CODE_VERSION
+    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    hasher = hashlib.sha256()
+    for name in CORE_MODULES:
+        path = os.path.join(package_dir, name)
+        if os.path.isfile(path):
+            files = [path]
+        else:
+            files = sorted(
+                os.path.join(dirpath, fname)
+                for dirpath, _, fnames in os.walk(path)
+                for fname in fnames
+                if fname.endswith(".py")
+            )
+        for fpath in files:
+            hasher.update(os.path.relpath(fpath, package_dir).encode())
+            with open(fpath, "rb") as fh:
+                hasher.update(fh.read())
+    _CODE_VERSION = hasher.hexdigest()
+    return _CODE_VERSION
+
+
+def cache_digest(key: tuple, code_version: str | None = None) -> str:
+    """Content digest of a runner cache key.
+
+    ``key`` is the runner's ``(loop, strategy, seed, config, timing, n,
+    core)`` tuple; every component has a deterministic, value-based
+    ``repr`` (``MachineConfig`` is a frozen dataclass, ``Strategy`` an
+    enum), which makes the digest stable across processes — unlike
+    ``hash()``, which is randomised per interpreter for strings.
+    """
+    if code_version is None:
+        code_version = code_version_hash()
+    canonical = "\x1f".join([repr(part) for part in key] + [code_version])
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+
+@dataclass
+class ResultCache:
+    """LRU memo + optional content-addressed disk store of run payloads.
+
+    Payloads are the same spec-free dicts the checkpoint file uses
+    (``LoopSpec`` carries input-generator callables, so the spec itself
+    is never pickled; callers re-attach it on lookup).
+    """
+
+    max_memory: int = 2048
+    disk_dir: str | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: OrderedDict = field(default_factory=OrderedDict)
+
+    # -- configuration -----------------------------------------------------
+
+    def enable_disk(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+        self.disk_dir = path
+
+    def disable_disk(self) -> None:
+        self.disk_dir = None
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- lookup ------------------------------------------------------------
+
+    def _disk_path(self, digest: str) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(self.disk_dir, digest[:2], f"{digest}.pkl")
+
+    def get(self, key: tuple) -> dict | None:
+        """Return the payload for ``key`` or ``None``; promotes disk hits."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return payload
+        if self.disk_dir is not None:
+            path = self._disk_path(cache_digest(key))
+            try:
+                with open(path, "rb") as fh:
+                    payload = pickle.load(fh)
+            except FileNotFoundError:
+                payload = None
+            except Exception:
+                # a torn/corrupt entry is equivalent to a miss; drop it so
+                # the slot is rewritten cleanly
+                payload = None
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            if isinstance(payload, dict):
+                self._store_memory(key, payload)
+                self.stats.disk_hits += 1
+                return payload
+        self.stats.misses += 1
+        return None
+
+    def contains(self, key: tuple) -> bool:
+        """Cheap membership test (no payload load for disk entries)."""
+        if key in self._memory:
+            return True
+        if self.disk_dir is not None:
+            return os.path.exists(self._disk_path(cache_digest(key)))
+        return False
+
+    # -- store -------------------------------------------------------------
+
+    def _store_memory(self, key: tuple, payload: dict) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory:
+            self._memory.popitem(last=False)
+
+    def put_memory(self, key: tuple, payload: dict) -> None:
+        """Memoise in process only — used for entries (e.g. checkpoint
+        resumes) that must not be re-published under the current code
+        version."""
+        self._store_memory(key, payload)
+
+    def put(self, key: tuple, payload: dict) -> None:
+        self._store_memory(key, payload)
+        self.stats.stores += 1
+        if self.disk_dir is not None:
+            path = self._disk_path(cache_digest(key))
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            try:
+                with open(tmp, "wb") as fh:
+                    pickle.dump(payload, fh)
+                os.replace(tmp, path)
+            except OSError:
+                # disk-cache failure must never fail a run; drop the temp
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+
+#: Process-wide cache instance shared by the experiment runner and the
+#: sweep engine (shard workers enable the disk layer on the same object).
+_CACHE = ResultCache()
+
+
+def result_cache() -> ResultCache:
+    return _CACHE

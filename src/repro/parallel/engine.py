@@ -1,0 +1,269 @@
+"""Sharded multiprocessing sweep executor.
+
+Lifecycle of one ``run_sweep`` call:
+
+1. **plan** — enumerate the deduplicated cell matrix for the requested
+   experiments (:mod:`repro.parallel.plan`);
+2. **filter** — drop cells already satisfied by the loaded checkpoint
+   (so a checkpoint written by a *sequential* run is honoured by a
+   ``--jobs N`` run) or already present in the content-addressed disk
+   cache under the current code version;
+3. **warm** — round-robin the surviving cells into shards and execute
+   the shards on a ``ProcessPoolExecutor``.  Workers share nothing but
+   the disk cache directory: each computes its cells with the ordinary
+   hardened runner and publishes payloads via atomic per-entry writes.
+   Cell seeding is deterministic — a cell carries its explicit seed, and
+   the hardened runner's retry-reseed stride is a pure function of it —
+   so shard assignment cannot change any result;
+4. **replay** — run the (unchanged, sequential) experiment harnesses in
+   the parent against the warmed cache.  Every ``run_loop`` the harness
+   performs is a cache hit, and the tables produced are bit-identical to
+   a sequential sweep because the harness code path *is* the sequential
+   code path.
+
+Failure semantics extend PR 1's ``RunFailure`` machinery: a cell that
+raises inside a worker, a worker that dies (``BrokenProcessPool``), or a
+shard that cannot be scheduled at all each degrade to structured failure
+records on the shard report — the sweep continues, and the replay phase
+recomputes whatever the warm phase could not provide.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+from repro.experiments.report import ExperimentResult, ShardReport, SweepReport
+from repro.parallel.cache import result_cache
+from repro.parallel.plan import SweepCell, cells_for_experiments
+
+DEFAULT_CACHE_DIR = os.path.join("results", "cache")
+
+#: Shards per worker: >1 so a slow shard does not leave workers idle,
+#: small enough that per-shard reports stay readable.
+SHARDS_PER_JOB = 2
+
+
+def _cell_failure(cell: SweepCell, stage: str, error: str, message: str):
+    from repro.experiments.runner import RunFailure
+
+    return RunFailure(
+        loop=cell.loop, strategy=cell.strategy, seed=cell.seed,
+        stage=stage, error=error, message=message,
+    )
+
+
+def _run_shard(
+    index: int,
+    cells: list[SweepCell],
+    cache_dir: str | None,
+    timeout_s: float | None,
+) -> ShardReport:
+    """Execute one shard's cells; importable at top level for pickling.
+
+    Runs in a worker process (or inline for ``jobs <= 1``).  Workers
+    never touch the checkpoint file — concurrent whole-file rewrites
+    would race — so checkpoint recording happens only in the parent's
+    replay phase.
+    """
+    from repro.experiments import runner
+
+    runner.disable_checkpoint()
+    if cache_dir is not None:
+        runner.enable_disk_cache(cache_dir)
+    cache = result_cache()
+
+    report = ShardReport(index=index, cells=len(cells), pid=os.getpid())
+    start = time.perf_counter()
+    for cell in cells:
+        try:
+            spec, strategy, config = cell.resolve()
+            key = runner.cache_key_for(
+                spec, strategy, cell.seed, config, cell.timing,
+                cell.n_override, cell.core,
+            )
+            if cache.contains(key):
+                report.cached += 1
+                continue
+            runner.run_loop_hardened(
+                spec, strategy, cell.seed, config,
+                timeout_s=timeout_s,
+                timing=cell.timing, n_override=cell.n_override, core=cell.core,
+            )
+            report.executed += 1
+        except (ReproError, KeyError) as exc:
+            report.failures.append(_cell_failure(
+                cell, "shard", type(exc).__name__, str(exc),
+            ))
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
+def warm_cells(
+    cells: list[SweepCell],
+    jobs: int,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+    *,
+    timeout_s: float | None = None,
+    progress=None,
+) -> list[ShardReport]:
+    """Populate the disk cache for ``cells`` using ``jobs`` processes.
+
+    With ``jobs <= 1`` the shards run inline (same code path, no pool),
+    which is also the fallback when a pool cannot be created at all.
+    """
+    if not cells:
+        return []
+    n_shards = max(1, min(len(cells), jobs * SHARDS_PER_JOB))
+    shards = [cells[i::n_shards] for i in range(n_shards)]
+
+    if jobs <= 1:
+        return [
+            _run_shard(i, shard, cache_dir, timeout_s)
+            for i, shard in enumerate(shards)
+        ]
+
+    reports: list[ShardReport] = []
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_run_shard, i, shard, cache_dir, timeout_s): i
+                for i, shard in enumerate(shards)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    report = future.result()
+                except Exception as exc:  # worker died (BrokenProcessPool &c.)
+                    report = ShardReport(
+                        index=index, cells=len(shards[index]), pid=0,
+                        failures=[
+                            _cell_failure(
+                                cell, "worker", type(exc).__name__, str(exc)
+                            )
+                            for cell in shards[index]
+                        ],
+                    )
+                reports.append(report)
+                if progress is not None:
+                    progress(
+                        f"[shard {report.index}: {report.executed} run, "
+                        f"{report.cached} cached, "
+                        f"{len(report.failures)} failed, "
+                        f"{report.elapsed_s:.1f}s]"
+                    )
+    except OSError as exc:
+        # no pool at all (e.g. sandboxed fork): degrade to inline execution
+        if progress is not None:
+            progress(f"[pool unavailable ({exc}); running shards inline]")
+        return [
+            _run_shard(i, shard, cache_dir, timeout_s)
+            for i, shard in enumerate(shards)
+        ]
+    reports.sort(key=lambda r: r.index)
+    return reports
+
+
+@dataclass
+class SweepOutcome:
+    """Results + accounting from one :func:`run_sweep` call."""
+
+    results: dict[str, ExperimentResult] = field(default_factory=dict)
+    report: SweepReport = field(default_factory=lambda: SweepReport(jobs=1))
+
+    @property
+    def failed_experiments(self) -> list[str]:
+        return [
+            name for name, result in self.results.items()
+            if result.failures and not result.rows
+        ]
+
+
+def run_sweep(
+    experiments: list[str] | None = None,
+    *,
+    jobs: int = 1,
+    seed: int = 0,
+    n_override: int | None = None,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+    checkpoint: str | None = None,
+    timeout_s: float | None = None,
+    progress=None,
+) -> SweepOutcome:
+    """Run experiments with a parallel warm phase and a sequential replay.
+
+    Returns every experiment's :class:`ExperimentResult` (bit-identical
+    to a plain sequential run) plus the :class:`SweepReport` accounting.
+    A failing experiment is recorded as a failure-only result, matching
+    ``examples/run_all_experiments.py`` semantics.
+    """
+    from repro.experiments import ALL_EXPERIMENTS, runner
+
+    if experiments is None:
+        experiments = list(ALL_EXPERIMENTS)
+    unknown = [name for name in experiments if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
+
+    report = SweepReport(jobs=jobs)
+    outcome = SweepOutcome(report=report)
+
+    if checkpoint is not None:
+        runner.enable_checkpoint(checkpoint)
+    if cache_dir is not None:
+        runner.enable_disk_cache(cache_dir)
+
+    # plan + filter
+    cells = cells_for_experiments(experiments, seed=seed, n_override=n_override)
+    report.planned_cells = len(cells)
+    cache = result_cache()
+    pending: list[SweepCell] = []
+    for cell in cells:
+        try:
+            spec, strategy, config = cell.resolve()
+        except KeyError:
+            pending.append(cell)
+            continue
+        key = runner.cache_key_for(
+            spec, strategy, cell.seed, config, cell.timing,
+            cell.n_override, cell.core,
+        )
+        if runner.checkpoint_has(key):
+            report.skipped_checkpoint += 1
+        elif cache.contains(key):
+            report.skipped_cache += 1
+        else:
+            pending.append(cell)
+
+    # warm
+    start = time.perf_counter()
+    report.shards = warm_cells(
+        pending, jobs, cache_dir, timeout_s=timeout_s, progress=progress,
+    )
+    report.warm_elapsed_s = time.perf_counter() - start
+
+    # replay (sequential harnesses over the warmed cache)
+    start = time.perf_counter()
+    for name in experiments:
+        t0 = time.perf_counter()
+        try:
+            result = ALL_EXPERIMENTS[name](
+                seed=seed, n_override=n_override
+            )
+        except ReproError as exc:
+            result = ExperimentResult(
+                name=name,
+                title=f"{name}: FAILED ({type(exc).__name__})",
+                columns=("error",),
+            )
+            result.failures.append(runner.RunFailure(
+                loop="-", strategy="-", seed=seed, stage="experiment",
+                error=type(exc).__name__, message=str(exc),
+            ))
+        outcome.results[name] = result
+        report.experiment_timings.append((name, time.perf_counter() - t0))
+    report.replay_elapsed_s = time.perf_counter() - start
+    return outcome

@@ -1,0 +1,177 @@
+"""Sweep-matrix enumeration: which (loop, strategy, config) cells feed
+which experiment.
+
+The figure harnesses in :mod:`repro.experiments` call
+:func:`~repro.experiments.runner.run_loop` with deterministic arguments,
+so the full sweep is a *static* matrix of cells.  This module enumerates
+that matrix per experiment as picklable :class:`SweepCell` records — the
+unit of work the shard engine distributes across worker processes.
+
+The enumeration intentionally over-approximates nothing and
+under-approximates nothing for the standard harnesses: a cell list is
+exactly the set of ``run_loop`` keys an experiment will request, so after
+the warm phase the sequential harness replay is pure cache hits.  (If a
+future experiment adds runs without registering them here, nothing
+breaks — the replay phase computes the missing cells sequentially.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.compiler import Strategy
+from repro.workloads import ALL_WORKLOADS
+
+#: Named configurations used by the standard sweep; cells reference
+#: configs by tag so they stay picklable and content-addressable.
+CONFIG_TAGS: dict[str, MachineConfig] = {
+    "table1": TABLE_I,
+    "relax_barrier": TABLE_I.with_overrides(srv_relax_barrier=True),
+    "tm_mode": TABLE_I.with_overrides(srv_tm_mode=True),
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One run of one loop under one strategy/config/core/timing shape."""
+
+    workload: str
+    loop: str
+    strategy: str            # Strategy value, e.g. "srv"
+    seed: int = 0
+    timing: bool = True
+    core: str = "ooo"
+    config_tag: str = "table1"
+    n_override: int | None = None
+
+    def config(self) -> MachineConfig:
+        return CONFIG_TAGS[self.config_tag]
+
+    def resolve(self):
+        """Return the ``(LoopSpec, Strategy, MachineConfig)`` triple."""
+        for workload in ALL_WORKLOADS:
+            if workload.name == self.workload:
+                for spec in workload.loops:
+                    if spec.name == self.loop:
+                        return spec, Strategy(self.strategy), self.config()
+        raise KeyError(f"unknown cell {self.workload}/{self.loop}")
+
+    def label(self) -> str:
+        extra = "" if self.config_tag == "table1" else f"/{self.config_tag}"
+        t = "timed" if self.timing else "untimed"
+        return f"{self.workload}/{self.loop}:{self.strategy}/{self.core}/{t}{extra}"
+
+
+def _loop_cells(strategies, *, timing=True, core="ooo", config_tag="table1",
+                seed=0, n_override=None):
+    return [
+        SweepCell(
+            workload=workload.name, loop=spec.name, strategy=strategy.value,
+            seed=seed, timing=timing, core=core, config_tag=config_tag,
+            n_override=n_override,
+        )
+        for workload in ALL_WORKLOADS
+        for spec in workload.loops
+        for strategy in strategies
+    ]
+
+
+def _cells_limit_study(seed, n):
+    return _loop_cells((Strategy.SCALAR, Strategy.SRV), timing=False,
+                       seed=seed, n_override=n)
+
+
+def _cells_fig6(seed, n):
+    return _loop_cells((Strategy.SVE, Strategy.SRV), seed=seed, n_override=n)
+
+
+def _cells_fig8(seed, n):
+    return _loop_cells((Strategy.SRV,), seed=seed, n_override=n)
+
+
+def _cells_fig9(seed, n):
+    return _loop_cells((Strategy.SRV,), timing=False, seed=seed, n_override=n)
+
+
+def _cells_fig11(seed, n):
+    return _loop_cells((Strategy.SCALAR, Strategy.SRV), seed=seed, n_override=n)
+
+
+def _cells_fig12(seed, n):
+    return _loop_cells((Strategy.SCALAR, Strategy.SVE, Strategy.SRV),
+                       seed=seed, n_override=n)
+
+
+def _cells_fig13(seed, n):
+    return _loop_cells((Strategy.SRV, Strategy.FLEXVEC), timing=False,
+                       seed=seed, n_override=n)
+
+
+def _cells_ablation_inorder(seed, n):
+    return (
+        _loop_cells((Strategy.SVE, Strategy.SRV), seed=seed, n_override=n)
+        + _loop_cells((Strategy.SVE, Strategy.SRV), core="inorder",
+                      seed=seed, n_override=n)
+    )
+
+
+def _cells_ablation_barrier(seed, n):
+    return (
+        _loop_cells((Strategy.SRV,), seed=seed, n_override=n)
+        + _loop_cells((Strategy.SRV,), config_tag="relax_barrier",
+                      seed=seed, n_override=n)
+    )
+
+
+def _cells_ablation_tm(seed, n):
+    return (
+        _loop_cells((Strategy.SRV,), timing=False, seed=seed, n_override=n)
+        + _loop_cells((Strategy.SRV,), timing=False, config_tag="tm_mode",
+                      seed=seed, n_override=n)
+    )
+
+
+#: experiment name -> cell enumerator.  Derived experiments (figure7,
+#: headline) consume figure 6's runs; figure10's runs are figure9's.
+CELLS_BY_EXPERIMENT = {
+    "limit_study": _cells_limit_study,
+    "figure6": _cells_fig6,
+    "figure7": _cells_fig6,
+    "figure8": _cells_fig8,
+    "figure9": _cells_fig9,
+    "figure10": _cells_fig9,
+    "figure11": _cells_fig11,
+    "figure12": _cells_fig12,
+    "figure13": _cells_fig13,
+    "headline": _cells_fig6,
+    "ablation_inorder": _cells_ablation_inorder,
+    "ablation_barrier": _cells_ablation_barrier,
+    "ablation_tm": _cells_ablation_tm,
+}
+
+
+def cells_for_experiments(
+    experiments, seed: int = 0, n_override: int | None = None
+) -> list[SweepCell]:
+    """Deduplicated cell list for the named experiments, in stable order.
+
+    Timed cells sort first: they are the expensive ones, so scheduling
+    them early keeps the shard tail short.
+    """
+    seen: dict[SweepCell, None] = {}
+    for name in experiments:
+        enumerate_cells = CELLS_BY_EXPERIMENT.get(name)
+        if enumerate_cells is None:
+            continue  # unknown/derived experiment: replay phase covers it
+        for cell in enumerate_cells(seed, n_override):
+            seen.setdefault(cell, None)
+    cells = list(seen)
+    cells.sort(key=lambda c: (not c.timing, c.workload, c.loop, c.strategy,
+                              c.core, c.config_tag))
+    return cells
+
+
+def plan_summary(cells) -> dict[str, int]:
+    timed = sum(1 for cell in cells if cell.timing)
+    return {"cells": len(cells), "timed": timed, "untimed": len(cells) - timed}

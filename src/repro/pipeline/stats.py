@@ -1,4 +1,12 @@
-"""Statistics produced by the cycle-approximate pipeline."""
+"""Statistics produced by the cycle-approximate pipeline.
+
+One :class:`PipelineStats` per simulated trace: cycle counts, per-class
+instruction tallies, the ``srv_end`` serialisation cycles behind the
+figure 8 fractions, the LSU disambiguation counters behind figure 11
+(section VI-C counting conventions), and the branch-predictor /
+store-set summaries.  The experiment harnesses read these fields
+directly; nothing here is derived state.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,15 @@
-"""SRV region-control engine and architectural registers."""
+"""SRV region-control engine and architectural registers (paper section III-D).
+
+The architectural state SRV adds to the core (section III-D1): the
+SRV-needs-replay and SRV-replaying predicate registers, the saved
+re-execution context, and the normal-execution PC sentinel.
+:class:`~repro.srv.engine.SrvEngine` implements the ``srv_end`` decision
+procedure of sections III-D3/III-D4 — commit when no lane needs replay,
+otherwise roll back and re-execute only the flagged lanes, bounded by
+``lanes - 1`` rollbacks — plus the precise-exception handling of
+section III-D6 (squash the region, deliver the exception on the scalar
+re-execution path).
+"""
 
 from repro.srv.engine import (
     EndDecision,

@@ -1,0 +1,147 @@
+"""Content-addressed result cache (repro.parallel.cache).
+
+Covers digest stability, the in-memory LRU bound, cross-process disk
+hits (modelled with two cache instances), implicit invalidation via the
+code-version hash, and corrupt-entry recovery.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.parallel import cache as cache_mod
+from repro.parallel.cache import (
+    ResultCache,
+    cache_digest,
+    code_version_hash,
+)
+
+KEY_A = ("loop_a", "srv", 0, "cfg", True, 64, "ooo")
+KEY_B = ("loop_b", "srv", 0, "cfg", True, 64, "ooo")
+
+
+@pytest.fixture(autouse=True)
+def _stable_code_version(monkeypatch):
+    """Pin the code-version hash so tests don't re-hash the source tree."""
+    monkeypatch.setattr(cache_mod, "_CODE_VERSION", "f" * 64)
+    yield
+
+
+class TestDigest:
+    def test_stable_across_calls(self):
+        assert cache_digest(KEY_A) == cache_digest(KEY_A)
+
+    def test_distinct_keys_distinct_digests(self):
+        assert cache_digest(KEY_A) != cache_digest(KEY_B)
+
+    def test_code_version_is_part_of_the_address(self):
+        assert cache_digest(KEY_A, "a" * 64) != cache_digest(KEY_A, "b" * 64)
+
+    def test_value_keyed_not_identity_keyed(self):
+        # equal tuples built separately must address the same entry
+        other = tuple(["loop_a", "srv", 0, "cfg", True, 64, "ooo"])
+        assert other is not KEY_A
+        assert cache_digest(other) == cache_digest(KEY_A)
+
+    def test_code_version_hash_is_hex_sha256(self, monkeypatch):
+        monkeypatch.setattr(cache_mod, "_CODE_VERSION", None)
+        digest = code_version_hash()
+        assert len(digest) == 64
+        int(digest, 16)
+        # cached on the second call
+        assert code_version_hash() == digest
+
+
+class TestMemoryLayer:
+    def test_lru_eviction(self):
+        cache = ResultCache(max_memory=3)
+        for i in range(5):
+            cache.put((i,), {"v": i})
+        assert len(cache) == 3
+        assert cache.get((0,)) is None
+        assert cache.get((4,)) == {"v": 4}
+
+    def test_get_promotes_recency(self):
+        cache = ResultCache(max_memory=2)
+        cache.put((1,), {"v": 1})
+        cache.put((2,), {"v": 2})
+        cache.get((1,))  # touch: (2,) becomes the eviction candidate
+        cache.put((3,), {"v": 3})
+        assert cache.get((1,)) == {"v": 1}
+        assert cache.get((2,)) is None
+
+    def test_put_memory_does_not_write_disk(self, tmp_path):
+        cache = ResultCache()
+        cache.enable_disk(str(tmp_path))
+        cache.put_memory(KEY_A, {"v": 1})
+        fresh = ResultCache()
+        fresh.enable_disk(str(tmp_path))
+        assert fresh.get(KEY_A) is None
+
+    def test_stats_accounting(self):
+        cache = ResultCache()
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, {"v": 1})
+        cache.get(KEY_A)
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.memory_hits == 1
+
+
+class TestDiskLayer:
+    def test_hit_across_instances(self, tmp_path):
+        writer = ResultCache()
+        writer.enable_disk(str(tmp_path))
+        writer.put(KEY_A, {"v": 42})
+
+        reader = ResultCache()
+        reader.enable_disk(str(tmp_path))
+        assert reader.contains(KEY_A)
+        assert reader.get(KEY_A) == {"v": 42}
+        assert reader.stats.disk_hits == 1
+        # the hit was promoted into the reader's memory layer
+        assert len(reader) == 1
+
+    def test_code_edit_invalidates_implicitly(self, tmp_path, monkeypatch):
+        cache = ResultCache()
+        cache.enable_disk(str(tmp_path))
+        cache.put(KEY_A, {"v": 1})
+        cache.clear_memory()
+        assert cache.contains(KEY_A)
+        # simulate editing a core simulator module: the version hash moves
+        monkeypatch.setattr(cache_mod, "_CODE_VERSION", "0" * 64)
+        assert not cache.contains(KEY_A)
+        assert cache.get(KEY_A) is None
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache()
+        cache.enable_disk(str(tmp_path))
+        cache.put(KEY_A, {"v": 1})
+        cache.clear_memory()
+        path = cache._disk_path(cache_digest(KEY_A))
+        with open(path, "wb") as fh:
+            fh.write(b"torn write garbage")
+        assert cache.get(KEY_A) is None
+        assert not os.path.exists(path)
+        # the slot can be rewritten cleanly afterwards
+        cache.put(KEY_A, {"v": 2})
+        cache.clear_memory()
+        assert cache.get(KEY_A) == {"v": 2}
+
+    def test_non_dict_payload_rejected(self, tmp_path):
+        cache = ResultCache()
+        cache.enable_disk(str(tmp_path))
+        path = cache._disk_path(cache_digest(KEY_A))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump(["not", "a", "payload"], fh)
+        assert cache.get(KEY_A) is None
+
+    def test_disable_disk(self, tmp_path):
+        cache = ResultCache()
+        cache.enable_disk(str(tmp_path))
+        cache.put(KEY_A, {"v": 1})
+        cache.clear_memory()
+        cache.disable_disk()
+        assert cache.get(KEY_A) is None

@@ -14,6 +14,7 @@ from repro.common.errors import (
 )
 from repro.compiler import Strategy
 from repro.experiments import runner
+from repro.parallel.cache import result_cache
 from repro.workloads import by_name
 
 
@@ -21,9 +22,11 @@ from repro.workloads import by_name
 def _fresh_runner_state():
     runner.clear_cache()
     runner.disable_checkpoint()
+    runner.disable_disk_cache()
     yield
     runner.clear_cache()
     runner.disable_checkpoint()
+    runner.disable_disk_cache()
 
 
 def _spec(workload="gcc", index=0):
@@ -48,8 +51,10 @@ class TestMemoisation:
         )
         run_b = runner.run_loop(spec, Strategy.SRV, config=config_b,
                                 n_override=64)
-        assert run_b is run_a
         assert not calls
+        assert run_b.correct == run_a.correct
+        assert run_b.pipe.cycles == run_a.pipe.cycles
+        assert run_b.emu.dynamic_instructions == run_a.emu.dynamic_instructions
 
     def test_different_config_values_do_not_alias(self):
         spec = _spec()
@@ -57,18 +62,18 @@ class TestMemoisation:
         small = TABLE_I.with_overrides(vector_lanes=4)
         run_small = runner.run_loop(spec, Strategy.SRV, config=small,
                                     n_override=64)
-        assert run_small is not run_big
-        assert len(runner._CACHE) == 2
+        assert run_small.pipe.cycles != run_big.pipe.cycles
+        assert len(result_cache()) == 2
 
     def test_cache_is_lru_bounded(self, monkeypatch):
-        monkeypatch.setattr(runner, "_CACHE_MAX", 4)
+        monkeypatch.setattr(result_cache(), "max_memory", 4)
         spec = _spec()
         for seed in range(8):
             runner.run_loop(spec, Strategy.SCALAR, seed=seed, n_override=16,
                             timing=False)
-        assert len(runner._CACHE) == 4
+        assert len(result_cache()) == 4
         # oldest seeds were evicted, newest survive
-        seeds_cached = {key[2] for key in runner._CACHE}
+        seeds_cached = {key[2] for key in result_cache()._memory}
         assert seeds_cached == {4, 5, 6, 7}
 
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Fail CI when the documentation references code that does not exist.
+
+Scans the Markdown documentation for two kinds of references and checks
+each against the working tree:
+
+* dotted module/attribute references such as ``repro.parallel.cache`` or
+  ``repro.lsu.unit.LoadStoreUnit`` — some prefix of the dotted path must
+  resolve to a real module file or package under ``src/repro``;
+* backticked repository paths such as ``docs/PERFORMANCE.md`` or
+  ``src/repro/pipeline/core.py`` (an optional ``::test`` suffix is
+  ignored) — the file or directory must exist.
+
+The point is cheap rot detection: when a module is renamed or a file is
+deleted, the docs that still mention it break this check instead of
+silently going stale.
+
+Usage: ``python tools/check_docs.py`` from the repository root (exits
+non-zero listing every stale reference).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+#: Documents under contract.  ``docs/*.md`` plus the top-level docs that
+#: reference modules and paths.
+DOC_GLOBS = (
+    "docs",
+    "README.md",
+    "EXPERIMENTS.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+)
+
+MODULE_REF = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+PATH_REF = re.compile(
+    r"`((?:src|docs|tests|benchmarks|examples|tools)/[^`\s]+?)"
+    r"(?:::[^`]*)?`"
+)
+
+
+def doc_files() -> list[str]:
+    files = []
+    for entry in DOC_GLOBS:
+        path = os.path.join(REPO_ROOT, entry)
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".md")
+            )
+        elif os.path.isfile(path):
+            files.append(path)
+    return files
+
+
+def module_exists(dotted: str) -> bool:
+    """True if some prefix of ``dotted`` is a module/package in src/.
+
+    ``repro.lsu.unit.LoadStoreUnit`` passes because ``repro/lsu/unit.py``
+    exists; the trailing components are assumed to be attributes.  The
+    bare package ``repro`` alone always exists and is not interesting,
+    so at least two components must be given.
+    """
+    parts = dotted.split(".")
+    if len(parts) < 2:
+        return True
+    for end in range(len(parts), 1, -1):
+        rel = os.path.join(*parts[:end])
+        if os.path.isdir(os.path.join(SRC_ROOT, rel)):
+            return True
+        if os.path.isfile(os.path.join(SRC_ROOT, rel + ".py")):
+            return True
+    return False
+
+
+def path_exists(rel: str) -> bool:
+    # a doc may legitimately reference glob-ish families ("docs/*.md")
+    # or a directory with a trailing slash
+    if "*" in rel or "…" in rel:
+        return True
+    return os.path.exists(os.path.join(REPO_ROOT, rel.rstrip("/")))
+
+
+def check_file(path: str) -> list[str]:
+    problems = []
+    rel_doc = os.path.relpath(path, REPO_ROOT)
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            for match in MODULE_REF.finditer(line):
+                if not module_exists(match.group(0)):
+                    problems.append(
+                        f"{rel_doc}:{lineno}: unresolved module reference "
+                        f"{match.group(0)!r}"
+                    )
+            for match in PATH_REF.finditer(line):
+                if not path_exists(match.group(1)):
+                    problems.append(
+                        f"{rel_doc}:{lineno}: missing path "
+                        f"{match.group(1)!r}"
+                    )
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"check_docs: {len(problems)} stale reference(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"check_docs: OK ({len(files)} documents scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
