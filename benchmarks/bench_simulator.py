@@ -3,16 +3,42 @@
 Not a paper figure — these measure the reproduction's own throughput so
 regressions in the emulator, the LSU bit-vector logic or the timing model
 are visible.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_simulator.py`` — pytest-benchmark runs with
+  full statistics;
+* ``python benchmarks/bench_simulator.py [--reps N] [--json [PATH]]
+  [--check [PATH]]`` — a dependency-free runner that measures per-bench
+  median milliseconds, optionally appends a machine-readable entry to
+  ``BENCH_simulator.json`` at the repo root (the cross-PR perf
+  trajectory), and/or compares against the committed numbers, failing on
+  a >2.5x regression (the generous bound CI uses — CI boxes are noisy).
 """
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import time
+from datetime import date
+from pathlib import Path
 
 from repro.common.rng import periodic_conflict_indices
 from repro.emu import run_program
 from repro.isa import ProgramBuilder, imm, v, x
 from repro.memory import MemoryImage
-from repro.pipeline import Tracer, simulate
+from repro.pipeline import Tracer, simulate, simulate_streaming
 
 LANES = 16
 N = 512
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_simulator.json"
+
+#: CI regression bound: fail if any bench exceeds committed median x this.
+REGRESSION_FACTOR = 2.5
 
 
 def build_listing2(mem):
@@ -44,6 +70,11 @@ def fresh_memory():
     return mem
 
 
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
 def test_emulator_throughput(benchmark):
     def run():
         mem = fresh_memory()
@@ -62,3 +93,136 @@ def test_pipeline_throughput(benchmark):
 
     stats = benchmark(lambda: simulate(trace, warm=True))
     assert stats.cycles > 0
+
+
+def test_streaming_throughput(benchmark):
+    def run():
+        mem = fresh_memory()
+        _, stats, _ = simulate_streaming(build_listing2(mem), mem, warm=True)
+        return stats
+
+    stats = benchmark(run)
+    assert stats.cycles > 0
+
+
+# ---------------------------------------------------------------------------
+# script runner: median-ms measurement, JSON trajectory, CI regression check
+# ---------------------------------------------------------------------------
+
+
+def _bench_emulator():
+    mem = fresh_memory()
+    run_program(build_listing2(mem), mem)
+
+
+def _make_pipeline_bench():
+    mem = fresh_memory()
+    tracer = Tracer()
+    run_program(build_listing2(mem), mem, tracer=tracer)
+    trace = tracer.ops
+    return lambda: simulate(trace, warm=True)
+
+
+def _bench_streaming():
+    mem = fresh_memory()
+    simulate_streaming(build_listing2(mem), mem, warm=True)
+
+
+def measure(reps: int) -> dict[str, float]:
+    """Median wall-clock milliseconds per bench over ``reps`` runs."""
+    benches = {
+        "emulator": _bench_emulator,
+        "pipeline": _make_pipeline_bench(),
+        "streaming": _bench_streaming,
+    }
+    results: dict[str, float] = {}
+    for name, fn in benches.items():
+        fn()  # untimed warm-up run
+        samples = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            samples.append((time.perf_counter() - t0) * 1e3)
+        results[name] = round(statistics.median(samples), 2)
+    return results
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _load_entries(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    return json.loads(path.read_text())["entries"]
+
+
+def check(measured: dict[str, float], path: Path) -> int:
+    """Compare against the committed trajectory; 0 = within bounds."""
+    entries = _load_entries(path)
+    if not entries:
+        print(f"[check] no committed entries at {path}; skipping")
+        return 0
+    committed = entries[-1]["benches"]
+    status = 0
+    for name, got in measured.items():
+        want = committed.get(name)
+        if want is None:
+            print(f"[check] {name}: {got:.2f} ms (no committed baseline)")
+            continue
+        bound = want * REGRESSION_FACTOR
+        verdict = "ok" if got <= bound else "REGRESSION"
+        if got > bound:
+            status = 1
+        print(
+            f"[check] {name}: {got:.2f} ms vs committed {want:.2f} ms "
+            f"(bound {bound:.2f} ms) {verdict}"
+        )
+    return status
+
+
+def write_json(measured: dict[str, float], path: Path) -> None:
+    entries = _load_entries(path)
+    entries.append({
+        "date": date.today().isoformat(),
+        "git_sha": _git_sha(),
+        "benches": measured,
+    })
+    path.write_text(json.dumps({"entries": entries}, indent=2) + "\n")
+    print(f"[json] appended entry to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=9,
+                        help="timed repetitions per bench (median reported)")
+    parser.add_argument("--json", nargs="?", const=str(DEFAULT_JSON),
+                        default=None, metavar="PATH",
+                        help="append the measured entry to the benchmark "
+                             f"trajectory file (default {DEFAULT_JSON.name})")
+    parser.add_argument("--check", nargs="?", const=str(DEFAULT_JSON),
+                        default=None, metavar="PATH",
+                        help="fail on a >2.5x regression of any bench vs "
+                             "the last committed trajectory entry")
+    args = parser.parse_args(argv)
+
+    measured = measure(args.reps)
+    for name, ms in measured.items():
+        print(f"{name}: {ms:.2f} ms (median of {args.reps})")
+
+    status = 0
+    if args.check is not None:
+        status = check(measured, Path(args.check))
+    if args.json is not None:
+        write_json(measured, Path(args.json))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

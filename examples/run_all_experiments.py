@@ -83,8 +83,17 @@ def main() -> int:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache",
     )
+    parser.add_argument(
+        "--trace-mode", choices=("stream", "list"), default="stream",
+        help="'stream' (default) fuses emulation and timing into one "
+             "bounded-memory pass; 'list' materialises each dynamic trace "
+             "first — results are bit-identical",
+    )
     args = parser.parse_args()
     n_override = 128 if args.quick else None
+
+    from repro.experiments.runner import set_default_trace_mode
+    set_default_trace_mode(args.trace_mode)
 
     if not args.no_checkpoint:
         resumed = enable_checkpoint(args.checkpoint)
@@ -117,7 +126,8 @@ def main() -> int:
         print(f"[warming {len(pending)} of {len(cells)} cells "
               f"with {args.jobs} workers]")
         start = time.perf_counter()
-        for report in warm_cells(pending, args.jobs, cache_dir, progress=print):
+        for report in warm_cells(pending, args.jobs, cache_dir,
+                                 trace_mode=args.trace_mode, progress=print):
             if report.failures:
                 for failure in report.failures:
                     print(f"[shard {report.index} failure] {failure}")

@@ -148,6 +148,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         checkpoint=args.checkpoint,
         timeout_s=args.timeout,
+        trace_mode=args.trace_mode,
         progress=print,
     )
     for name in names:
@@ -232,6 +233,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="honour/extend a run checkpoint file")
     p_swp.add_argument("--timeout", type=float, default=None,
                        help="per-run wall-clock budget in seconds")
+    p_swp.add_argument("--trace-mode", choices=("stream", "list"),
+                       default="stream",
+                       help="fused streaming simulation (default) or the "
+                            "materialised-trace path; results are identical")
 
     from repro.verify.faults import FaultClass
 

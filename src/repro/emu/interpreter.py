@@ -63,7 +63,14 @@ from repro.isa.instructions import (
 )
 from repro.isa.program import Program
 from repro.memory.image import MemoryImage, to_signed, to_unsigned
-from repro.pipeline.trace import MemAccess, OpClass, RegionEvent, Tracer
+from repro.pipeline.decode import DecodeTable
+from repro.pipeline.trace import (
+    MemAccess,
+    RegionEvent,
+    StreamingTracer,
+    TraceOp,
+    Tracer,
+)
 from repro.verify import faults as _faults
 
 
@@ -170,13 +177,10 @@ class Interpreter:
         self._steps = 0
         self._mem_events: list[MemAccess] = []
         self._branch_taken: bool | None = None
-        self._class_cache: dict[int, OpClass] = {}
-        self._regs_cache: dict[int, tuple] = {}
-        #: per-instruction-object flag tuples for metrics counting — the
-        #: program's instruction objects are alive for the interpreter's
-        #: lifetime, so ``id()`` keys are stable (same contract as
-        #: ``_class_cache``)
-        self._count_cache: dict[int, tuple] = {}
+        #: per-program static decode table: op class, register sets,
+        #: access kind, latency and metric flags computed once per static
+        #: instruction (replaces the former per-purpose ``id()`` caches)
+        self.decode = DecodeTable.for_program(program)
 
     # ------------------------------------------------------------------ run
 
@@ -185,17 +189,45 @@ class Interpreter:
         state = self.state
         n = len(self.program.instructions)
         while not state.halted and 0 <= state.pc < n:
-            inst = self.program.instructions[state.pc]
-            if isinstance(inst, SrvStart):
-                self._exec_srv_region(state.pc, inst)
-            else:
-                state.pc = self._exec(inst, state.pc)
-            self._bump()
-            if self._interrupt_pending:
-                # a context switch outside an SRV-region needs no special
-                # handling — architectural state is already precise
-                self._interrupt_pending = False
+            self._step_outer()
         return self.metrics
+
+    def _step_outer(self) -> None:
+        """Execute one top-level instruction (a whole region for srv_start)."""
+        state = self.state
+        inst = self.program.instructions[state.pc]
+        if isinstance(inst, SrvStart):
+            self._exec_srv_region(state.pc, inst)
+        else:
+            state.pc = self._exec(inst, state.pc)
+        self._bump()
+        if self._interrupt_pending:
+            # a context switch outside an SRV-region needs no special
+            # handling — architectural state is already precise
+            self._interrupt_pending = False
+
+    def iter_trace(self):
+        """Execute while *yielding* finalized :class:`TraceOp` records.
+
+        The generator replaces ``run()`` for consumers that want the
+        dynamic trace without materialising it: at most one top-level
+        step's worth of ops (one SRV region in the worst case — bounded
+        by the static program size times the replay bound, never by
+        trace length) is buffered between yields.  ``self.metrics`` and
+        the architectural state are complete once the generator is
+        exhausted.
+        """
+        buffer: list[TraceOp] = []
+        self.tracer = StreamingTracer(buffer.append)
+        state = self.state
+        n = len(self.program.instructions)
+        while not state.halted and 0 <= state.pc < n:
+            self._step_outer()
+            if buffer:
+                yield from buffer
+                buffer.clear()
+        self.tracer.close()
+        yield from buffer
 
     def _bump(self) -> None:
         self._steps += 1
@@ -209,36 +241,13 @@ class Interpreter:
 
     # ------------------------------------------------------- bookkeeping
 
-    def _count(self, inst: Instruction) -> None:
-        key = id(inst)
-        flags = self._count_cache.get(key)
-        if flags is None:
-            flags = (
-                inst.is_vector,
-                inst.is_mem,
-                inst.is_branch,
-                getattr(inst, "access_kind", None) in ("gather", "scatter"),
-                inst.is_load,
-            )
-            self._count_cache[key] = flags
-        self.metrics.count(*flags)
-
-    def _trace(self, pc: int, inst: Instruction) -> None:
+    def _trace(self, pc: int, inst: Instruction, rec) -> None:
         if self.tracer is None:
             return
-        from repro.pipeline.deps import classify, instruction_regs
-
-        key = id(inst)
-        if key not in self._class_cache:
-            self._class_cache[key] = classify(inst)
-            self._regs_cache[key] = instruction_regs(inst)
-        srcs, dsts = self._regs_cache[key]
         self.tracer.record(
             pc,
             inst,
-            self._class_cache[key],
-            srcs,
-            dsts,
+            rec,
             self._mem_events,
             self._branch_taken,
         )
@@ -299,7 +308,8 @@ class Interpreter:
         register); ``buffer`` redirects memory traffic through the
         speculative buffer when inside an SRV-region.
         """
-        self._count(inst)
+        rec = self.decode.record_for(inst)
+        self.metrics.count(*rec.count_flags)
         if self.tracer is not None:
             # fresh list per op: the tracer stores it by reference
             self._mem_events = []
@@ -308,7 +318,7 @@ class Interpreter:
         next_pc = self._dispatch(inst, pc, extra_mask, buffer, region_offset)
         if self._forwarded:
             self.metrics.loads_forwarded += 1
-        self._trace(pc, inst)
+        self._trace(pc, inst, rec)
         return next_pc
 
     def _dispatch(
@@ -609,8 +619,8 @@ class Interpreter:
         for inst in body:
             if not inst.is_mem:
                 continue
-            kind = getattr(inst, "access_kind", "scalar")
-            demand += self.lanes if kind in ("gather", "scatter") else 1
+            rec = self.decode.record_for(inst)
+            demand += self.lanes if rec.is_gather_scatter else 1
         return demand
 
     def _exec_region_op(
@@ -621,10 +631,11 @@ class Interpreter:
 
     def _record_marker(self, pc: int, inst: Instruction) -> None:
         """Count and trace an ``srv_start`` / ``srv_end`` marker."""
-        self._count(inst)
+        rec = self.decode.record_for(inst)
+        self.metrics.count(*rec.count_flags)
         self._mem_events = []
         self._branch_taken = None
-        self._trace(pc, inst)
+        self._trace(pc, inst, rec)
 
     def _exec_srv_region(self, start_pc: int, start_inst: SrvStart) -> None:
         body_pc, end_pc = self._region_span(start_pc)
@@ -635,7 +646,7 @@ class Interpreter:
             self.tracer.region_start(start_inst.direction)
         self._record_marker(start_pc, start_inst)
         if self.tracer is not None:
-            self.tracer.ops[-1].region_event = RegionEvent.START
+            self.tracer.mark_region_event(RegionEvent.START)
 
         demand = self._region_lsu_demand(body)
         srv.lsu_entries_peak = max(srv.lsu_entries_peak, demand)
@@ -716,6 +727,10 @@ class Interpreter:
         """
         srv = self.metrics.srv
         srv.lsu_fallbacks += 1
+        if self.tracer is not None:
+            # the region's START marker (the last recorded op) and every
+            # op of the sequential passes are flagged as fallback
+            self.tracer.region_fallback_begin()
         for lane in range(self.lanes):
             mask = [i == lane for i in range(self.lanes)]
             srv.region_passes += 1
@@ -736,7 +751,7 @@ class Interpreter:
                         committed=False,
                         replay_lanes=frozenset(range(lane + 1, self.lanes)),
                     )
-                    self.tracer.ops[-1].region_event = RegionEvent.FALLBACK
+                    self.tracer.mark_region_event(RegionEvent.FALLBACK)
         self.state.pc = end_pc + 1
 
 

@@ -51,8 +51,23 @@ from repro.compiler import Strategy, compile_loop, scalar_reference
 from repro.emu import EmuMetrics, run_program
 from repro.memory import MemoryImage
 from repro.parallel.cache import result_cache
-from repro.pipeline import PipelineStats, Tracer, simulate
+from repro.pipeline import PipelineStats, Tracer, simulate, simulate_streaming
 from repro.workloads.base import LoopSpec
+
+#: Default trace mode for timed runs: ``"stream"`` fuses emulation and
+#: timing into one bounded-memory pass (:func:`simulate_streaming`);
+#: ``"list"`` materialises the full dynamic trace first.  Results are
+#: bit-identical (pinned by tests/test_streaming.py), so the mode is
+#: deliberately *not* part of the result-cache key.
+_DEFAULT_TRACE_MODE = "stream"
+
+
+def set_default_trace_mode(mode: str) -> None:
+    """Set the process-wide default trace mode (``"stream"`` or ``"list"``)."""
+    if mode not in ("stream", "list"):
+        raise ValueError(f"unknown trace mode {mode!r}")
+    global _DEFAULT_TRACE_MODE
+    _DEFAULT_TRACE_MODE = mode
 
 
 @dataclass(frozen=True)
@@ -260,6 +275,7 @@ def _execute(
     check_oracle: bool,
     n: int,
     core: str,
+    trace_mode: str,
 ) -> tuple[EmuMetrics, PipelineStats | None, bool, str | None]:
     """One full compile/emulate/time/verify pass on fresh memory."""
     arrays = spec.arrays(seed)
@@ -268,8 +284,18 @@ def _execute(
         mem.alloc(name, len(init), spec.loop.arrays[name], init=init)
     program = compile_loop(spec.loop, mem, n, strategy, params=spec.params)
 
-    tracer = Tracer() if timing else None
-    emu_metrics, _ = run_program(program, mem, config=config, tracer=tracer)
+    pipe: PipelineStats | None = None
+    if timing and trace_mode == "stream":
+        # fused emulate+time pass, O(machine-state) memory; any timing
+        # exception (LSU overflow) surfaces before the oracle check, same
+        # degrade path as the list mode either way
+        emu_metrics, pipe, _ = simulate_streaming(
+            program, mem, config,
+            core=core, validate_lsu=validate_lsu, warm=True,
+        )
+    else:
+        tracer = Tracer() if timing else None
+        emu_metrics, _ = run_program(program, mem, config=config, tracer=tracer)
 
     correct = True
     bad_array: str | None = None
@@ -282,8 +308,7 @@ def _execute(
                 bad_array = name
                 break
 
-    pipe: PipelineStats | None = None
-    if timing:
+    if timing and pipe is None:
         if core == "inorder":
             from repro.pipeline.inorder import simulate_in_order
 
@@ -306,11 +331,18 @@ def run_loop(
     n_override: int | None = None,
     core: str = "ooo",
     degrade_lsu_overflow: bool = True,
+    trace_mode: str | None = None,
 ) -> LoopRun:
     """Compile, execute, time and verify one loop under one strategy.
 
     ``core`` selects the timing model: ``"ooo"`` (Table I out-of-order)
     or ``"inorder"`` (the section III-D6 dual-issue in-order variant).
+
+    ``trace_mode`` selects how the trace reaches the timing model:
+    ``"stream"`` (fused, bounded memory) or ``"list"`` (materialised);
+    ``None`` uses the process default (:func:`set_default_trace_mode`).
+    The two modes produce bit-identical results, so the mode does not
+    participate in result-cache keys.
 
     With ``degrade_lsu_overflow`` (the default), an
     :class:`LsuOverflowError` from the cycle model re-runs the loop with
@@ -319,6 +351,10 @@ def run_loop(
     """
     if core not in ("ooo", "inorder"):
         raise ValueError(f"unknown core model {core!r}")
+    if trace_mode is None:
+        trace_mode = _DEFAULT_TRACE_MODE
+    if trace_mode not in ("stream", "list"):
+        raise ValueError(f"unknown trace mode {trace_mode!r}")
     n = spec.n if n_override is None else min(n_override, spec.n)
     key = _cache_key(spec, strategy, seed, config, timing, n, core)
     cache = result_cache()
@@ -337,7 +373,7 @@ def run_loop(
     try:
         emu_metrics, pipe, correct, bad_array = _execute(
             spec, strategy, seed, config, timing, validate_lsu,
-            check_oracle, n, core,
+            check_oracle, n, core, trace_mode,
         )
     except LsuOverflowError as exc:
         if not degrade_lsu_overflow:
@@ -350,7 +386,7 @@ def run_loop(
         seq_config = config.with_overrides(srv_force_sequential=True)
         emu_metrics, pipe, correct, bad_array = _execute(
             spec, strategy, seed, seq_config, timing, validate_lsu,
-            check_oracle, n, core,
+            check_oracle, n, core, trace_mode,
         )
 
     run = LoopRun(

@@ -39,6 +39,17 @@ from repro.lsu.entries import AccessType, LsuEntry
 from repro.lsu.vertical import vob_for_pair
 
 
+#: Memo for :func:`horizontal_violation_vector`.  The vector is a pure
+#: function of the two entries' lane geometry *relative to the region
+#: base* (every per-byte term below is of the form ``(base + bit) -
+#: entry.addr``), so identical geometry across loop iterations — the
+#: common case, since array strides typically advance whole alignment
+#: regions — hits the cache.  BitVectors are immutable, so sharing the
+#: result object is safe.
+_VIOLATION_MEMO: dict[tuple, BitVector] = {}
+_VIOLATION_MEMO_MAX = 1 << 16
+
+
 def horizontal_violation_vector(
     issuing: LsuEntry, prior: LsuEntry, base: int, region_bytes: int
 ) -> BitVector:
@@ -50,6 +61,26 @@ def horizontal_violation_vector(
     prior_chunk = prior.chunk_for_base(base)
     if prior_chunk is None:
         return BitVector.zeros(region_bytes)
+    memo_key = (
+        prior_chunk.bytes_accessed.bits,
+        prior.access,
+        prior.lane,
+        prior.lanes_covered,
+        prior.elem,
+        prior.direction,
+        base - prior.addr,
+        issuing.access,
+        issuing.lane,
+        issuing.lanes_covered,
+        issuing.elem,
+        issuing.direction,
+        base - issuing.addr,
+        issuing.size,
+        region_bytes,
+    )
+    cached = _VIOLATION_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
     bits = 0
     # Inlined lane geometry (LsuEntry.lane_span_of_byte and
     # _issuing_lane_for_byte) with the per-entry attributes hoisted out of
@@ -88,7 +119,11 @@ def horizontal_violation_vector(
             issuing_lane += i_mirror - index if i_mirror is not None else index
         if prior_max > issuing_lane:
             bits |= 1 << bit
-    return BitVector._new(region_bytes, bits)
+    result = BitVector._new(region_bytes, bits)
+    if len(_VIOLATION_MEMO) >= _VIOLATION_MEMO_MAX:
+        _VIOLATION_MEMO.clear()
+    _VIOLATION_MEMO[memo_key] = result
+    return result
 
 
 def _issuing_lane_for_byte(issuing: LsuEntry, byte_addr: int) -> int:

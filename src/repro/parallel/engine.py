@@ -61,6 +61,7 @@ def _run_shard(
     cells: list[SweepCell],
     cache_dir: str | None,
     timeout_s: float | None,
+    trace_mode: str | None = None,
 ) -> ShardReport:
     """Execute one shard's cells; importable at top level for pickling.
 
@@ -72,6 +73,9 @@ def _run_shard(
     from repro.experiments import runner
 
     runner.disable_checkpoint()
+    if trace_mode is not None:
+        # worker processes don't inherit the parent's runtime default
+        runner.set_default_trace_mode(trace_mode)
     if cache_dir is not None:
         runner.enable_disk_cache(cache_dir)
     cache = result_cache()
@@ -92,6 +96,7 @@ def _run_shard(
                 spec, strategy, cell.seed, config,
                 timeout_s=timeout_s,
                 timing=cell.timing, n_override=cell.n_override, core=cell.core,
+                trace_mode=trace_mode,
             )
             report.executed += 1
         except (ReproError, KeyError) as exc:
@@ -108,6 +113,7 @@ def warm_cells(
     cache_dir: str | None = DEFAULT_CACHE_DIR,
     *,
     timeout_s: float | None = None,
+    trace_mode: str | None = None,
     progress=None,
 ) -> list[ShardReport]:
     """Populate the disk cache for ``cells`` using ``jobs`` processes.
@@ -122,7 +128,7 @@ def warm_cells(
 
     if jobs <= 1:
         return [
-            _run_shard(i, shard, cache_dir, timeout_s)
+            _run_shard(i, shard, cache_dir, timeout_s, trace_mode)
             for i, shard in enumerate(shards)
         ]
 
@@ -130,7 +136,9 @@ def warm_cells(
     try:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(_run_shard, i, shard, cache_dir, timeout_s): i
+                pool.submit(
+                    _run_shard, i, shard, cache_dir, timeout_s, trace_mode
+                ): i
                 for i, shard in enumerate(shards)
             }
             for future in as_completed(futures):
@@ -160,7 +168,7 @@ def warm_cells(
         if progress is not None:
             progress(f"[pool unavailable ({exc}); running shards inline]")
         return [
-            _run_shard(i, shard, cache_dir, timeout_s)
+            _run_shard(i, shard, cache_dir, timeout_s, trace_mode)
             for i, shard in enumerate(shards)
         ]
     reports.sort(key=lambda r: r.index)
@@ -191,6 +199,7 @@ def run_sweep(
     cache_dir: str | None = DEFAULT_CACHE_DIR,
     checkpoint: str | None = None,
     timeout_s: float | None = None,
+    trace_mode: str | None = None,
     progress=None,
 ) -> SweepOutcome:
     """Run experiments with a parallel warm phase and a sequential replay.
@@ -211,6 +220,8 @@ def run_sweep(
     report = SweepReport(jobs=jobs)
     outcome = SweepOutcome(report=report)
 
+    if trace_mode is not None:
+        runner.set_default_trace_mode(trace_mode)
     if checkpoint is not None:
         runner.enable_checkpoint(checkpoint)
     if cache_dir is not None:
@@ -241,7 +252,8 @@ def run_sweep(
     # warm
     start = time.perf_counter()
     report.shards = warm_cells(
-        pending, jobs, cache_dir, timeout_s=timeout_s, progress=progress,
+        pending, jobs, cache_dir, timeout_s=timeout_s,
+        trace_mode=trace_mode, progress=progress,
     )
     report.warm_elapsed_s = time.perf_counter() - start
 

@@ -3,15 +3,26 @@
 Trace-driven: the functional emulator produces the dynamic instruction
 stream (with per-lane memory accesses and SRV-region structure), and
 :func:`simulate` computes cycle timings under Table I's structural
-constraints.
+constraints.  :func:`simulate_streaming` fuses emulation and timing into
+a single bounded-memory pass; per-static-instruction decode facts live in
+:class:`DecodeTable`.
 """
 
 from repro.pipeline.branch_pred import BranchStats, ReturnAddressStack, TournamentPredictor
 from repro.pipeline.core import PipelineModel, simulate
+from repro.pipeline.decode import DecodeRecord, DecodeTable
 from repro.pipeline.resources import CapacityTracker, PortPool
 from repro.pipeline.stats import PipelineStats
 from repro.pipeline.store_sets import StoreSetPredictor, StoreSetStats
-from repro.pipeline.trace import MemAccess, OpClass, RegionEvent, TraceOp, Tracer
+from repro.pipeline.stream import simulate_streaming
+from repro.pipeline.trace import (
+    MemAccess,
+    OpClass,
+    RegionEvent,
+    StreamingTracer,
+    TraceOp,
+    Tracer,
+)
 
 __all__ = [
     "BranchStats",
@@ -19,6 +30,9 @@ __all__ = [
     "TournamentPredictor",
     "PipelineModel",
     "simulate",
+    "simulate_streaming",
+    "DecodeRecord",
+    "DecodeTable",
     "CapacityTracker",
     "PortPool",
     "PipelineStats",
@@ -27,6 +41,7 @@ __all__ = [
     "MemAccess",
     "OpClass",
     "RegionEvent",
+    "StreamingTracer",
     "TraceOp",
     "Tracer",
 ]

@@ -24,11 +24,22 @@ Table I is effectively never the bottleneck at ROB 400 given vector
 register reuse in compiled loops); merging predication adds the old
 destination as a source operand, which the dependence extraction already
 encodes (section III-D5).
+
+The model is a *streaming consumer*: :meth:`PipelineModel.stream` returns
+a primed coroutine that accepts one :class:`TraceOp` per ``send`` (with a
+single op of internal lookahead) and retains only O(machine-state)
+memory — a completion-time ring sized by the ROB, the 64-entry recent
+store window, in-flight LSU entries, and periodically pruned issue-port
+occupancy maps.  :meth:`PipelineModel.run` drives the same coroutine from
+a materialised trace list, so the two paths are bit-identical by
+construction.  Per-static-instruction facts (op class, port kind, access
+kind, latency) come from the decode table (:mod:`repro.pipeline.decode`)
+instead of per-dynamic-op ``getattr`` probes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
 
 from repro.common.config import TABLE_I, MachineConfig
 from repro.common.errors import PipelineError
@@ -36,6 +47,7 @@ from repro.lsu.entries import AccessType, LsuEntry
 from repro.lsu.unit import LoadStoreUnit
 from repro.memory.hierarchy import CacheHierarchy
 from repro.pipeline.branch_pred import TournamentPredictor
+from repro.pipeline.decode import DecodeRecord, DecodeTable
 from repro.pipeline.resources import CapacityTracker, PortPool
 from repro.pipeline.stats import PipelineStats
 from repro.pipeline.store_sets import StoreSetPredictor
@@ -45,57 +57,8 @@ FRONTEND_DEPTH = 4
 SQUASH_PENALTY = 10
 FORWARD_LATENCY = 1
 
-_PORT_OF = {
-    OpClass.SCALAR_ALU: "scalar",
-    OpClass.SCALAR_MUL: "scalar",
-    OpClass.SCALAR_DIV: "scalar",
-    OpClass.BRANCH: "scalar",
-    OpClass.NOP: "scalar",
-    OpClass.SRV_START: "scalar",
-    OpClass.SRV_END: "scalar",
-    OpClass.VEC_INT: "vec_int",
-    OpClass.VEC_OTHER: "vec_other",
-    OpClass.SCALAR_LOAD: "load",
-    OpClass.VEC_LOAD: "load",
-    OpClass.SCALAR_STORE: "store",
-    OpClass.VEC_STORE: "store",
-}
-
-
-@dataclass
-class _RegionInfo:
-    start_index: int
-    end_index: int
-    fallback: bool
-
-
-def _scan_regions(trace: list[TraceOp]) -> dict[int, _RegionInfo]:
-    """Map each op index to its SRV-region descriptor (fallback detection)."""
-    regions: dict[int, _RegionInfo] = {}
-    start: int | None = None
-    fallback = False
-    for i, op in enumerate(trace):
-        if op.region_event is RegionEvent.START:
-            start = i
-            fallback = False
-        if op.region_event is RegionEvent.FALLBACK:
-            fallback = True
-        closes = op.region_event is RegionEvent.END_COMMIT or (
-            op.region_event is RegionEvent.FALLBACK
-            and not trace_continues_region(trace, i)
-        )
-        if closes and start is not None:
-            info = _RegionInfo(start, i, fallback)
-            for j in range(start, i + 1):
-                regions[j] = info
-            start = None
-    return regions
-
-
-def trace_continues_region(trace: list[TraceOp], idx: int) -> bool:
-    """A FALLBACK-marked srv_end continues its region unless it is the
-    region's final pass (the next op is outside the region)."""
-    return idx + 1 < len(trace) and trace[idx + 1].in_region
+#: Ops between issue-port occupancy prunes (amortises the dict rebuilds).
+PRUNE_INTERVAL = 2048
 
 
 class PipelineModel:
@@ -132,10 +95,15 @@ class PipelineModel:
         self.iq = CapacityTracker(config.iq_entries, "IQ")
         self.lsu_slots = CapacityTracker(config.lsu_entries, "LSU")
         self.stats = PipelineStats()
+        # bounded-window state, exposed for the memory-bound tests; the
+        # lists are created (and mutated) by the consumer coroutine
+        self._recent_stores: deque = deque(maxlen=64)
+        self._lsu_live: list = []
+        self._complete_ring: list[int] = []
 
     # ------------------------------------------------------------------ run
 
-    def warm_caches(self, trace: list[TraceOp]) -> None:
+    def warm_caches(self, trace) -> None:
         """Pre-install every accessed line, modelling steady-state loops.
 
         The paper simulates long-running loop invocations whose working
@@ -148,17 +116,73 @@ class PipelineModel:
         self.caches.reset_stats()
 
     def run(self, trace: list[TraceOp], warm: bool = False) -> PipelineStats:
-        from repro.pipeline.deps import LATENCY
-
+        """Time a materialised trace (drives the streaming consumer)."""
         if warm:
             self.warm_caches(trace)
+        pump = self.stream()
+        send = pump.send
+        try:
+            for op in trace:
+                send(op)
+            send(None)
+        except StopIteration:
+            pass
+        return self.stats
+
+    def stream(self):
+        """A primed coroutine consuming :class:`TraceOp` records.
+
+        ``send`` each op in dynamic order, then ``send(None)`` to mark
+        end-of-stream (which raises ``StopIteration`` once the final op
+        is retired and ``self.stats`` is complete).  One op of lookahead
+        is held internally to resolve region-closure decisions.
+        """
+        pump = self._pump()
+        next(pump)
+        return pump
+
+    def _pump(self):
+        # Hot loop: every per-op quantity lives in generator locals, and
+        # all per-static facts come from the decode record.
+        config = self.config
         stats = self.stats
-        regions = _scan_regions(trace)
+        ports = self.ports
+        rob = self.rob
+        iq = self.iq
+        lsu_slots = self.lsu_slots
+        lsu = self.lsu
+        bpred = self.bpred
+        store_sets = self.store_sets
+        caches = self.caches
+        width = config.pipeline_width
+        relax_barrier = config.srv_relax_barrier
+        mispredict_penalty = config.branch.mispredict_penalty
+        taken_bubble = config.branch.taken_branch_bubble
+        validate_lsu = self.validate_lsu
+        execute_mem = self._execute_mem
+
+        srv_end_cls = OpClass.SRV_END
+        branch_cls = OpClass.BRANCH
+        ev_start = RegionEvent.START
+        ev_commit = RegionEvent.END_COMMIT
+        ev_replay = RegionEvent.END_REPLAY
+        ev_fallback = RegionEvent.FALLBACK
+
+        decode_fallback: DecodeTable | None = None
+
         reg_ready: dict[tuple[str, int], int] = {}
         # recent stores for vertical (store-set) conflict detection
-        recent_stores: list[tuple[int, int, list[MemAccess], int]] = []
+        recent_stores: deque = deque(maxlen=64)
         # entries to drop from the baseline LSU once committed
-        lsu_live: list[tuple[int, tuple[int, int], bool]] = []
+        lsu_live: list[tuple[tuple[int, int], bool, int]] = []
+        # completion times of the last ROB-size ops: anything older has
+        # committed before the current op could dispatch, so its
+        # completion time can never lift a wakeup above `ready`
+        window = max(1, config.rob_entries)
+        complete_ring = [0] * window
+        self._recent_stores = recent_stores
+        self._lsu_live = lsu_live
+        self._complete_ring = complete_ring
 
         fetch_cycle = 0
         fetch_used = 0
@@ -171,57 +195,59 @@ class PipelineModel:
         last_issue = 0
         region_start_fetch = 0
         pending_region_end: int | None = None
+        i = 0
 
-        complete_times: list[int] = []
-
-        for i, op in enumerate(trace):
-            info = regions.get(i)
-            in_hw_region = op.in_region and info is not None and not info.fallback
+        op = yield
+        while op is not None:
+            nxt = yield
+            rec: DecodeRecord = op.decode  # type: ignore[assignment]
+            if rec is None:
+                # hand-built trace op: decode its instruction lazily
+                if decode_fallback is None:
+                    decode_fallback = DecodeTable()
+                rec = decode_fallback.record_for(op.inst)
+            op_class = rec.op_class
+            in_hw_region = op.in_region and not op.in_fallback
 
             # ---- fetch ---------------------------------------------------
             if redirect_at > fetch_cycle:
                 fetch_cycle = redirect_at
                 fetch_used = 0
-            if fetch_used >= self.config.pipeline_width:
+            if fetch_used >= width:
                 fetch_cycle += 1
                 fetch_used = 0
             fetch = fetch_cycle
             fetch_used += 1
 
             # ---- dispatch (rename + buffers) -----------------------------
-            dispatch = self.rob.allocate(fetch + FRONTEND_DEPTH)
-            dispatch = self.iq.allocate(dispatch)
-            is_mem = op.op_class in (
-                OpClass.SCALAR_LOAD,
-                OpClass.SCALAR_STORE,
-                OpClass.VEC_LOAD,
-                OpClass.VEC_STORE,
-            )
+            dispatch = rob.allocate(fetch + FRONTEND_DEPTH)
+            dispatch = iq.allocate(dispatch)
+            is_mem = rec.is_mem
             lsu_demand = 0
             if is_mem:
                 # gathers/scatters occupy one LSU entry per lane
-                kind_of_access = getattr(op.inst, "access_kind", "scalar")
                 lsu_demand = (
-                    max(1, len(op.mem))
-                    if kind_of_access in ("gather", "scatter")
-                    else 1
+                    max(1, len(op.mem)) if rec.is_gather_scatter else 1
                 )
                 for _ in range(lsu_demand):
-                    dispatch = self.lsu_slots.allocate(dispatch)
+                    dispatch = lsu_slots.allocate(dispatch)
 
             # ---- ready (operand wakeup) ----------------------------------
             ready = dispatch + 1
             for reg in op.src_regs:
-                ready = max(ready, reg_ready.get(reg, 0))
+                t = reg_ready.get(reg, 0)
+                if t > ready:
+                    ready = t
 
             # ---- serialisation barrier (srv_end, section III-D1) ---------
-            if op.op_class is OpClass.SRV_END:
-                if self.config.srv_relax_barrier:
+            if op_class is srv_end_cls:
+                if relax_barrier:
                     # future-work optimisation (section VIII): wait only
                     # for the region's memory operations to complete
-                    ready = max(ready, region_mem_complete)
-                else:
-                    ready = max(ready, max_complete)
+                    if region_mem_complete > ready:
+                        ready = region_mem_complete
+                elif max_complete > ready:
+                    ready = max_complete
             elif barrier_until > ready:
                 if not barrier_charged:
                     # Idle time the issue stage actually loses to the
@@ -234,10 +260,14 @@ class PipelineModel:
                 ready = barrier_until
 
             # ---- store-set wait (baseline vertical speculation) ----------
-            if op.op_class in (OpClass.SCALAR_LOAD, OpClass.VEC_LOAD) and not in_hw_region:
-                dep = self.store_sets.load_depends_on(op.pc)
-                if dep is not None and dep < len(complete_times):
-                    ready = max(ready, complete_times[dep])
+            if rec.is_load and not in_hw_region:
+                dep = store_sets.load_depends_on(op.pc)
+                # deps older than the ROB window have committed before this
+                # op dispatched: their completion can never exceed `ready`
+                if dep is not None and i - window < dep < i:
+                    t = complete_ring[dep % window]
+                    if t > ready:
+                        ready = t
 
             # ---- issue ----------------------------------------------------
             # Gather/scatter micro-ops occupy LSU bandwidth once per lane:
@@ -245,69 +275,70 @@ class PipelineModel:
             # the LSU independently over a number of cycles".  Micro-op
             # throughput is bounded by the cache read ports (gathers) and
             # the SAQ write ports (scatters), both 2/cycle in Table I.
-            kind = _PORT_OF[op.op_class]
-            access_kind = getattr(op.inst, "access_kind", None)
-            issue_at = self.ports.reserve(kind, ready)
+            issue_at = ports.reserve(rec.port_kind, ready)
             last_slot = issue_at
-            if access_kind in ("gather", "scatter") and len(op.mem) > 1:
+            if rec.is_gather_scatter and len(op.mem) > 1:
                 micro_kind = (
-                    "gather_micro" if access_kind == "gather" else "scatter_micro"
+                    "gather_micro" if rec.access_kind == "gather"
+                    else "scatter_micro"
                 )
                 for _ in range(len(op.mem) - 1):
-                    last_slot = self.ports.reserve(micro_kind, last_slot)
-            self.iq.release(issue_at)
-            if op.op_class is not OpClass.SRV_END:
+                    last_slot = ports.reserve(micro_kind, last_slot)
+            iq.release(issue_at)
+            if op_class is not srv_end_cls:
                 # srv_end "issues" only at the serialisation point; it must
                 # not mask the idle window the barrier creates (figure 8).
                 # Cracked micro-ops keep the issue stage busy to last_slot.
-                last_issue = max(last_issue, last_slot)
+                if last_slot > last_issue:
+                    last_issue = last_slot
 
             # ---- execute --------------------------------------------------
             if is_mem:
-                complete = self._execute_mem(
-                    op, i, issue_at, last_slot, in_hw_region, recent_stores,
-                    lsu_live, complete_times, stats,
+                complete = execute_mem(
+                    op, rec, i, issue_at, last_slot, in_hw_region,
+                    recent_stores, lsu_live, stats,
                 )
             else:
-                complete = issue_at + LATENCY[op.op_class]
-            complete_times.append(complete)
-            max_complete = max(max_complete, complete)
-            if is_mem and op.in_region:
-                region_mem_complete = max(region_mem_complete, complete)
+                complete = issue_at + rec.latency
+            complete_ring[i % window] = complete
+            if complete > max_complete:
+                max_complete = complete
+            if is_mem and op.in_region and complete > region_mem_complete:
+                region_mem_complete = complete
 
             for reg in op.dst_regs:
                 reg_ready[reg] = complete
 
             # ---- branch resolution ----------------------------------------
-            if op.op_class is OpClass.BRANCH and op.branch_taken is not None:
+            if op_class is branch_cls and op.branch_taken is not None:
                 target = 1 if op.branch_taken else None
-                mispredict = self.bpred.update(op.pc, op.branch_taken, target)
+                mispredict = bpred.update(op.pc, op.branch_taken, target)
                 if mispredict:
-                    redirect_at = complete + self.config.branch.mispredict_penalty
-                    stats.frontend_stall_cycles += self.config.branch.mispredict_penalty
+                    redirect_at = complete + mispredict_penalty
+                    stats.frontend_stall_cycles += mispredict_penalty
                 elif op.branch_taken:
                     # predicted-taken redirect: the front end still loses a
                     # couple of cycles restarting fetch at the target
-                    bubble = self.config.branch.taken_branch_bubble
-                    redirect_at = max(redirect_at, fetch + 1 + bubble)
-                    stats.frontend_stall_cycles += bubble
+                    redirect_at = max(redirect_at, fetch + 1 + taken_bubble)
+                    stats.frontend_stall_cycles += taken_bubble
 
             # ---- SRV region bookkeeping ------------------------------------
-            if op.region_event is RegionEvent.START:
+            region_event = op.region_event
+            if region_event is ev_start:
                 stats.srv_regions += 1
                 region_start_fetch = fetch
                 if in_hw_region:
-                    self.lsu.begin_region(op.direction)
-            if op.op_class is OpClass.SRV_END:
-                if not self.config.srv_relax_barrier:
+                    lsu.begin_region(op.direction)
+            if op_class is srv_end_cls:
+                if not relax_barrier:
                     barrier_until = complete
                     barrier_charged = False
                 region_mem_complete = 0
-                if op.region_event is RegionEvent.END_REPLAY:
+                if region_event is ev_replay:
                     stats.srv_replay_passes += 1
                 if in_hw_region:
-                    lanes = self.lsu.end_region()
-                    if self.validate_lsu:
+                    lanes = lsu.end_region()
+                    if validate_lsu:
                         expect = set(op.replay_lanes)
                         if lanes != expect:
                             raise PipelineError(
@@ -315,57 +346,65 @@ class PipelineModel:
                                 f"with functional emulator {sorted(expect)} "
                                 f"at trace op {i} (pc {op.pc})"
                             )
-                if op.region_event in (RegionEvent.END_COMMIT, RegionEvent.FALLBACK):
-                    if not trace_continues_region(trace, i):
+                if region_event is ev_commit or region_event is ev_fallback:
+                    # a FALLBACK-marked srv_end continues its region unless
+                    # it is the region's final pass (the next op — the one
+                    # op of lookahead — is outside the region)
+                    if nxt is None or not nxt.in_region:
                         pending_region_end = complete
                         # region entries drained with the hardware commit
-                        lsu_live[:] = [e for e in lsu_live if not e[2]]
+                        lsu_live[:] = [e for e in lsu_live if not e[1]]
 
             # ---- commit -----------------------------------------------------
-            commit = self.ports.reserve("commit", max(complete, prev_commit))
+            commit = ports.reserve("commit", max(complete, prev_commit))
             prev_commit = commit
-            self.rob.release(commit)
+            rob.release(commit)
             if is_mem:
                 for _ in range(lsu_demand):
-                    self.lsu_slots.release(commit)
-                if op.op_class in (OpClass.SCALAR_STORE, OpClass.VEC_STORE):
+                    lsu_slots.release(commit)
+                if rec.is_store:
                     # The LFST entry is left in place: a later load waiting
                     # on an already-completed store is a no-op, and eager
                     # retirement would erase the dependence before younger
                     # loads (processed later in trace order) consult it.
                     for access in op.mem:
-                        self.caches.access(access.addr, access.size, True)
+                        caches.access(access.addr, access.size, True)
             if pending_region_end is not None:
                 stats.region_cycles += commit - region_start_fetch
                 pending_region_end = None
 
             stats.instructions += 1
             stats.micro_ops += max(1, len(op.mem))
-            if op.inst.is_vector:
+            if rec.is_vector:
                 stats.vector_instructions += 1
             else:
                 stats.scalar_instructions += 1
             stats.mem_lane_accesses += len(op.mem)
 
+            i += 1
+            if not i % PRUNE_INTERVAL and i >= window:
+                # every probe of the port maps from here on is at or after
+                # the commit of op i-window, which is itself >= the oldest
+                # completion still in the ring
+                ports.prune_before(complete_ring[i % window])
+            op = nxt
+
         stats.cycles = max(prev_commit, 1)
-        stats.lsu = self.lsu.counters
-        stats.branch = self.bpred.stats
-        stats.store_sets = self.store_sets.stats
-        stats.l1_misses = self.caches.stats.l1_misses
-        stats.l2_misses = self.caches.stats.l2_misses
-        return stats
+        stats.lsu = lsu.counters
+        stats.branch = bpred.stats
+        stats.store_sets = store_sets.stats
+        stats.l1_misses = caches.stats.l1_misses
+        stats.l2_misses = caches.stats.l2_misses
 
     # ------------------------------------------------------------- memory ops
 
-    def _entries_for(self, op: TraceOp, in_region: bool) -> list[LsuEntry]:
+    def _entries_for(self, op: TraceOp, rec: DecodeRecord) -> list[LsuEntry]:
         """Build LSU entries from a memory trace op (micro-op cracking)."""
         if not op.mem:
             return []
-        inst = op.inst
-        kind = getattr(inst, "access_kind", "scalar")
-        is_store = op.op_class in (OpClass.SCALAR_STORE, OpClass.VEC_STORE)
+        is_store = rec.is_store
         region_bytes = self.config.alignment_region_bytes
-        if kind in ("gather", "scatter"):
+        if rec.is_gather_scatter:
             return [
                 LsuEntry.make(
                     srv_id=op.pc,
@@ -381,7 +420,7 @@ class PipelineModel:
                 )
                 for a in op.mem
             ]
-        if kind == "broadcast":
+        if rec.is_broadcast:
             first = op.mem[0]
             return [
                 LsuEntry.make(
@@ -419,44 +458,44 @@ class PipelineModel:
     def _execute_mem(
         self,
         op: TraceOp,
+        rec: DecodeRecord,
         index: int,
         issue_at: int,
         last_slot: int,
         in_region: bool,
-        recent_stores: list,
+        recent_stores,
         lsu_live: list,
-        complete_times: list[int],
         stats: PipelineStats,
     ) -> int:
-        is_store = op.op_class in (OpClass.SCALAR_STORE, OpClass.VEC_STORE)
-        entries = self._entries_for(op, in_region)
+        is_store = rec.is_store
+        entries = self._entries_for(op, rec)
 
         # Drop committed baseline entries so the hardware LSU tracks only
         # in-flight accesses (speculative region entries drain at srv_end).
-        self._drain_baseline(issue_at, complete_times, lsu_live)
+        self._drain_baseline(issue_at, lsu_live)
 
         fully_forwarded = False
-        replay_flagged = False
         if entries:
-            for entry in entries:
-                if is_store:
-                    result = self.lsu.issue_store(entry)
-                    if result.replay_lanes:
-                        replay_flagged = True
-                else:
+            if is_store:
+                for entry in entries:
+                    self.lsu.issue_store(entry)
+            else:
+                for entry in entries:
                     result = self.lsu.issue_load(entry)
                     if not result.any_memory_bytes:
                         fully_forwarded = True
-                lsu_live.append((index, (entry.srv_id, entry.lane), in_region))
 
         if is_store:
+            complete = last_slot + 1
+            for entry in entries:
+                lsu_live.append(((entry.srv_id, entry.lane), in_region, complete))
             if op.mem:
                 self.store_sets.store_fetched(op.pc, index)
-                recent_stores.append((index, op.pc, op.mem, issue_at))
-                if len(recent_stores) > 64:
-                    recent_stores.pop(0)
+                recent_stores.append(
+                    (index, op.pc, op.mem, issue_at, complete)
+                )
             stats.stores += 1
-            return last_slot + 1
+            return complete
 
         stats.loads += 1
         if fully_forwarded:
@@ -472,10 +511,9 @@ class PipelineModel:
         # Vertical mispeculation: this load issued although an older store
         # to an overlapping address had not completed (store-set miss).
         if not in_region and op.mem:
-            for s_index, s_pc, s_accesses, s_issue in recent_stores:
+            for s_index, s_pc, s_accesses, s_issue, s_complete in recent_stores:
                 if s_index >= index:
                     continue
-                s_complete = complete_times[s_index]
                 if s_complete <= issue_at:
                     continue
                 if self._overlaps(op.mem, s_accesses):
@@ -484,21 +522,22 @@ class PipelineModel:
                     self.store_sets.record_violation(op.pc, s_pc)
                     complete = max(complete, s_complete + SQUASH_PENALTY)
                     break
+        for entry in entries:
+            lsu_live.append(((entry.srv_id, entry.lane), in_region, complete))
         return complete
 
-    def _drain_baseline(
-        self, now: int, complete_times: list[int], lsu_live: list
-    ) -> None:
+    def _drain_baseline(self, now: int, lsu_live: list) -> None:
         keep = []
-        for op_index, key, was_region in lsu_live:
+        for item in lsu_live:
+            key, was_region, complete = item
             if was_region:
-                keep.append((op_index, key, was_region))
+                keep.append(item)
                 continue  # region entries drain at srv_end
-            if op_index < len(complete_times) and complete_times[op_index] + 1 <= now:
+            if complete + 1 <= now:
                 self.lsu.lq.pop(key, None)
                 self.lsu.saq.pop(key, None)
             else:
-                keep.append((op_index, key, was_region))
+                keep.append(item)
         lsu_live[:] = keep
 
     @staticmethod
@@ -516,5 +555,5 @@ def simulate(
     validate_lsu: bool = False,
     warm: bool = False,
 ) -> PipelineStats:
-    """Run the timing model over a trace."""
+    """Run the timing model over a materialised trace."""
     return PipelineModel(config, validate_lsu).run(trace, warm=warm)

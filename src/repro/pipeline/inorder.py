@@ -14,6 +14,11 @@ speculation needed), so the vertical machinery reduces to in-order
 forwarding; the horizontal (cross-lane) disambiguation is unchanged, which
 is exactly the paper's point.
 
+Like :class:`repro.pipeline.core.PipelineModel`, the model is a streaming
+consumer: :meth:`InOrderModel.stream` returns a primed coroutine fed one
+:class:`TraceOp` per ``send``, retaining only a 15-op store window and the
+in-flight LSU entries; :meth:`InOrderModel.run` drives it from a list.
+
 Used by the in-order ablation benchmark: SRV's relative benefit is larger
 on an in-order core because the scalar baseline cannot hide latency by
 reordering.
@@ -21,16 +26,21 @@ reordering.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.common.config import TABLE_I, MachineConfig
 from repro.lsu.unit import LoadStoreUnit
 from repro.memory.hierarchy import CacheHierarchy
 from repro.pipeline.branch_pred import TournamentPredictor
-from repro.pipeline.core import _scan_regions
+from repro.pipeline.decode import DecodeTable
 from repro.pipeline.stats import PipelineStats
 from repro.pipeline.trace import OpClass, RegionEvent, TraceOp
 
 IN_ORDER_WIDTH = 2
 FORWARD_LATENCY = 1
+
+#: How far back an in-order memory op looks for the latest older store.
+STORE_WINDOW = 15
 
 
 class InOrderModel:
@@ -42,48 +52,95 @@ class InOrderModel:
         self.bpred = TournamentPredictor(config.branch)
         self.lsu = LoadStoreUnit(config)
         self.stats = PipelineStats()
+        self._lsu_live: list = []
+        self._store_window: deque = deque(maxlen=STORE_WINDOW)
 
-    def warm_caches(self, trace: list[TraceOp]) -> None:
+    def warm_caches(self, trace) -> None:
         for op in trace:
             for access in op.mem:
                 self.caches.access(access.addr, access.size, access.is_store)
         self.caches.reset_stats()
 
     def run(self, trace: list[TraceOp], warm: bool = False) -> PipelineStats:
-        from repro.pipeline.core import PipelineModel
-        from repro.pipeline.deps import LATENCY
-
         if warm:
             self.warm_caches(trace)
+        pump = self.stream()
+        send = pump.send
+        try:
+            for op in trace:
+                send(op)
+            send(None)
+        except StopIteration:
+            pass
+        return self.stats
+
+    def stream(self):
+        """A primed coroutine consuming trace ops (send ``None`` to end)."""
+        pump = self._pump()
+        next(pump)
+        return pump
+
+    def _pump(self):
+        from repro.pipeline.core import PipelineModel
+
         stats = self.stats
-        regions = _scan_regions(trace)
+        bpred = self.bpred
+        lsu = self.lsu
+        mispredict_penalty = self.config.branch.mispredict_penalty
+        srv_end_cls = OpClass.SRV_END
+        branch_cls = OpClass.BRANCH
+        ev_start = RegionEvent.START
+        ev_replay = RegionEvent.END_REPLAY
+
+        decode_fallback: DecodeTable | None = None
+
         reg_ready: dict[tuple[str, int], int] = {}
         lsu_live: list = []
-        complete_times: list[int] = []
+        # (is_store, complete) for the last STORE_WINDOW ops — all the
+        # in-order memory-ordering rule ever consults
+        store_window: deque = deque(maxlen=STORE_WINDOW)
+        self._lsu_live = lsu_live
+        self._store_window = store_window
 
         issue_cursor = 0      # next cycle the issue stage is free
         issued_this_cycle = 0
         max_complete = 0
         helper = PipelineModel(self.config)
-        helper.lsu = self.lsu       # share the LSU and its counters
+        helper.lsu = lsu        # share the LSU and its counters
         helper.caches = self.caches
+        execute_mem = helper._execute_mem
+        i = 0
 
-        for i, op in enumerate(trace):
-            info = regions.get(i)
-            in_hw_region = op.in_region and info is not None and not info.fallback
+        op = yield
+        while op is not None:
+            nxt = yield
+            rec = op.decode
+            if rec is None:
+                if decode_fallback is None:
+                    decode_fallback = DecodeTable()
+                rec = decode_fallback.record_for(op.inst)
+            op_class = rec.op_class
+            in_hw_region = op.in_region and not op.in_fallback
+            is_mem = rec.is_mem or bool(op.mem)
 
             ready = issue_cursor
             for reg in op.src_regs:
-                ready = max(ready, reg_ready.get(reg, 0))
+                t = reg_ready.get(reg, 0)
+                if t > ready:
+                    ready = t
 
             # In-order: a memory op waits for every older store to have
             # its data (no bypassing, section III-D6) unless SRV's region
             # machinery handles the ordering.
-            if op.is_mem and not in_hw_region and complete_times:
-                ready = max(ready, self._last_store_complete(trace, i, complete_times))
+            if is_mem and not in_hw_region and i > 0:
+                for was_store, s_complete in reversed(store_window):
+                    if was_store:
+                        if s_complete > ready:
+                            ready = s_complete
+                        break
 
-            if op.op_class is OpClass.SRV_END:
-                ready = max(ready, max_complete)
+            if op_class is srv_end_cls and max_complete > ready:
+                ready = max_complete
 
             # dual-issue width
             if ready > issue_cursor:
@@ -96,64 +153,64 @@ class InOrderModel:
             issued_this_cycle += 1
 
             slots = 1
-            if getattr(op.inst, "access_kind", None) in ("gather", "scatter"):
+            if rec.is_gather_scatter:
                 slots = max(1, len(op.mem))
             last_slot = issue_at + max(0, slots - 1)
 
-            if op.is_mem:
-                complete = helper._execute_mem(
-                    op, i, issue_at, last_slot, in_hw_region, [], lsu_live,
-                    complete_times, stats,
+            if is_mem:
+                # fresh scratch store list: in-order loads never bypass, so
+                # the vertical-squash machinery must see no recent stores
+                complete = execute_mem(
+                    op, rec, i, issue_at, last_slot, in_hw_region,
+                    [], lsu_live, stats,
                 )
             else:
-                complete = issue_at + LATENCY[op.op_class]
-            complete_times.append(complete)
-            max_complete = max(max_complete, complete)
+                complete = issue_at + rec.latency
+            store_window.append((rec.is_store, complete))
+            if complete > max_complete:
+                max_complete = complete
             for reg in op.dst_regs:
                 reg_ready[reg] = complete
 
-            if op.op_class is OpClass.BRANCH and op.branch_taken is not None:
+            if op_class is branch_cls and op.branch_taken is not None:
                 target = 1 if op.branch_taken else None
-                if self.bpred.update(op.pc, op.branch_taken, target):
-                    issue_cursor = complete + self.config.branch.mispredict_penalty
+                if bpred.update(op.pc, op.branch_taken, target):
+                    issue_cursor = complete + mispredict_penalty
                     issued_this_cycle = 0
 
-            if op.region_event is RegionEvent.START:
+            if op.region_event is ev_start:
                 stats.srv_regions += 1
                 if in_hw_region:
-                    self.lsu.begin_region(op.direction)
-            if op.op_class is OpClass.SRV_END:
-                if op.region_event is RegionEvent.END_REPLAY:
+                    lsu.begin_region(op.direction)
+            if op_class is srv_end_cls:
+                if op.region_event is ev_replay:
                     stats.srv_replay_passes += 1
                 if in_hw_region:
-                    self.lsu.end_region()
+                    lsu.end_region()
+                    # region entries drained with the region commit;
+                    # _drain_baseline never pops them, so dropping them
+                    # here only bounds memory (no timing effect)
+                    lsu_live[:] = [e for e in lsu_live if not e[1]]
                 # serialisation: the next instruction issues after srv_end
-                issue_cursor = max(issue_cursor, complete)
+                if complete > issue_cursor:
+                    issue_cursor = complete
                 issued_this_cycle = 0
 
             stats.instructions += 1
-            if op.inst.is_vector:
+            if rec.is_vector:
                 stats.vector_instructions += 1
             else:
                 stats.scalar_instructions += 1
             stats.mem_lane_accesses += len(op.mem)
 
+            i += 1
+            op = nxt
+
         stats.cycles = max(max_complete, 1)
-        stats.lsu = self.lsu.counters
-        stats.branch = self.bpred.stats
+        stats.lsu = lsu.counters
+        stats.branch = bpred.stats
         stats.l1_misses = self.caches.stats.l1_misses
         stats.l2_misses = self.caches.stats.l2_misses
-        return stats
-
-    @staticmethod
-    def _last_store_complete(
-        trace: list[TraceOp], index: int, complete_times: list[int]
-    ) -> int:
-        """Completion time of the most recent older store, if any."""
-        for j in range(index - 1, max(-1, index - 16), -1):
-            if trace[j].is_store:
-                return complete_times[j]
-        return 0
 
 
 def simulate_in_order(

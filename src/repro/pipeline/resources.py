@@ -44,6 +44,24 @@ class PortPool:
     def usage_at(self, kind: str, cycle: int) -> int:
         return self._used[kind][cycle]
 
+    def prune_before(self, cycle: int) -> None:
+        """Forget occupancy for cycles before ``cycle``.
+
+        Safe whenever the caller can guarantee no future ``reserve`` will
+        probe an earlier cycle (the streaming pipeline derives that bound
+        from the ROB commit watermark); keeps the per-kind maps
+        O(machine-state) instead of O(trace).
+        """
+        for kind, used in self._used.items():
+            if used and min(used) < cycle:
+                self._used[kind] = defaultdict(
+                    int, {c: n for c, n in used.items() if c >= cycle}
+                )
+
+    def footprint(self) -> int:
+        """Total retained (cycle, count) entries across all kinds."""
+        return sum(len(used) for used in self._used.values())
+
 
 class CapacityTracker:
     """A buffer with ``capacity`` slots occupied over [alloc, release)."""

@@ -71,6 +71,14 @@ class TraceOp:
     region_event: RegionEvent | None = None
     replay_lanes: frozenset[int] = frozenset()
     direction: SrvDirection = SrvDirection.UP
+    #: op belongs to a region executed via the section III-D7 sequential
+    #: fallback — known at region *entry* (the emulator decides the
+    #: fallback before executing the body), so the timing models need no
+    #: whole-trace region scan
+    in_fallback: bool = False
+    #: static decode record (:mod:`repro.pipeline.decode`); ``None`` only
+    #: for hand-built trace ops, which the timing models decode lazily
+    decode: object | None = None
 
     @property
     def is_mem(self) -> bool:
@@ -91,14 +99,32 @@ class TraceOp:
 
 
 class Tracer:
-    """Collects :class:`TraceOp` records during functional execution."""
+    """Collects :class:`TraceOp` records during functional execution.
+
+    Subclasses may override :meth:`_emit` and :meth:`_last_op` to change
+    where finalized ops go (see :class:`StreamingTracer`); every
+    annotation the emulator makes after recording an op (region events,
+    replay lane sets, fallback marks) targets the *most recently
+    recorded* op and completes before the next op is recorded — the
+    invariant that makes a one-op holdback sufficient for streaming.
+    """
 
     def __init__(self) -> None:
         self.ops: list[TraceOp] = []
+        self._count = 0
         self._in_region = False
+        self._in_fallback = False
         self._region_pass = 0
         self._active_lanes = 0
         self._direction = SrvDirection.UP
+
+    # -- storage hooks (overridden by StreamingTracer) -------------------------
+
+    def _emit(self, op: TraceOp) -> None:
+        self.ops.append(op)
+
+    def _last_op(self) -> TraceOp | None:
+        return self.ops[-1] if self.ops else None
 
     # -- region structure -------------------------------------------------------
 
@@ -115,8 +141,8 @@ class Tracer:
         self, committed: bool, replay_lanes: frozenset[int] = frozenset()
     ) -> None:
         """Annotate the just-recorded ``srv_end`` op with the decision."""
-        if self.ops:
-            op = self.ops[-1]
+        op = self._last_op()
+        if op is not None:
             op.region_event = (
                 RegionEvent.END_COMMIT if committed else RegionEvent.END_REPLAY
             )
@@ -125,8 +151,30 @@ class Tracer:
             self._in_region = False
 
     def region_fallback(self) -> None:
-        if self.ops:
-            self.ops[-1].region_event = RegionEvent.FALLBACK
+        """Mark the final ``srv_end`` of a sequential-fallback region."""
+        op = self._last_op()
+        if op is not None:
+            op.region_event = RegionEvent.FALLBACK
+        self._in_fallback = False
+
+    def region_fallback_begin(self) -> None:
+        """The emulator chose the section III-D7 sequential fallback.
+
+        Called at region entry, with the region's ``srv_start`` marker as
+        the last recorded op: the marker and every subsequent op of the
+        region carry ``in_fallback=True`` so the timing models know the
+        region is not hardware-speculated without scanning ahead.
+        """
+        self._in_fallback = True
+        op = self._last_op()
+        if op is not None:
+            op.in_fallback = True
+
+    def mark_region_event(self, event: RegionEvent) -> None:
+        """Overwrite the region event of the just-recorded op."""
+        op = self._last_op()
+        if op is not None:
+            op.region_event = event
 
     # -- per-op recording ----------------------------------------------------------
 
@@ -134,20 +182,19 @@ class Tracer:
         self,
         pc: int,
         inst: Instruction,
-        op_class: OpClass,
-        src_regs: tuple[tuple[str, int], ...],
-        dst_regs: tuple[tuple[str, int], ...],
+        decode,
         mem: list[MemAccess],
         branch_taken: bool | None,
         region_event: RegionEvent | None = None,
     ) -> TraceOp:
+        """Record one dynamic op from its static decode record."""
         op = TraceOp(
-            index=len(self.ops),
+            index=self._count,
             pc=pc,
             inst=inst,
-            op_class=op_class,
-            src_regs=src_regs,
-            dst_regs=dst_regs,
+            op_class=decode.op_class,
+            src_regs=decode.src_regs,
+            dst_regs=decode.dst_regs,
             mem=mem,
             branch_taken=branch_taken,
             in_region=self._in_region,
@@ -155,6 +202,40 @@ class Tracer:
             active_lane_count=self._active_lanes,
             region_event=region_event,
             direction=self._direction,
+            in_fallback=self._in_fallback,
+            decode=decode,
         )
-        self.ops.append(op)
+        self._count += 1
+        self._emit(op)
         return op
+
+
+class StreamingTracer(Tracer):
+    """A :class:`Tracer` that hands finalized ops to a sink callback.
+
+    Exactly one op is held back (the most recently recorded one), because
+    the emulator may still annotate it; it is flushed to ``sink`` when
+    the next op is recorded, or at :meth:`close`.  Memory use is O(1) in
+    trace length.
+    """
+
+    def __init__(self, sink) -> None:
+        super().__init__()
+        self._sink = sink
+        self._pending: TraceOp | None = None
+
+    def _emit(self, op: TraceOp) -> None:
+        held = self._pending
+        self._pending = op
+        if held is not None:
+            self._sink(held)
+
+    def _last_op(self) -> TraceOp | None:
+        return self._pending
+
+    def close(self) -> None:
+        """Flush the held-back op at end of execution."""
+        held = self._pending
+        self._pending = None
+        if held is not None:
+            self._sink(held)

@@ -1,0 +1,206 @@
+"""Streaming (fused emulate+time) vs materialised-list equivalence.
+
+The PR 3 contract: ``simulate_streaming`` must be *bit-identical* to
+``run_program`` + ``simulate``/``simulate_in_order`` — same
+``PipelineStats``, same emulator metrics, same final memory, same verify
+monitor verdicts — while retaining only O(machine-state) memory.
+"""
+
+import pytest
+
+from repro.common.config import TABLE_I
+from repro.common.rng import periodic_conflict_indices
+from repro.compiler import Strategy, compile_loop
+from repro.emu import Interpreter, run_program
+from repro.isa import ProgramBuilder, imm, v, x
+from repro.memory import MemoryImage
+from repro.pipeline import Tracer, simulate, simulate_streaming
+from repro.pipeline.core import PipelineModel
+from repro.pipeline import core as core_mod
+from repro.pipeline.inorder import STORE_WINDOW, InOrderModel, simulate_in_order
+from repro.verify.monitors import run_monitors
+from repro.workloads import all_loops
+
+N = 48
+LANES = TABLE_I.vector_lanes
+
+SUITE = [(w.name, spec) for w, spec in all_loops()]
+
+
+def _materialise(spec, strategy, n):
+    arrays = spec.arrays(0)
+    mem = MemoryImage()
+    for name, init in arrays.items():
+        mem.alloc(name, len(init), spec.loop.arrays[name], init=init)
+    program = compile_loop(spec.loop, mem, n, strategy, params=spec.params)
+    return program, mem
+
+
+def _final_arrays(spec, mem):
+    return {
+        name: mem.load_array(mem.allocation(name))
+        for name in spec.arrays(0)
+    }
+
+
+class TestSuiteEquivalence:
+    """All 28 suite loops, both timing models, identical stats."""
+
+    @pytest.mark.parametrize(
+        "workload, spec", SUITE, ids=[s.name for _, s in SUITE]
+    )
+    @pytest.mark.parametrize("core", ["ooo", "inorder"])
+    def test_stream_equals_list(self, workload, spec, core):
+        n = min(N, spec.n)
+
+        program, mem_list = _materialise(spec, Strategy.SRV, n)
+        tracer = Tracer()
+        emu_list, _ = run_program(program, mem_list, tracer=tracer)
+        if core == "ooo":
+            stats_list = simulate(tracer.ops, validate_lsu=True, warm=True)
+        else:
+            stats_list = simulate_in_order(tracer.ops, warm=True)
+
+        program2, mem_stream = _materialise(spec, Strategy.SRV, n)
+        emu_stream, stats_stream, _ = simulate_streaming(
+            program2, mem_stream,
+            core=core, validate_lsu=(core == "ooo"), warm=True,
+        )
+
+        assert stats_stream == stats_list
+        assert emu_stream == emu_list
+        assert _final_arrays(spec, mem_stream) == _final_arrays(spec, mem_list)
+
+
+class TestMonitorEquivalence:
+    """iter_trace() yields the same ops the materialising tracer records,
+    so verify monitors reach identical verdicts on either path."""
+
+    @pytest.mark.parametrize(
+        "workload, spec", SUITE[:6], ids=[s.name for _, s in SUITE[:6]]
+    )
+    def test_monitor_verdicts_match(self, workload, spec):
+        n = min(N, spec.n)
+
+        program, mem1 = _materialise(spec, Strategy.SRV, n)
+        tracer = Tracer()
+        run_program(program, mem1, tracer=tracer)
+
+        program2, mem2 = _materialise(spec, Strategy.SRV, n)
+        interp = Interpreter(program2, mem2)
+        streamed = list(interp.iter_trace())
+
+        assert len(streamed) == len(tracer.ops)
+        for a, b in zip(streamed, tracer.ops):
+            assert (a.index, a.pc, a.op_class, a.in_region, a.in_fallback,
+                    a.region_event, a.replay_lanes) == (
+                b.index, b.pc, b.op_class, b.in_region, b.in_fallback,
+                b.region_event, b.replay_lanes)
+
+        verdict_stream = [str(v) for v in run_monitors(streamed, TABLE_I)]
+        verdict_list = [str(v) for v in run_monitors(tracer.ops, TABLE_I)]
+        assert verdict_stream == verdict_list
+
+
+def _long_program(mem, n):
+    a = mem.allocation("a")
+    xs = mem.allocation("x")
+    b = ProgramBuilder("long_stream")
+    b.mov(x(1), imm(a.base)).mov(x(2), imm(xs.base))
+    b.mov(x(3), imm(0)).mov(x(4), imm(n))
+    b.label("Loop")
+    b.shl(x(7), x(3), imm(2))
+    b.add(x(5), x(1), x(7))
+    b.add(x(6), x(2), x(7))
+    b.srv_start()
+    b.v_load(v(0), x(5))
+    b.v_add(v(0), v(0), imm(2))
+    b.v_load(v(1), x(6))
+    b.v_scatter(v(0), x(1), v(1))
+    b.srv_end()
+    b.add(x(3), x(3), imm(LANES))
+    b.blt(x(3), x(4), "Loop")
+    b.halt()
+    return b.build()
+
+
+def _long_memory(n):
+    mem = MemoryImage()
+    mem.alloc("a", n, 4, init=range(n))
+    mem.alloc("x", n, 4, init=periodic_conflict_indices(n, 4))
+    return mem
+
+
+class TestBoundedMemory:
+    """Retained state is sized by machine capacities, not trace length."""
+
+    # enough iterations that the trace crosses the 2048-op prune interval
+    LONG_N = 4096
+
+    def _stream(self, model, n):
+        mem = _long_memory(n)
+        program = _long_program(mem, n)
+        pump = model.stream()
+        interp = Interpreter(program, mem)
+        count = 0
+        try:
+            for op in interp.iter_trace():
+                pump.send(op)
+                count += 1
+            pump.send(None)
+        except StopIteration:
+            pass
+        return count
+
+    def test_ooo_windows_are_capacity_sized(self):
+        model = PipelineModel(TABLE_I)
+        ops = self._stream(model, self.LONG_N)
+        assert ops > 2 * core_mod.PRUNE_INTERVAL  # long enough to prune
+        assert len(model._complete_ring) == TABLE_I.rob_entries
+        assert model._recent_stores.maxlen == 64
+        assert len(model._recent_stores) <= 64
+        # in-flight LSU entries drain at commit / region end
+        assert len(model._lsu_live) <= 2 * TABLE_I.lsu_entries
+        assert model.stats.cycles > 0
+
+    def test_port_occupancy_is_pruned(self):
+        pruned = PipelineModel(TABLE_I)
+        self._stream(pruned, self.LONG_N)
+
+        unpruned = PipelineModel(TABLE_I)
+        original = core_mod.PRUNE_INTERVAL
+        core_mod.PRUNE_INTERVAL = 1 << 40  # never prune
+        try:
+            self._stream(unpruned, self.LONG_N)
+        finally:
+            core_mod.PRUNE_INTERVAL = original
+
+        # pruning must not change a single statistic...
+        assert pruned.stats == unpruned.stats
+        # ...while keeping the occupancy maps bounded
+        assert pruned.ports.footprint() < unpruned.ports.footprint()
+
+    def test_inorder_windows_are_capacity_sized(self):
+        model = InOrderModel(TABLE_I)
+        self._stream(model, self.LONG_N)
+        assert model._store_window.maxlen == STORE_WINDOW
+        assert len(model._store_window) <= STORE_WINDOW
+        assert len(model._lsu_live) <= 2 * TABLE_I.lsu_entries
+        assert model.stats.cycles > 0
+
+    def test_small_rob_config_equivalence(self):
+        """The completion ring is exact even for a tiny ROB window."""
+        config = TABLE_I.with_overrides(rob_entries=8, iq_entries=4)
+        n = 256
+
+        mem1 = _long_memory(n)
+        tracer = Tracer()
+        run_program(_long_program(mem1, n), mem1, config=config, tracer=tracer)
+        stats_list = simulate(tracer.ops, config=config, warm=True)
+
+        mem2 = _long_memory(n)
+        _, stats_stream, _ = simulate_streaming(
+            _long_program(mem2, n), mem2, config, warm=True
+        )
+        assert stats_stream == stats_list
+        assert stats_stream.store_set_squashes == stats_list.store_set_squashes
