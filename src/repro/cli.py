@@ -14,7 +14,13 @@ Commands:
 * ``sweep --jobs N`` — regenerate experiments through the parallel
   sharded engine (:mod:`repro.parallel`): warm the content-addressed
   result cache with N worker processes, then replay the harnesses
-  against it (bit-identical to sequential execution).
+  against it (bit-identical to sequential execution);
+* ``trace <workload> <loop>`` — run one loop with the observability bus
+  armed (:mod:`repro.observe`) and write a Chrome Trace Format /
+  Perfetto JSON timeline plus an event-counter table;
+* ``attrib <workload> <loop>`` / ``attrib --suite`` — exact cycle
+  attribution into {compute, memory, replay, barrier, fallback, other}
+  buckets, per loop or rolled up over the whole suite.
 """
 
 from __future__ import annotations
@@ -159,6 +165,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if outcome.failed_experiments else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observe import events as _ev
+    from repro.observe.export import (
+        ascii_timeline,
+        counters_table,
+        write_chrome_trace,
+    )
+    from repro.observe.harness import observe_loop
+
+    spec = _find_spec(args.workload, args.loop)
+    strategy = Strategy(args.strategy)
+    sink_factory = (
+        (lambda: _ev.RingBufferSink(args.ring))
+        if args.ring else _ev.ListSink
+    )
+    run = observe_loop(
+        spec, strategy, seed=args.seed, core=args.core,
+        trace_mode=args.trace_mode, n_override=args.n,
+        sink_factory=sink_factory,
+    )
+    label = f"{spec.name}/{strategy.value}/{args.core}"
+    print(f"{label}: {run.cycles} cycles, {len(run.events)} events"
+          + (" (degraded to sequential fallback)" if run.degraded else ""))
+    if args.out:
+        count = write_chrome_trace(args.out, run.events, label=label)
+        print(f"wrote {count} trace records to {args.out}")
+    print()
+    print(ascii_timeline(run.attribution))
+    print()
+    print(counters_table(run.events, name=f"trace:{spec.name}").format_table())
+    return 0
+
+
+def _cmd_attrib(args: argparse.Namespace) -> int:
+    from repro.observe.export import ascii_timeline, attribution_table
+    from repro.observe.harness import observe_loop
+    from repro.workloads import all_loops
+
+    strategy = Strategy(args.strategy)
+    if args.suite:
+        specs = [(w.name, spec) for w, spec in all_loops()]
+    else:
+        if not args.workload or not args.loop:
+            print("attrib needs <workload> <loop> (or --suite)",
+                  file=sys.stderr)
+            return 2
+        specs = [(args.workload, _find_spec(args.workload, args.loop))]
+
+    rows = []
+    for workload_name, spec in specs:
+        run = observe_loop(
+            spec, strategy, seed=args.seed, core=args.core,
+            n_override=args.n,
+        )
+        rows.append((f"{workload_name}/{spec.name}", run.attribution))
+        if not args.suite:
+            print(ascii_timeline(run.attribution))
+            print()
+    print(attribution_table(rows, total_row=args.suite).format_table())
+    return 0
+
+
 def _cmd_inject(args: argparse.Namespace) -> int:
     from repro.verify.campaign import default_catalogue, run_campaign
     from repro.verify.faults import FaultClass
@@ -173,7 +241,12 @@ def _cmd_inject(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the benchmark suite")
@@ -238,6 +311,41 @@ def main(argv: list[str] | None = None) -> int:
                        help="fused streaming simulation (default) or the "
                             "materialised-trace path; results are identical")
 
+    p_trc = sub.add_parser(
+        "trace",
+        help="record an observability trace and export Perfetto JSON",
+    )
+    p_trc.add_argument("workload")
+    p_trc.add_argument("loop")
+    p_trc.add_argument("--strategy", default="srv",
+                       choices=[s.value for s in Strategy])
+    p_trc.add_argument("--core", choices=("ooo", "inorder"), default="ooo",
+                       help="timing model (default: out-of-order)")
+    p_trc.add_argument("--trace-mode", choices=("stream", "list"),
+                       default="stream",
+                       help="simulation path; the event stream is "
+                            "identical either way")
+    p_trc.add_argument("--out", default=None, metavar="PATH",
+                       help="write Chrome Trace Format JSON here")
+    p_trc.add_argument("--ring", type=int, default=0, metavar="CAP",
+                       help="bound event retention to the newest CAP events")
+    p_trc.add_argument("-n", type=int, default=None)
+    p_trc.add_argument("--seed", type=int, default=0)
+
+    p_att = sub.add_parser(
+        "attrib",
+        help="exact per-bucket cycle attribution for a loop or the suite",
+    )
+    p_att.add_argument("workload", nargs="?", default=None)
+    p_att.add_argument("loop", nargs="?", default=None)
+    p_att.add_argument("--suite", action="store_true",
+                       help="attribute every loop and print the rollup")
+    p_att.add_argument("--strategy", default="srv",
+                       choices=[s.value for s in Strategy])
+    p_att.add_argument("--core", choices=("ooo", "inorder"), default="ooo")
+    p_att.add_argument("-n", type=int, default=None)
+    p_att.add_argument("--seed", type=int, default=0)
+
     from repro.verify.faults import FaultClass
 
     p_inj = sub.add_parser(
@@ -256,6 +364,8 @@ def main(argv: list[str] | None = None) -> int:
         "verify": _cmd_verify,
         "inject": _cmd_inject,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
+        "attrib": _cmd_attrib,
     }[args.command]
     return handler(args)
 

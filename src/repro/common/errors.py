@@ -79,3 +79,7 @@ class OracleMismatchError(ReproError):
 class RunTimeoutError(ReproError):
     """A single experiment run exceeded its wall-clock budget."""
 
+
+class ObserveError(ReproError):
+    """Misuse of the observability layer (:mod:`repro.observe`)."""
+

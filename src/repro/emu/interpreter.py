@@ -63,6 +63,7 @@ from repro.isa.instructions import (
 )
 from repro.isa.program import Program
 from repro.memory.image import MemoryImage, to_signed, to_unsigned
+from repro.observe import events as _obs
 from repro.pipeline.decode import DecodeTable
 from repro.pipeline.trace import (
     MemAccess,
@@ -637,6 +638,18 @@ class Interpreter:
         self._branch_taken = None
         self._trace(pc, inst, rec)
 
+    def _op_index(self) -> int:
+        """Dynamic op index for emu-domain events.
+
+        Derived from the tracer's record count so it is identical under
+        ``--trace-mode stream`` and ``list`` (both tracer kinds count
+        every recorded op); falls back to the step counter when running
+        untraced.
+        """
+        if self.tracer is not None:
+            return self.tracer.count - 1
+        return self._steps
+
     def _exec_srv_region(self, start_pc: int, start_inst: SrvStart) -> None:
         body_pc, end_pc = self._region_span(start_pc)
         body = self.program.instructions[body_pc:end_pc]
@@ -647,6 +660,13 @@ class Interpreter:
         self._record_marker(start_pc, start_inst)
         if self.tracer is not None:
             self.tracer.mark_region_event(RegionEvent.START)
+        obs = _obs.ACTIVE
+        region_no = srv.regions_entered - 1
+        if obs is not None:
+            obs.emit(
+                _obs.EventKind.REGION_BEGIN, "emu", self._op_index(),
+                self._steps, 0, start_pc, -1, (("region", region_no),),
+            )
 
         demand = self._region_lsu_demand(body)
         srv.lsu_entries_peak = max(srv.lsu_entries_peak, demand)
@@ -687,6 +707,16 @@ class Interpreter:
                     active = [lane == oldest for lane in range(self.lanes)]
                     resume_replay = set(range(oldest + 1, self.lanes))
             self._record_marker(end_pc, self.program.instructions[end_pc])
+            if obs is not None:
+                obs.emit(
+                    _obs.EventKind.REGION_PASS, "emu", self._op_index(),
+                    self._steps, 0, end_pc, -1,
+                    (
+                        ("pass", rollbacks),
+                        ("active", sum(active)),
+                        ("region", region_no),
+                    ),
+                )
             if resume_replay:
                 buffer.needs_replay |= resume_replay
                 resume_replay = set()
@@ -697,6 +727,16 @@ class Interpreter:
             if not buffer.needs_replay:
                 if self.tracer is not None:
                     self.tracer.region_end(committed=True)
+                if obs is not None:
+                    obs.emit(
+                        _obs.EventKind.REGION_END, "emu", self._op_index(),
+                        self._steps, 0, end_pc, -1,
+                        (
+                            ("region", region_no),
+                            ("passes", rollbacks + 1),
+                            ("fallback", False),
+                        ),
+                    )
                 break
             rollbacks += 1
             srv.replays += 1
@@ -711,6 +751,13 @@ class Interpreter:
                 replay_set = _faults.ACTIVE.perturb_replay_lanes(replay_set)
             if self.tracer is not None:
                 self.tracer.region_end(committed=False, replay_lanes=replay_set)
+            if obs is not None:
+                for lane in sorted(replay_set):
+                    obs.emit(
+                        _obs.EventKind.LANE_REPLAY, "emu", self._op_index(),
+                        self._steps, 0, end_pc, lane,
+                        (("region", region_no),),
+                    )
             active = [lane in replay_set for lane in range(self.lanes)]
             buffer.needs_replay.clear()
         buffer.commit()
@@ -731,6 +778,14 @@ class Interpreter:
             # the region's START marker (the last recorded op) and every
             # op of the sequential passes are flagged as fallback
             self.tracer.region_fallback_begin()
+        obs = _obs.ACTIVE
+        region_no = srv.regions_entered - 1
+        if obs is not None:
+            obs.emit(
+                _obs.EventKind.SEQ_FALLBACK, "emu", self._op_index(),
+                self._steps, 0, body_pc - 1, -1,
+                (("region", region_no),),
+            )
         for lane in range(self.lanes):
             mask = [i == lane for i in range(self.lanes)]
             srv.region_passes += 1
@@ -742,6 +797,17 @@ class Interpreter:
                 # needs no SRV handling
                 self._interrupt_pending = False
             self._record_marker(end_pc, self.program.instructions[end_pc])
+            if obs is not None:
+                obs.emit(
+                    _obs.EventKind.REGION_PASS, "emu", self._op_index(),
+                    self._steps, 0, end_pc, -1,
+                    (
+                        ("pass", lane),
+                        ("active", 1),
+                        ("region", region_no),
+                        ("fallback", True),
+                    ),
+                )
             if self.tracer is not None:
                 if lane == self.lanes - 1:
                     self.tracer.region_end(committed=True)
@@ -752,6 +818,16 @@ class Interpreter:
                         replay_lanes=frozenset(range(lane + 1, self.lanes)),
                     )
                     self.tracer.mark_region_event(RegionEvent.FALLBACK)
+            if obs is not None and lane == self.lanes - 1:
+                obs.emit(
+                    _obs.EventKind.REGION_END, "emu", self._op_index(),
+                    self._steps, 0, end_pc, -1,
+                    (
+                        ("region", region_no),
+                        ("passes", self.lanes),
+                        ("fallback", True),
+                    ),
+                )
         self.state.pc = end_pc + 1
 
 

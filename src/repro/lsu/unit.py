@@ -31,6 +31,7 @@ from repro.lsu.horizontal import (
     replay_lanes_from_hob,
 )
 from repro.lsu.vertical import vob_for_pair
+from repro.observe import events as _obs
 from repro.verify import faults as _faults
 
 
@@ -237,6 +238,23 @@ class LoadStoreUnit:
                 self.counters.multi_entry_forwards += 1
         if result.any_memory_bytes:
             self.counters.loads_from_memory += 1
+        obs = _obs.ACTIVE
+        if obs is not None:
+            # op/cycle context was set by the timing model's _execute_mem
+            if result.war_suppressed:
+                obs.emit_lsu(
+                    _obs.EventKind.WAR_SUPPRESS, entry.lane,
+                    (("srv_id", entry.srv_id),),
+                )
+            if result.forwarded_from:
+                obs.emit_lsu(
+                    _obs.EventKind.STL_FORWARD, entry.lane,
+                    (
+                        ("srv_id", entry.srv_id),
+                        ("sources", result.sdq_entries_combined),
+                        ("full", not result.any_memory_bytes),
+                    ),
+                )
         return result
 
     def issue_store(self, entry: LsuEntry) -> StoreIssueResult:
@@ -294,6 +312,26 @@ class LoadStoreUnit:
         self.saq[key] = entry
         if _faults.ACTIVE is not None and _faults.ACTIVE.drop_lsu_entry("saq"):
             del self.saq[key]
+        obs = _obs.ACTIVE
+        if obs is not None:
+            if result.replay_lanes:
+                obs.emit_lsu(
+                    _obs.EventKind.H_VIOLATION, entry.lane,
+                    (
+                        ("srv_id", entry.srv_id),
+                        ("lanes", tuple(sorted(result.replay_lanes))),
+                    ),
+                )
+            if result.waw:
+                obs.emit_lsu(
+                    _obs.EventKind.WAW_RESOLVE, entry.lane,
+                    (("srv_id", entry.srv_id),),
+                )
+            if result.vertical_squash:
+                obs.emit_lsu(
+                    _obs.EventKind.V_VIOLATION, entry.lane,
+                    (("srv_id", entry.srv_id),),
+                )
         return result
 
     # -- commit / drain ---------------------------------------------------------

@@ -1,0 +1,263 @@
+"""Typed event bus for simulator observability.
+
+Instrumentation *sites* throughout the emulator
+(:mod:`repro.emu.interpreter`), both timing models
+(:mod:`repro.pipeline.core`, :mod:`repro.pipeline.inorder`), the SRV LSU
+(:mod:`repro.lsu.unit`) and the region engine (:mod:`repro.srv.engine`)
+poll the module-level :data:`ACTIVE` bus — the same pattern as
+:data:`repro.verify.faults.ACTIVE` — so the disabled path costs a single
+``is not None`` check per site and the simulators stay bit-identical on
+cycles whether or not anyone is listening.
+
+Three layers:
+
+* :class:`Event` — one immutable record: kind, source domain, dynamic
+  op index, timestamp (cycles for ``pipe``/``lsu`` events, emulator
+  steps for ``emu``/``srv`` events), optional duration/pc/lane and a
+  small ``data`` tuple of key/value pairs;
+* sinks — :class:`ListSink` (materialise everything),
+  :class:`RingBufferSink` (bounded, for streaming runs: keeps the last
+  ``capacity`` events and counts drops), :class:`CounterSink` (per-kind
+  tallies only) and :class:`NullSink` (swallow — the "enabled but
+  observing nothing" configuration used by the overhead guard test);
+* :class:`EventBus` — routes ``emit`` calls to the sink.  A bus wrapping
+  a :class:`NullSink` rebinds ``emit`` to a module-level no-op so the
+  per-event cost is one dead function call, never an :class:`Event`
+  allocation.
+
+Canonical ordering
+------------------
+
+The fused streaming pipeline (:func:`repro.pipeline.stream.simulate_streaming`)
+interleaves emulator and timing-model work, while the materialised path
+runs them back to back, so raw emission order differs between
+``--trace-mode stream`` and ``list``.  :func:`canonical_order` re-sorts
+by ``(op, domain rank)`` with a stable sort: per-domain relative order is
+identical on both paths, so the sorted sequences are equal event-for-event
+(pinned by ``tests/test_observe.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.common.errors import ObserveError
+
+
+class EventKind(enum.Enum):
+    """Event taxonomy (see docs/ARCHITECTURE.md section 9)."""
+
+    # per-op pipeline lifecycle
+    FETCH = "fetch"
+    ISSUE = "issue"
+    COMMIT = "commit"
+    # SRV region structure
+    REGION_BEGIN = "region_begin"
+    REGION_PASS = "region_pass"
+    REGION_END = "region_end"
+    LANE_REPLAY = "lane_replay"
+    SEQ_FALLBACK = "seq_fallback"
+    BARRIER_STALL = "barrier_stall"
+    # memory disambiguation
+    H_VIOLATION = "horizontal_violation"
+    V_VIOLATION = "vertical_violation"
+    STORE_SET_CONFLICT = "store_set_conflict"
+    WAR_SUPPRESS = "war_suppress"
+    WAW_RESOLVE = "waw_resolve"
+    STL_FORWARD = "store_to_load_forward"
+    # memory hierarchy
+    CACHE_HIT = "cache_hit"
+    CACHE_MISS = "cache_miss"
+
+
+#: Source domains and their rank in the canonical order.  ``emu`` and
+#: ``srv`` timestamps are emulator steps; ``pipe`` and ``lsu``
+#: timestamps are simulated cycles.
+DOMAIN_RANK: dict[str, int] = {"emu": 0, "pipe": 1, "lsu": 2, "srv": 3}
+
+#: Domains whose ``t`` field is a pipeline cycle number.
+CYCLE_DOMAINS = frozenset(("pipe", "lsu"))
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One observation: immutable, hashable, cheap to compare."""
+
+    kind: EventKind
+    domain: str
+    op: int           # dynamic trace-op index (-1: not op-scoped)
+    t: int            # cycles (pipe/lsu) or emulator steps (emu/srv)
+    dur: int = 0
+    pc: int = -1
+    lane: int = -1
+    #: sorted (key, value) pairs; values are ints, strs or tuples
+    data: tuple = ()
+
+    def get(self, key: str, default=None):
+        for k, v in self.data:
+            if k == key:
+                return v
+        return default
+
+    @property
+    def end(self) -> int:
+        return self.t + self.dur
+
+
+def canonical_order(events) -> tuple[Event, ...]:
+    """Stable-sort events into the trace-mode-independent order."""
+    rank = DOMAIN_RANK
+    return tuple(
+        sorted(events, key=lambda e: (e.op, rank.get(e.domain, 9)))
+    )
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+
+class NullSink:
+    """Swallows everything: the zero-overhead 'observe nothing' sink."""
+
+    __slots__ = ()
+
+    def accept(self, event: Event) -> None:  # pragma: no cover - rebound away
+        pass
+
+    def finalized(self) -> tuple[Event, ...]:
+        return ()
+
+
+class ListSink:
+    """Materialises every event (the default for ``repro trace``)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def accept(self, event: Event) -> None:
+        self.events.append(event)
+
+    def finalized(self) -> tuple[Event, ...]:
+        return canonical_order(self.events)
+
+
+class RingBufferSink:
+    """Bounded sink for streaming runs: keeps the newest ``capacity``
+    events and counts what it had to drop."""
+
+    __slots__ = ("events", "capacity", "dropped")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ObserveError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: deque[Event] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def accept(self, event: Event) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    def finalized(self) -> tuple[Event, ...]:
+        return canonical_order(self.events)
+
+
+class CounterSink:
+    """Per-kind tallies only — cheap always-on counters."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    def accept(self, event: Event) -> None:
+        self.counts[event.kind] += 1
+
+    def finalized(self) -> tuple[Event, ...]:
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# bus
+# ---------------------------------------------------------------------------
+
+
+def _swallow(*_args, **_kwargs) -> None:
+    pass
+
+
+class EventBus:
+    """Routes instrumentation-site emissions to one sink.
+
+    ``op`` and ``cycle`` are *context* attributes: the timing models set
+    them per memory op so context-free sites (the LSU, which has neither
+    an op index nor a clock of its own) can stamp their events via
+    :meth:`emit_lsu`.
+    """
+
+    __slots__ = ("sink", "op", "cycle", "emit")
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+        self.op = -1
+        self.cycle = -1
+        # a null bus never allocates an Event: emit degrades to a no-op
+        self.emit = _swallow if isinstance(sink, NullSink) else self._emit
+
+    def _emit(
+        self,
+        kind: EventKind,
+        domain: str,
+        op: int,
+        t: int,
+        dur: int = 0,
+        pc: int = -1,
+        lane: int = -1,
+        data: tuple = (),
+    ) -> None:
+        self.sink.accept(Event(kind, domain, op, t, dur, pc, lane, data))
+
+    def emit_lsu(
+        self, kind: EventKind, lane: int = -1, data: tuple = ()
+    ) -> None:
+        """Emit from the LSU using the bus's op/cycle context."""
+        self.emit(kind, "lsu", self.op, self.cycle, 0, -1, lane, data)
+
+
+#: The installed bus, or ``None`` (the common case).  Instrumentation
+#: sites read this exactly once per scope and skip all work when unset.
+ACTIVE: EventBus | None = None
+
+
+def install(sink) -> EventBus:
+    """Install ``sink`` behind a fresh bus; error if one is installed."""
+    global ACTIVE
+    if ACTIVE is not None:
+        raise ObserveError("an observe event bus is already installed")
+    bus = EventBus(sink)
+    ACTIVE = bus
+    return bus
+
+
+def uninstall() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def capture(sink=None):
+    """Context manager: install ``sink`` (default a fresh
+    :class:`ListSink`), yield it, always uninstall."""
+    sink = ListSink() if sink is None else sink
+    install(sink)
+    try:
+        yield sink
+    finally:
+        uninstall()

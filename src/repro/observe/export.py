@@ -1,0 +1,241 @@
+"""Exporters for observed runs: Perfetto JSON, ASCII timelines, tables.
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome Trace
+  Format (the JSON array flavour Perfetto and ``chrome://tracing``
+  accept): per-op execute slices, region/pass spans, stall spans, and
+  instant markers for replays, violations and fallbacks.  Timestamps are
+  simulated cycles reported as microseconds (1 cycle = 1 us), which
+  Perfetto renders with sensible zoom behaviour.
+* :func:`ascii_timeline` — a terminal rendering of the per-region
+  structure plus the cycle-attribution summary.
+* :func:`counters_table` / :func:`attribution_table` — tabular views
+  built on :class:`repro.experiments.report.ExperimentResult` so the
+  CLI prints them with the same formatting as the paper tables.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.experiments.report import ExperimentResult
+from repro.observe.attrib import BUCKETS, RunAttribution
+from repro.observe.events import CYCLE_DOMAINS, Event, EventKind
+
+#: Perfetto thread ids (lanes in the UI) for pipe-domain slices.
+_TID_OPS = 1
+_TID_REGIONS = 2
+_TID_PASSES = 3
+_TID_STALLS = 4
+_TID_MARKS = 5
+
+_THREAD_NAMES = {
+    _TID_OPS: "ops (issue→complete)",
+    _TID_REGIONS: "SRV regions",
+    _TID_PASSES: "region passes",
+    _TID_STALLS: "stalls (barrier/miss/squash)",
+    _TID_MARKS: "violations & replays",
+}
+
+#: pid 1 = the cycle-domain timeline; pid 2 = functional-emulator steps.
+_PID_CYCLES = 1
+_PID_EMU = 2
+
+
+def _slice(name: str, ts: int, dur: int, tid: int, pid: int, args: dict):
+    return {
+        "name": name, "ph": "X", "ts": ts, "dur": max(dur, 0),
+        "pid": pid, "tid": tid, "args": args,
+    }
+
+
+def _instant(name: str, ts: int, tid: int, pid: int, args: dict):
+    return {
+        "name": name, "ph": "i", "ts": ts, "s": "t",
+        "pid": pid, "tid": tid, "args": args,
+    }
+
+
+def _args(event: Event) -> dict:
+    args = {k: list(v) if isinstance(v, tuple) else v for k, v in event.data}
+    if event.op >= 0:
+        args["op"] = event.op
+    if event.pc >= 0:
+        args["pc"] = event.pc
+    if event.lane >= 0:
+        args["lane"] = event.lane
+    return args
+
+
+def to_chrome_trace(events, label: str = "repro") -> dict:
+    """Chrome Trace Format / Perfetto JSON object for an event stream."""
+    trace: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": _PID_CYCLES,
+         "args": {"name": f"{label}: timing model (cycles)"}},
+        {"name": "process_name", "ph": "M", "pid": _PID_EMU,
+         "args": {"name": f"{label}: functional emulator (steps)"}},
+    ]
+    for tid, name in _THREAD_NAMES.items():
+        trace.append({
+            "name": "thread_name", "ph": "M", "pid": _PID_CYCLES,
+            "tid": tid, "args": {"name": name},
+        })
+    trace.append({
+        "name": "thread_name", "ph": "M", "pid": _PID_EMU,
+        "tid": 1, "args": {"name": "SRV region structure"},
+    })
+
+    for event in events:
+        kind = event.kind
+        if event.domain not in CYCLE_DOMAINS:
+            # emulator/srv-engine events live on their own step timeline
+            trace.append(_instant(
+                kind.value, event.t, 1, _PID_EMU, _args(event)
+            ))
+            continue
+        if kind is EventKind.ISSUE:
+            name = event.get("cls", "op")
+            trace.append(_slice(
+                f"{name}@{event.pc}", event.t, event.dur,
+                _TID_OPS, _PID_CYCLES, _args(event),
+            ))
+        elif kind is EventKind.REGION_END:
+            trace.append(_slice(
+                f"region {event.get('region', '?')}", event.t, event.dur,
+                _TID_REGIONS, _PID_CYCLES, _args(event),
+            ))
+        elif kind is EventKind.REGION_PASS:
+            trace.append(_slice(
+                f"pass {event.get('pass', '?')}", event.t, event.dur,
+                _TID_PASSES, _PID_CYCLES, _args(event),
+            ))
+        elif kind in (
+            EventKind.BARRIER_STALL,
+            EventKind.CACHE_MISS,
+            EventKind.STORE_SET_CONFLICT,
+        ):
+            trace.append(_slice(
+                kind.value, event.t, event.dur,
+                _TID_STALLS, _PID_CYCLES, _args(event),
+            ))
+        elif kind in (EventKind.FETCH, EventKind.COMMIT, EventKind.CACHE_HIT):
+            # high-volume lifecycle events would swamp the UI; they stay
+            # available in the counters table and the raw stream
+            continue
+        else:
+            trace.append(_instant(
+                kind.value, event.t, _TID_MARKS, _PID_CYCLES, _args(event),
+            ))
+    return {"traceEvents": trace, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(path: str, events, label: str = "repro") -> int:
+    """Write the Perfetto JSON to ``path``; returns the event count."""
+    payload = to_chrome_trace(events, label=label)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return len(payload["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# tables
+# ---------------------------------------------------------------------------
+
+
+def counters_table(events, name: str = "trace") -> ExperimentResult:
+    """Per-kind event counts split by source domain."""
+    counts: Counter = Counter()
+    for event in events:
+        counts[(event.kind, event.domain)] += 1
+    rows = [
+        (kind.value, domain, count)
+        for (kind, domain), count in sorted(
+            counts.items(), key=lambda item: (item[0][0].value, item[0][1])
+        )
+    ]
+    return ExperimentResult(
+        name=name,
+        title="Event counters",
+        columns=("event", "domain", "count"),
+        rows=rows,
+        summary={"total_events": sum(counts.values())},
+    )
+
+
+def attribution_table(
+    rows: list[tuple[str, RunAttribution]],
+    name: str = "attrib",
+    total_row: bool = False,
+) -> ExperimentResult:
+    """Cycle-attribution table: one row per run plus a rollup summary.
+
+    With ``total_row`` a ``TOTAL`` row is appended (the suite rollup);
+    it is derived from the per-run rows and excluded from the summary
+    statistics, which always aggregate the runs exactly once.
+    """
+    table_rows = []
+    totals = {bucket: 0 for bucket in BUCKETS}
+    total_cycles = 0
+    for label, attribution in rows:
+        attribution.check()
+        table_rows.append(
+            (label, attribution.total)
+            + tuple(attribution.buckets[bucket] for bucket in BUCKETS)
+        )
+        total_cycles += attribution.total
+        for bucket in BUCKETS:
+            totals[bucket] += attribution.buckets[bucket]
+    if total_row:
+        table_rows.append(
+            ("TOTAL", total_cycles)
+            + tuple(totals[bucket] for bucket in BUCKETS)
+        )
+    summary: dict = {"runs": len(rows), "total_cycles": total_cycles}
+    if total_cycles:
+        for bucket in BUCKETS:
+            summary[f"{bucket}_fraction"] = totals[bucket] / total_cycles
+    return ExperimentResult(
+        name=name,
+        title="Cycle attribution (buckets sum exactly to cycles)",
+        columns=("run", "cycles") + BUCKETS,
+        rows=table_rows,
+        summary=summary,
+    )
+
+
+# ---------------------------------------------------------------------------
+# ASCII timeline
+# ---------------------------------------------------------------------------
+
+
+def ascii_timeline(attribution: RunAttribution, width: int = 60) -> str:
+    """Terminal rendering: bucket summary + one bar per SRV region."""
+    total = max(attribution.total, 1)
+    lines = [
+        "cycles {:d} | {}".format(
+            attribution.total,
+            "  ".join(
+                f"{bucket}={attribution.buckets[bucket]}"
+                for bucket in BUCKETS
+            ),
+        )
+    ]
+    if not attribution.regions:
+        lines.append("(no SRV regions in this run)")
+        return "\n".join(lines)
+    scale = width / total
+    for region in attribution.regions:
+        lo = min(int(region.start * scale), width - 1)
+        hi = max(min(int(region.end * scale), width), lo + 1)
+        bar = " " * lo + "█" * (hi - lo) + " " * (width - hi)
+        flag = " FALLBACK" if region.fallback else ""
+        replay = (
+            f" replay={region.replay_cycles}c"
+            if region.replay_cycles else ""
+        )
+        lines.append(
+            f"region {region.index:3d} |{bar}| "
+            f"[{region.start:6d}..{region.end:6d}] "
+            f"passes={region.passes}{replay}{flag}"
+        )
+    return "\n".join(lines)

@@ -46,6 +46,7 @@ from repro.common.errors import PipelineError
 from repro.lsu.entries import AccessType, LsuEntry
 from repro.lsu.unit import LoadStoreUnit
 from repro.memory.hierarchy import CacheHierarchy
+from repro.observe import events as _obs
 from repro.pipeline.branch_pred import TournamentPredictor
 from repro.pipeline.decode import DecodeRecord, DecodeTable
 from repro.pipeline.resources import CapacityTracker, PortPool
@@ -168,6 +169,15 @@ class PipelineModel:
         ev_replay = RegionEvent.END_REPLAY
         ev_fallback = RegionEvent.FALLBACK
 
+        # observability: one bus reference for the pump's lifetime (the
+        # bus is installed before stream() by the observe harness); all
+        # event work is inside `obs is not None` guards so the disabled
+        # path costs one dead branch per site
+        obs = _obs.ACTIVE
+        region_idx = -1
+        region_fallback = False
+        pass_begin = 0
+
         decode_fallback: DecodeTable | None = None
 
         reg_ready: dict[tuple[str, int], int] = {}
@@ -218,6 +228,8 @@ class PipelineModel:
                 fetch_used = 0
             fetch = fetch_cycle
             fetch_used += 1
+            if obs is not None:
+                obs.emit(_obs.EventKind.FETCH, "pipe", i, fetch, 0, op.pc)
 
             # ---- dispatch (rename + buffers) -----------------------------
             dispatch = rob.allocate(fetch + FRONTEND_DEPTH)
@@ -256,6 +268,12 @@ class PipelineModel:
                     stalled_from = max(ready, last_issue)
                     if barrier_until > stalled_from:
                         stats.barrier_cycles += barrier_until - stalled_from
+                        if obs is not None:
+                            obs.emit(
+                                _obs.EventKind.BARRIER_STALL, "pipe", i,
+                                stalled_from, barrier_until - stalled_from,
+                                op.pc,
+                            )
                     barrier_charged = True
                 ready = barrier_until
 
@@ -301,6 +319,12 @@ class PipelineModel:
             else:
                 complete = issue_at + rec.latency
             complete_ring[i % window] = complete
+            if obs is not None:
+                obs.emit(
+                    _obs.EventKind.ISSUE, "pipe", i, issue_at,
+                    complete - issue_at, op.pc, -1,
+                    (("cls", op_class.value),),
+                )
             if complete > max_complete:
                 max_complete = complete
             if is_mem and op.in_region and complete > region_mem_complete:
@@ -327,6 +351,19 @@ class PipelineModel:
             if region_event is ev_start:
                 stats.srv_regions += 1
                 region_start_fetch = fetch
+                if obs is not None:
+                    region_idx += 1
+                    region_fallback = op.in_fallback
+                    pass_begin = fetch
+                    obs.emit(
+                        _obs.EventKind.REGION_BEGIN, "pipe", i, fetch, 0,
+                        op.pc, -1, (("region", region_idx),),
+                    )
+                    if op.in_fallback:
+                        obs.emit(
+                            _obs.EventKind.SEQ_FALLBACK, "pipe", i, fetch,
+                            0, op.pc, -1, (("region", region_idx),),
+                        )
                 if in_hw_region:
                     lsu.begin_region(op.direction)
             if op_class is srv_end_cls:
@@ -334,6 +371,25 @@ class PipelineModel:
                     barrier_until = complete
                     barrier_charged = False
                 region_mem_complete = 0
+                if obs is not None:
+                    obs.emit(
+                        _obs.EventKind.REGION_PASS, "pipe", i, pass_begin,
+                        complete - pass_begin, op.pc, -1,
+                        (
+                            ("pass", op.region_pass),
+                            ("active", op.active_lane_count),
+                            ("fallback", region_fallback),
+                            ("region", region_idx),
+                        ),
+                    )
+                    pass_begin = complete
+                    if region_event is ev_replay:
+                        for lane in sorted(op.replay_lanes):
+                            obs.emit(
+                                _obs.EventKind.LANE_REPLAY, "pipe", i,
+                                complete, 0, op.pc, lane,
+                                (("region", region_idx),),
+                            )
                 if region_event is ev_replay:
                     stats.srv_replay_passes += 1
                 if in_hw_region:
@@ -369,8 +425,20 @@ class PipelineModel:
                     # loads (processed later in trace order) consult it.
                     for access in op.mem:
                         caches.access(access.addr, access.size, True)
+            if obs is not None:
+                obs.emit(_obs.EventKind.COMMIT, "pipe", i, commit, 0, op.pc)
             if pending_region_end is not None:
                 stats.region_cycles += commit - region_start_fetch
+                if obs is not None:
+                    obs.emit(
+                        _obs.EventKind.REGION_END, "pipe", i,
+                        region_start_fetch, commit - region_start_fetch,
+                        op.pc, -1,
+                        (
+                            ("region", region_idx),
+                            ("fallback", region_fallback),
+                        ),
+                    )
                 pending_region_end = None
 
             stats.instructions += 1
@@ -469,6 +537,12 @@ class PipelineModel:
     ) -> int:
         is_store = rec.is_store
         entries = self._entries_for(op, rec)
+        obs = _obs.ACTIVE
+        if obs is not None:
+            # context for the clock-less LSU: its emit_lsu events are
+            # stamped with this op index and issue cycle
+            obs.op = index
+            obs.cycle = issue_at
 
         # Drop committed baseline entries so the hardware LSU tracks only
         # in-flight accesses (speculative region entries drain at srv_end).
@@ -507,6 +581,20 @@ class PipelineModel:
         else:
             latency = FORWARD_LATENCY  # fully predicated-off access
         complete = last_slot + latency
+        if obs is not None and op.mem and not fully_forwarded:
+            hit_latency = self.config.memory.l1.hit_latency
+            if latency > hit_latency:
+                # the stall window beyond an L1 hit feeds the `memory`
+                # attribution bucket
+                obs.emit(
+                    _obs.EventKind.CACHE_MISS, "pipe", index,
+                    last_slot + hit_latency, latency - hit_latency, op.pc,
+                )
+            else:
+                obs.emit(
+                    _obs.EventKind.CACHE_HIT, "pipe", index,
+                    complete, 0, op.pc,
+                )
 
         # Vertical mispeculation: this load issued although an older store
         # to an overlapping address had not completed (store-set miss).
@@ -521,6 +609,12 @@ class PipelineModel:
                     stats.squash_penalty_cycles += SQUASH_PENALTY
                     self.store_sets.record_violation(op.pc, s_pc)
                     complete = max(complete, s_complete + SQUASH_PENALTY)
+                    if obs is not None:
+                        obs.emit(
+                            _obs.EventKind.STORE_SET_CONFLICT, "pipe",
+                            index, s_complete, SQUASH_PENALTY, op.pc, -1,
+                            (("store_pc", s_pc),),
+                        )
                     break
         for entry in entries:
             lsu_live.append(((entry.srv_id, entry.lane), in_region, complete))

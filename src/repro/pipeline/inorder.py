@@ -31,6 +31,7 @@ from collections import deque
 from repro.common.config import TABLE_I, MachineConfig
 from repro.lsu.unit import LoadStoreUnit
 from repro.memory.hierarchy import CacheHierarchy
+from repro.observe import events as _obs
 from repro.pipeline.branch_pred import TournamentPredictor
 from repro.pipeline.decode import DecodeTable
 from repro.pipeline.stats import PipelineStats
@@ -91,6 +92,16 @@ class InOrderModel:
         branch_cls = OpClass.BRANCH
         ev_start = RegionEvent.START
         ev_replay = RegionEvent.END_REPLAY
+        ev_commit = RegionEvent.END_COMMIT
+        ev_fallback = RegionEvent.FALLBACK
+
+        # observability (same contract as the OoO pump): all event work
+        # sits behind `obs is not None`, so timing is unchanged when off
+        obs = _obs.ACTIVE
+        region_idx = -1
+        region_fallback = False
+        region_start = 0
+        pass_begin = 0
 
         decode_fallback: DecodeTable | None = None
 
@@ -167,6 +178,15 @@ class InOrderModel:
             else:
                 complete = issue_at + rec.latency
             store_window.append((rec.is_store, complete))
+            if obs is not None:
+                obs.emit(
+                    _obs.EventKind.ISSUE, "pipe", i, issue_at,
+                    complete - issue_at, op.pc, -1,
+                    (("cls", op_class.value),),
+                )
+                obs.emit(
+                    _obs.EventKind.COMMIT, "pipe", i, complete, 0, op.pc
+                )
             if complete > max_complete:
                 max_complete = complete
             for reg in op.dst_regs:
@@ -180,9 +200,55 @@ class InOrderModel:
 
             if op.region_event is ev_start:
                 stats.srv_regions += 1
+                if obs is not None:
+                    region_idx += 1
+                    region_fallback = op.in_fallback
+                    region_start = issue_at
+                    pass_begin = issue_at
+                    obs.emit(
+                        _obs.EventKind.REGION_BEGIN, "pipe", i, issue_at,
+                        0, op.pc, -1, (("region", region_idx),),
+                    )
+                    if op.in_fallback:
+                        obs.emit(
+                            _obs.EventKind.SEQ_FALLBACK, "pipe", i,
+                            issue_at, 0, op.pc, -1,
+                            (("region", region_idx),),
+                        )
                 if in_hw_region:
                     lsu.begin_region(op.direction)
             if op_class is srv_end_cls:
+                region_event = op.region_event
+                if obs is not None:
+                    obs.emit(
+                        _obs.EventKind.REGION_PASS, "pipe", i, pass_begin,
+                        complete - pass_begin, op.pc, -1,
+                        (
+                            ("pass", op.region_pass),
+                            ("active", op.active_lane_count),
+                            ("fallback", region_fallback),
+                            ("region", region_idx),
+                        ),
+                    )
+                    pass_begin = complete
+                    if region_event is ev_replay:
+                        for lane in sorted(op.replay_lanes):
+                            obs.emit(
+                                _obs.EventKind.LANE_REPLAY, "pipe", i,
+                                complete, 0, op.pc, lane,
+                                (("region", region_idx),),
+                            )
+                    if region_event is ev_commit or region_event is ev_fallback:
+                        if nxt is None or not nxt.in_region:
+                            obs.emit(
+                                _obs.EventKind.REGION_END, "pipe", i,
+                                region_start, complete - region_start,
+                                op.pc, -1,
+                                (
+                                    ("region", region_idx),
+                                    ("fallback", region_fallback),
+                                ),
+                            )
                 if op.region_event is ev_replay:
                     stats.srv_replay_passes += 1
                 if in_hw_region:

@@ -34,6 +34,7 @@ from repro.common.config import TABLE_I, MachineConfig
 from repro.pipeline.core import PipelineModel
 from repro.pipeline.inorder import InOrderModel
 from repro.pipeline.stats import PipelineStats
+from repro.observe import events as _obs
 from repro.pipeline.trace import Tracer
 from repro.verify import faults as _faults
 
@@ -126,7 +127,10 @@ def simulate_streaming(
 
     if warm:
         # Warm pre-pass: identical execution on a clone of the image so the
-        # real architectural run below starts from pristine memory.
+        # real architectural run below starts from pristine memory.  The
+        # observe bus is parked for its duration — the pre-pass emulates
+        # the program a second time, and double-emitting emulator events
+        # would break stream/list event-sequence equality.
         warm_interp = Interpreter(
             program,
             memory.clone(),
@@ -134,7 +138,12 @@ def simulate_streaming(
             max_steps,
             _CacheWarmTracer(model.caches),
         )
-        warm_interp.run()
+        saved_bus = _obs.ACTIVE
+        _obs.ACTIVE = None
+        try:
+            warm_interp.run()
+        finally:
+            _obs.ACTIVE = saved_bus
         model.caches.reset_stats()
 
     pump = model.stream()

@@ -118,6 +118,11 @@ class Tracer:
         self._active_lanes = 0
         self._direction = SrvDirection.UP
 
+    @property
+    def count(self) -> int:
+        """Dynamic ops recorded so far (identical across tracer kinds)."""
+        return self._count
+
     # -- storage hooks (overridden by StreamingTracer) -------------------------
 
     def _emit(self, op: TraceOp) -> None:

@@ -25,6 +25,7 @@ from repro.common.errors import (
     SrvRegionStateError,
 )
 from repro.isa.instructions import SrvDirection
+from repro.observe import events as _obs
 from repro.srv.regs import NORMAL_EXECUTION_PC, SrvRegisters
 from repro.verify import faults as _faults
 
@@ -91,6 +92,13 @@ class SrvEngine:
         self.regs.direction = direction
         self.rollbacks_this_region = 0
         self.regions_entered += 1
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.emit(
+                _obs.EventKind.REGION_BEGIN, "srv", -1,
+                self.regions_entered - 1, 0, restart_pc, -1,
+                (("region", self.regions_entered - 1),),
+            )
 
     def record_violation(self, lanes: set[int] | BitVector) -> None:
         """Set sticky bits in SRV-needs-replay for the given lanes."""
@@ -112,11 +120,29 @@ class SrvEngine:
             pending = _faults.ACTIVE.perturb_engine_pending(
                 pending, self.lanes
             )
+        obs = _obs.ACTIVE
+        region_no = self.regions_entered - 1
         if pending.none():
             self.regs.reset()
+            if obs is not None:
+                obs.emit(
+                    _obs.EventKind.REGION_END, "srv", -1,
+                    self.serialisation_points - 1, 0, -1, -1,
+                    (
+                        ("region", region_no),
+                        ("rollbacks", self.rollbacks_this_region),
+                    ),
+                )
             return EndDecision(RegionOutcome.COMMIT, BitVector.zeros(self.lanes))
         self.rollbacks_this_region += 1
         self.total_rollbacks += 1
+        if obs is not None:
+            for lane in pending.set_indices():
+                obs.emit(
+                    _obs.EventKind.LANE_REPLAY, "srv", -1,
+                    self.serialisation_points - 1, 0, -1, lane,
+                    (("region", region_no),),
+                )
         if self.enforce_bound and self.rollbacks_this_region > self.lanes - 1:
             raise ReplayBoundExceededError(
                 f"{self.rollbacks_this_region} rollbacks in one region "

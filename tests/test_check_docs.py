@@ -64,3 +64,22 @@ class TestCheckFile:
         for path in check_docs.doc_files():
             problems.extend(check_docs.check_file(path))
         assert not problems, problems
+
+
+class TestCliDocumented:
+    def test_finds_all_registered_subcommands(self, check_docs):
+        names = check_docs.cli_subcommands()
+        assert {"list", "experiment", "loop", "disasm", "verify",
+                "inject", "sweep", "trace", "attrib"} <= set(names)
+
+    def test_readme_documents_every_subcommand(self, check_docs):
+        assert check_docs.check_cli_documented() == []
+
+    def test_flags_undocumented_subcommand(self, check_docs, tmp_path):
+        readme = tmp_path / "README.md"
+        readme.write_text("only `repro list` is mentioned here\n")
+        problems = check_docs.check_cli_documented(str(readme))
+        assert problems
+        assert any("'trace'" in p for p in problems)
+        # the one documented command is not flagged
+        assert not any("'list'" in p for p in problems)

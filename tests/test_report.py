@@ -1,0 +1,115 @@
+"""Formatting coverage for :mod:`repro.experiments.report`.
+
+The report containers back every CLI table (experiments, sweeps, and the
+observe counters/attribution views), so their rendering and accessors
+are pinned here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import (
+    ExperimentResult,
+    ShardReport,
+    SweepReport,
+    _fmt,
+)
+
+
+def _result(**overrides) -> ExperimentResult:
+    kwargs = dict(
+        name="figX",
+        title="Demo table",
+        columns=("loop", "cycles", "speedup"),
+        rows=[("alpha", 100, 1.5), ("beta", 250, 2.0)],
+        summary={"geomean": 1.732},
+    )
+    kwargs.update(overrides)
+    return ExperimentResult(**kwargs)
+
+
+class TestExperimentResult:
+    def test_fmt_floats_to_three_places(self):
+        assert _fmt(1.23456) == "1.235"
+        assert _fmt(3) == "3"
+        assert _fmt("x") == "x"
+
+    def test_row_for(self):
+        result = _result()
+        assert result.row_for("beta") == ("beta", 250, 2.0)
+        with pytest.raises(KeyError):
+            result.row_for("gamma")
+
+    def test_column(self):
+        assert _result().column("cycles") == [100, 250]
+
+    def test_as_dict(self):
+        assert _result().as_dict() == {
+            "alpha": {"cycles": 100, "speedup": 1.5},
+            "beta": {"cycles": 250, "speedup": 2.0},
+        }
+
+    def test_format_table_layout(self):
+        text = _result().format_table()
+        lines = text.splitlines()
+        assert lines[0] == "Demo table"
+        header = lines[2]
+        assert header.split() == ["loop", "cycles", "speedup"]
+        assert set(lines[3]) == {"-"}
+        assert len(lines[3]) == len(header)
+        # floats rendered with three decimals, column-aligned
+        assert "1.500" in text and "2.000" in text
+        assert "geomean: 1.732" in text
+
+    def test_format_table_empty_rows(self):
+        result = _result(rows=[], summary={})
+        text = result.format_table()
+        assert "loop" in text
+        assert "alpha" not in text
+
+    def test_format_table_failures_section(self):
+        result = _result(failures=["loop gamma timed out"])
+        assert not result.clean
+        text = result.format_table()
+        assert "failures (1):" in text
+        assert "loop gamma timed out" in text
+
+    def test_clean_when_no_failures(self):
+        assert _result().clean
+
+
+class TestSweepReports:
+    def test_shard_ok(self):
+        assert ShardReport(index=0, cells=4).ok
+        assert not ShardReport(index=0, cells=4, failures=["x"]).ok
+
+    def test_sweep_aggregates(self):
+        report = SweepReport(
+            jobs=2,
+            planned_cells=10,
+            skipped_cache=2,
+            shards=[
+                ShardReport(index=0, cells=4, executed=3, cached=1,
+                            elapsed_s=1.25, pid=11),
+                ShardReport(index=1, cells=4, executed=4, elapsed_s=2.5,
+                            pid=12, failures=["cell died"]),
+            ],
+            warm_elapsed_s=3.0,
+            replay_elapsed_s=0.5,
+            experiment_timings=[("figure9", 0.4)],
+        )
+        assert report.executed == 7
+        assert report.failures == ["cell died"]
+        text = report.format_table()
+        assert "10 cells, 2 worker(s)" in text
+        assert "2 from cache" in text
+        assert "warm phase: 3.00s" in text
+        assert "figure9=0.4s" in text
+        assert "failures (1):" in text
+        # one line per shard between the header rule and the phase line
+        shard_lines = [
+            line for line in text.splitlines()
+            if line.strip().startswith(("0 ", "1 "))
+        ]
+        assert len(shard_lines) == 2

@@ -11,6 +11,11 @@ each against the working tree:
   ``src/repro/pipeline/core.py`` (an optional ``::test`` suffix is
   ignored) — the file or directory must exist.
 
+It also checks the reverse direction for the CLI: every subcommand
+registered in ``src/repro/cli.py`` (every ``add_parser("name")`` call)
+must be mentioned as ``repro <name>`` somewhere in ``README.md``, so a
+new subcommand cannot ship undocumented.
+
 The point is cheap rot detection: when a module is renamed or a file is
 deleted, the docs that still mention it break this check instead of
 silently going stale.
@@ -108,11 +113,40 @@ def check_file(path: str) -> list[str]:
     return problems
 
 
+SUBCOMMAND_REF = re.compile(r"add_parser\(\s*[\"']([a-z_]+)[\"']")
+
+
+def cli_subcommands(cli_path: str | None = None) -> list[str]:
+    """Subcommand names registered in ``src/repro/cli.py``."""
+    if cli_path is None:
+        cli_path = os.path.join(SRC_ROOT, "repro", "cli.py")
+    with open(cli_path, encoding="utf-8") as fh:
+        return SUBCOMMAND_REF.findall(fh.read())
+
+
+def check_cli_documented(readme_path: str | None = None) -> list[str]:
+    """Every CLI subcommand must appear as ``repro <name>`` in README."""
+    if readme_path is None:
+        readme_path = os.path.join(REPO_ROOT, "README.md")
+    with open(readme_path, encoding="utf-8") as fh:
+        readme = fh.read()
+    rel_readme = os.path.relpath(readme_path, REPO_ROOT)
+    problems = []
+    for name in cli_subcommands():
+        if f"repro {name}" not in readme:
+            problems.append(
+                f"{rel_readme}: CLI subcommand {name!r} is not documented "
+                f"(expected the text 'repro {name}')"
+            )
+    return problems
+
+
 def main() -> int:
     files = doc_files()
     problems = []
     for path in files:
         problems.extend(check_file(path))
+    problems.extend(check_cli_documented())
     if problems:
         print(f"check_docs: {len(problems)} stale reference(s):")
         for problem in problems:
