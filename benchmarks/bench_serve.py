@@ -1,0 +1,293 @@
+"""Load test + CI smoke for the fault-tolerant sweep service.
+
+Not a paper figure — this measures the serving layer itself, over real
+HTTP against an in-process server:
+
+* ``python benchmarks/bench_serve.py`` — the load test: submits one
+  uncached job, then hammers the warm cache fast path and the control
+  endpoints, reporting median milliseconds.  The graceful-degradation
+  budget is enforced here: a warm cache hit answering at or above
+  ``CACHE_HIT_BUDGET_MS`` p50 fails the run.
+* ``python benchmarks/bench_serve.py --smoke`` — the CI smoke: starts a
+  server, submits a cached and an uncached job, SIGKILLs a worker while
+  a job is running, and asserts every accepted job still completes.
+* ``--json [PATH]`` / ``--check [PATH]`` — append to / compare against
+  the committed ``BENCH_serve.json`` trajectory, failing on a >2.5x
+  regression (same bound as ``bench_simulator.py``; CI boxes are noisy).
+"""
+
+import argparse
+import asyncio
+import json
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from datetime import date
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import chaos  # noqa: E402
+from repro.serve.http import (  # noqa: E402
+    request,
+    server_port,
+    start_http_server,
+    submit_job,
+    wait_job,
+)
+from repro.serve.journal import JobJournal  # noqa: E402
+from repro.serve.service import ServeConfig, SweepService  # noqa: E402
+
+DEFAULT_JSON = REPO_ROOT / "BENCH_serve.json"
+
+#: CI regression bound: fail if any bench exceeds committed median x this.
+REGRESSION_FACTOR = 2.5
+
+#: Hard degradation budget: warm cache hits must answer under this p50.
+CACHE_HIT_BUDGET_MS = 50.0
+
+LOOP_PAYLOAD = {"workload": "is", "loop": "is_key_rank", "n": 64}
+
+
+class ServerHarness:
+    """An in-process server on its own event-loop thread, so the client
+    side below is the same blocking ``http.client`` code the CLI uses."""
+
+    def __init__(self, cache_dir: str, journal_path: str | None = None,
+                 *, workers: int = 2, allow_chaos: bool = False,
+                 job_timeout_s: float = 120.0) -> None:
+        self.config = ServeConfig(
+            workers=workers, cache_dir=cache_dir, allow_chaos=allow_chaos,
+            job_timeout_s=job_timeout_s,
+            backoff_base_s=0.01, backoff_cap_s=0.1,
+        )
+        self.journal = JobJournal(journal_path) if journal_path else None
+        self.service: SweepService | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "ServerHarness":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.service = SweepService(self.config, self.journal)
+        self.service.recover()
+        await self.service.start()
+        server = await start_http_server(self.service)
+        self.port = server_port(server)
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self.service.stop()
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
+
+
+def measure(reps: int) -> dict[str, float]:
+    """Median wall-clock milliseconds per serving path over ``reps``."""
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServerHarness(cache_dir=f"{tmp}/cache") as harness:
+            host, port = "127.0.0.1", harness.port
+
+            # uncached job: full pool round trip, populates the store
+            t0 = time.perf_counter()
+            _, accepted = submit_job(host, port, "loop", LOOP_PAYLOAD)
+            final = wait_job(host, port, accepted["id"], poll_s=0.02)
+            uncached_ms = (time.perf_counter() - t0) * 1e3
+            assert final["status"] == "done", final
+
+            def timed(fn) -> list[float]:
+                fn()  # warm-up
+                samples = []
+                for _ in range(reps):
+                    t0 = time.perf_counter()
+                    fn()
+                    samples.append((time.perf_counter() - t0) * 1e3)
+                return samples
+
+            def cache_hit():
+                status, body = submit_job(host, port, "loop", LOOP_PAYLOAD)
+                assert status == 200 and body["cache_hit"], (status, body)
+
+            hits = timed(cache_hit)
+            health = timed(
+                lambda: request(host, port, "GET", "/healthz")
+            )
+            status_q = timed(
+                lambda: request(host, port, "GET", f"/jobs/{accepted['id']}")
+            )
+
+            p50 = round(statistics.median(hits), 2)
+            print(
+                f"warm cache hit p50 {p50:.2f} ms, "
+                f"p90 {_percentile(hits, 0.9):.2f} ms "
+                f"(budget {CACHE_HIT_BUDGET_MS:.0f} ms)"
+            )
+            if p50 >= CACHE_HIT_BUDGET_MS:
+                raise SystemExit(
+                    f"degradation budget blown: warm cache hit p50 "
+                    f"{p50:.2f} ms >= {CACHE_HIT_BUDGET_MS:.0f} ms"
+                )
+            return {
+                "cache_hit": p50,
+                "healthz": round(statistics.median(health), 2),
+                "job_status": round(statistics.median(status_q), 2),
+                "uncached_job": round(uncached_ms, 2),
+            }
+
+
+def smoke() -> int:
+    """CI smoke: cached + uncached jobs complete across a worker kill."""
+    with tempfile.TemporaryDirectory() as tmp:
+        harness = ServerHarness(
+            cache_dir=f"{tmp}/cache", journal_path=f"{tmp}/journal.jsonl",
+            allow_chaos=True,
+        )
+        with harness:
+            host, port = "127.0.0.1", harness.port
+
+            # 1. uncached job end to end
+            _, first = submit_job(host, port, "loop", LOOP_PAYLOAD)
+            done = wait_job(host, port, first["id"], poll_s=0.02)
+            assert done["status"] == "done", done
+            print(f"[smoke] uncached job done: {done['result']['cycles']} cycles")
+
+            # 2. the same request again: answered terminal at submit time
+            status, hit = submit_job(host, port, "loop", LOOP_PAYLOAD)
+            assert status == 200 and hit["cache_hit"], (status, hit)
+            assert hit["result"] == done["result"]
+            print("[smoke] cached job answered at admission")
+
+            # 3. SIGKILL a worker mid-job; the job must still finish
+            flag = f"{tmp}/stall.flag"
+            _, stalled = submit_job(host, port, "chaos_stall", {"flag": flag})
+            deadline = time.monotonic() + 30
+            while not Path(flag).exists():
+                if time.monotonic() > deadline:
+                    raise SystemExit("worker never started the chaos job")
+                time.sleep(0.02)
+            victim = chaos.kill_one_worker(harness.service.pool)
+            print(f"[smoke] SIGKILLed worker {victim} mid-job")
+            recovered = wait_job(host, port, stalled["id"], poll_s=0.02)
+            assert recovered["status"] == "done", recovered
+            assert recovered["result"] == {"recovered": True}
+            print(f"[smoke] job survived the kill "
+                  f"(attempts={recovered['attempts']})")
+
+            # 4. every accepted job is terminal; the journal owes nothing
+            _, stats = request(host, port, "GET", "/stats")
+            assert stats["journal_pending"] == 0, stats
+            print(f"[smoke] OK: counters={stats['counters']}")
+    return 0
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _load_entries(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    return json.loads(path.read_text())["entries"]
+
+
+def check(measured: dict[str, float], path: Path) -> int:
+    entries = _load_entries(path)
+    if not entries:
+        print(f"[check] no committed entries at {path}; skipping")
+        return 0
+    committed = entries[-1]["benches"]
+    status = 0
+    for name, got in measured.items():
+        want = committed.get(name)
+        if want is None:
+            print(f"[check] {name}: {got:.2f} ms (no committed baseline)")
+            continue
+        bound = want * REGRESSION_FACTOR
+        verdict = "ok" if got <= bound else "REGRESSION"
+        if got > bound:
+            status = 1
+        print(
+            f"[check] {name}: {got:.2f} ms vs committed {want:.2f} ms "
+            f"(bound {bound:.2f} ms) {verdict}"
+        )
+    return status
+
+
+def write_json(measured: dict[str, float], path: Path) -> None:
+    entries = _load_entries(path)
+    entries.append({
+        "date": date.today().isoformat(),
+        "git_sha": _git_sha(),
+        "benches": measured,
+    })
+    path.write_text(json.dumps({"entries": entries}, indent=2) + "\n")
+    print(f"[json] appended entry to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI smoke scenario instead of the "
+                             "load test")
+    parser.add_argument("--reps", type=int, default=30,
+                        help="timed repetitions per path (median reported)")
+    parser.add_argument("--json", nargs="?", const=str(DEFAULT_JSON),
+                        default=None, metavar="PATH",
+                        help="append the measured entry to the benchmark "
+                             f"trajectory file (default {DEFAULT_JSON.name})")
+    parser.add_argument("--check", nargs="?", const=str(DEFAULT_JSON),
+                        default=None, metavar="PATH",
+                        help="fail on a >2.5x regression of any path vs "
+                             "the last committed trajectory entry")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke()
+
+    measured = measure(args.reps)
+    for name, ms in measured.items():
+        print(f"{name}: {ms:.2f} ms (median of {args.reps})")
+
+    status = 0
+    if args.check is not None:
+        status = check(measured, Path(args.check))
+    if args.json is not None:
+        write_json(measured, Path(args.json))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,7 @@ class ShardReport:
     cells: int                 # cells assigned to this shard
     executed: int = 0          # computed fresh in the worker
     cached: int = 0            # already present in a cache layer
+    resumed: int = 0           # replayed from a crash-safe journal
     elapsed_s: float = 0.0
     pid: int = 0
     #: structured ``RunFailure``-compatible records for cells that failed
@@ -126,13 +127,14 @@ class SweepReport:
             f"{self.skipped_checkpoint} from checkpoint, "
             f"{self.skipped_cache} from cache, {self.executed} executed",
             "",
-            "shard  cells  executed  cached  failed  elapsed_s  pid",
-            "-" * 58,
+            "shard  cells  executed  cached  resumed  failed  elapsed_s  pid",
+            "-" * 67,
         ]
         for shard in self.shards:
             lines.append(
                 f"{shard.index:5d}  {shard.cells:5d}  {shard.executed:8d}  "
-                f"{shard.cached:6d}  {len(shard.failures):6d}  "
+                f"{shard.cached:6d}  {shard.resumed:7d}  "
+                f"{len(shard.failures):6d}  "
                 f"{shard.elapsed_s:9.2f}  {shard.pid}"
             )
         lines.append(

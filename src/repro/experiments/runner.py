@@ -332,6 +332,7 @@ def run_loop(
     core: str = "ooo",
     degrade_lsu_overflow: bool = True,
     trace_mode: str | None = None,
+    use_cache: bool = True,
 ) -> LoopRun:
     """Compile, execute, time and verify one loop under one strategy.
 
@@ -348,6 +349,11 @@ def run_loop(
     :class:`LsuOverflowError` from the cycle model re-runs the loop with
     the sequential fallback forced for every region and records the
     degradation in ``LoopRun.failures`` instead of aborting the sweep.
+
+    ``use_cache=False`` bypasses memo/checkpoint lookup *and* storage —
+    required whenever the execution is deliberately perturbed (an armed
+    :mod:`repro.verify.faults` plan), since a corrupted result must
+    never be published under the clean run's content address.
     """
     if core not in ("ooo", "inorder"):
         raise ValueError(f"unknown core model {core!r}")
@@ -358,16 +364,18 @@ def run_loop(
     n = spec.n if n_override is None else min(n_override, spec.n)
     key = _cache_key(spec, strategy, seed, config, timing, n, core)
     cache = result_cache()
-    payload = cache.get(key)
-    if payload is not None:
-        return payload_run(payload, spec, strategy)
-    resumed = _checkpoint_lookup(key, spec, strategy)
-    if resumed is not None:
-        # memory layer only: checkpoint entries are not content-addressed
-        # (they may predate a simulator edit), so they must not be
-        # promoted into the on-disk store under the current code version
-        cache.put_memory(key, run_payload(resumed))
-        return resumed
+    if use_cache:
+        payload = cache.get(key)
+        if payload is not None:
+            return payload_run(payload, spec, strategy)
+        resumed = _checkpoint_lookup(key, spec, strategy)
+        if resumed is not None:
+            # memory layer only: checkpoint entries are not
+            # content-addressed (they may predate a simulator edit), so
+            # they must not be promoted into the on-disk store under the
+            # current code version
+            cache.put_memory(key, run_payload(resumed))
+            return resumed
 
     failures: tuple[RunFailure, ...] = ()
     try:
@@ -393,8 +401,9 @@ def run_loop(
         spec, strategy, emu_metrics, pipe, correct,
         bad_array=bad_array, failures=failures,
     )
-    cache.put(key, run_payload(run))
-    _checkpoint_record(key, run)
+    if use_cache:
+        cache.put(key, run_payload(run))
+        _checkpoint_record(key, run)
     return run
 
 
@@ -403,20 +412,35 @@ def run_loop(
 # ---------------------------------------------------------------------------
 
 
-@contextmanager
-def _deadline(seconds: float | None):
-    """Raise :class:`RunTimeoutError` if the block runs past ``seconds``.
+def _alarm_usable() -> bool:
+    """Can the SIGALRM deadline arm here?
 
-    Uses ``SIGALRM``, so it only arms in the main thread on platforms
-    that have it; elsewhere the block runs unbounded rather than failing.
+    ``SIGALRM`` does not exist on every platform (Windows), and signal
+    handlers may only be installed from the main thread — which the
+    sweep service's pool workers and any threaded caller are not
+    guaranteed to be.
     """
-    if (
-        not seconds
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        yield
-        return
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _async_exc_usable() -> bool:
+    """Is the CPython cross-thread-exception fallback available?"""
+    try:
+        import ctypes
+
+        return hasattr(ctypes, "pythonapi") and hasattr(
+            ctypes.pythonapi, "PyThreadState_SetAsyncExc"
+        )
+    except ImportError:  # pragma: no cover - exotic interpreters only
+        return False
+
+
+@contextmanager
+def _alarm_deadline(seconds: float):
+    """SIGALRM-based deadline (main thread, POSIX)."""
 
     def _on_alarm(signum, frame):
         raise RunTimeoutError(f"run exceeded {seconds:.1f}s wall clock")
@@ -428,6 +452,70 @@ def _deadline(seconds: float | None):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@contextmanager
+def _timer_deadline(seconds: float):
+    """Watchdog-thread deadline for contexts where SIGALRM cannot arm.
+
+    A daemon :class:`threading.Timer` raises :class:`RunTimeoutError`
+    *in the guarded thread* via ``PyThreadState_SetAsyncExc``.  Delivery
+    happens at the next bytecode boundary, so pure-Python simulation
+    loops are interrupted promptly while a thread blocked inside a long
+    C call is only interrupted on return — best-effort by construction,
+    which is why the sweep service additionally enforces budgets from
+    *outside* the worker (:meth:`repro.serve.pool.SupervisedPool.run`).
+    """
+    import ctypes
+
+    target = ctypes.c_ulong(threading.get_ident())
+    fired = threading.Event()
+
+    def _expire() -> None:
+        fired.set()
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            target, ctypes.py_object(RunTimeoutError)
+        )
+
+    timer = threading.Timer(seconds, _expire)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    except RunTimeoutError:
+        # async delivery raises the bare class; re-raise with the same
+        # message the SIGALRM path produces
+        raise RunTimeoutError(
+            f"run exceeded {seconds:.1f}s wall clock"
+        ) from None
+    finally:
+        timer.cancel()
+        if fired.is_set():
+            # cancel a pending-but-undelivered async exception so it
+            # cannot fire in unrelated code after this block
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(target, None)
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`RunTimeoutError` if the block runs past ``seconds``.
+
+    Picks the strongest available mechanism: ``SIGALRM`` in the main
+    thread on platforms that have it, the watchdog-thread fallback
+    elsewhere (non-main threads, platforms without ``SIGALRM``).  Only
+    when neither is usable does the block run unbounded.
+    """
+    if not seconds:
+        yield
+        return
+    if _alarm_usable():
+        with _alarm_deadline(seconds):
+            yield
+    elif _async_exc_usable():
+        with _timer_deadline(seconds):
+            yield
+    else:  # pragma: no cover - no enforcement mechanism on this platform
+        yield
 
 
 def run_loop_hardened(

@@ -71,12 +71,22 @@ class EventKind(enum.Enum):
     # memory hierarchy
     CACHE_HIT = "cache_hit"
     CACHE_MISS = "cache_miss"
+    # sweep-service job lifecycle (domain "serve"; t is ms since service
+    # start, op is -1 — jobs are not trace-op scoped)
+    JOB_ACCEPT = "job_accept"
+    JOB_START = "job_start"
+    JOB_RETRY = "job_retry"
+    JOB_DONE = "job_done"
+    JOB_FAIL = "job_fail"
+    JOB_REJECT = "job_reject"
 
 
 #: Source domains and their rank in the canonical order.  ``emu`` and
 #: ``srv`` timestamps are emulator steps; ``pipe`` and ``lsu``
 #: timestamps are simulated cycles.
-DOMAIN_RANK: dict[str, int] = {"emu": 0, "pipe": 1, "lsu": 2, "srv": 3}
+DOMAIN_RANK: dict[str, int] = {
+    "emu": 0, "pipe": 1, "lsu": 2, "srv": 3, "serve": 4,
+}
 
 #: Domains whose ``t`` field is a pipeline cycle number.
 CYCLE_DOMAINS = frozenset(("pipe", "lsu"))

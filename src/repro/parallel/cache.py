@@ -96,6 +96,8 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: corrupt/truncated disk entries detected on read and evicted
+    evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -103,7 +105,19 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "evictions": self.evictions,
         }
+
+
+#: Keys every persisted run payload must carry
+#: (:func:`repro.experiments.runner.run_payload`).  A payload that
+#: unpickles but lacks these is damage — a partially-flipped file, a
+#: foreign pickle dropped into the cache directory — and is evicted.
+REQUIRED_PAYLOAD_KEYS = frozenset({"emu", "pipe", "correct"})
+
+
+def _valid_payload(payload) -> bool:
+    return isinstance(payload, dict) and REQUIRED_PAYLOAD_KEYS <= payload.keys()
 
 
 @dataclass
@@ -156,26 +170,48 @@ class ResultCache:
             except FileNotFoundError:
                 payload = None
             except Exception:
-                # a torn/corrupt entry is equivalent to a miss; drop it so
-                # the slot is rewritten cleanly
+                # a torn/corrupt entry is equivalent to a miss; unpickling
+                # arbitrary bytes can raise nearly anything
                 payload = None
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
-            if isinstance(payload, dict):
+                self._evict(path)
+            if _valid_payload(payload):
                 self._store_memory(key, payload)
                 self.stats.disk_hits += 1
                 return payload
+            if payload is not None:
+                # decodable but structurally wrong: also damage — evict so
+                # the slot is recomputed and rewritten cleanly
+                self._evict(path)
         self.stats.misses += 1
         return None
 
+    def _evict(self, path: str) -> None:
+        self.stats.evictions += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
     def contains(self, key: tuple) -> bool:
-        """Cheap membership test (no payload load for disk entries)."""
+        """Cheap membership test (no payload load for disk entries).
+
+        Deliberately optimistic: a non-empty file counts even though
+        only :meth:`get` fully validates it — the warm phase uses this
+        to skip work, and a false positive merely means the replay phase
+        recomputes that cell after ``get`` evicts the damage.  Zero-byte
+        files (a crash between ``open`` and the first write of a
+        non-atomic copy) are treated as absent and cleaned up.
+        """
         if key in self._memory:
             return True
         if self.disk_dir is not None:
-            return os.path.exists(self._disk_path(cache_digest(key)))
+            path = self._disk_path(cache_digest(key))
+            try:
+                if os.path.getsize(path) > 0:
+                    return True
+            except OSError:
+                return False
+            self._evict(path)
         return False
 
     # -- store -------------------------------------------------------------

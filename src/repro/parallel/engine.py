@@ -133,6 +133,7 @@ def warm_cells(
         ]
 
     reports: list[ShardReport] = []
+    broken: list[int] = []
     try:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
@@ -145,16 +146,9 @@ def warm_cells(
                 index = futures[future]
                 try:
                     report = future.result()
-                except Exception as exc:  # worker died (BrokenProcessPool &c.)
-                    report = ShardReport(
-                        index=index, cells=len(shards[index]), pid=0,
-                        failures=[
-                            _cell_failure(
-                                cell, "worker", type(exc).__name__, str(exc)
-                            )
-                            for cell in shards[index]
-                        ],
-                    )
+                except Exception:  # worker died (BrokenProcessPool &c.)
+                    broken.append(index)
+                    continue
                 reports.append(report)
                 if progress is not None:
                     progress(
@@ -163,6 +157,19 @@ def warm_cells(
                         f"{len(report.failures)} failed, "
                         f"{report.elapsed_s:.1f}s]"
                     )
+        # A dead worker poisons its whole pool, so every shard that lost
+        # its future gets exactly one retry, inline in the parent.  Cells
+        # the victim already finished are in the disk cache, so the retry
+        # only recomputes the remainder, and ordinary cell errors degrade
+        # to per-cell failure records rather than a third attempt.
+        for index in broken:
+            if progress is not None:
+                progress(f"[shard {index}: worker died; retrying inline]")
+            report = _run_shard(
+                index, shards[index], cache_dir, timeout_s, trace_mode
+            )
+            report.resumed = len(shards[index])
+            reports.append(report)
     except OSError as exc:
         # no pool at all (e.g. sandboxed fork): degrade to inline execution
         if progress is not None:

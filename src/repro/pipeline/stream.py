@@ -67,6 +67,13 @@ class _CacheWarmTracer(Tracer):
         return None
 
 
+#: Which path the most recent :func:`simulate_streaming` call actually
+#: took: ``"stream"`` or ``"materialised"``.  Diagnostic only (tests and
+#: the observability layer assert the fault-armed auto-fallback fired);
+#: results are bit-identical either way.
+LAST_PATH: str | None = None
+
+
 def _simulate_materialised(
     program: Program,
     memory: MemoryImage,
@@ -110,15 +117,18 @@ def simulate_streaming(
     """
     from repro.emu.interpreter import Interpreter
 
+    global LAST_PATH
     if core not in ("ooo", "inorder"):
         raise ValueError(f"unknown core model {core!r}")
     if _faults.ACTIVE is not None:
         # A fused warm run would advance the armed plan's poll counters
         # twice (warm pre-pass + real pass) and fire faults at the wrong
         # step; keep fault campaigns on the single-emulation path.
+        LAST_PATH = "materialised"
         return _simulate_materialised(
             program, memory, config, core, validate_lsu, warm, max_steps
         )
+    LAST_PATH = "stream"
 
     if core == "inorder":
         model = InOrderModel(config)

@@ -1,0 +1,45 @@
+"""``repro.serve`` — fault-tolerant sweep service over the sharded engine.
+
+The productionisation layer of the reproduction: a long-running
+asyncio HTTP/JSON server (``repro serve``) that accepts loop / figure /
+verify / attrib / trace jobs, answers cache hits from the
+content-addressed store in milliseconds, and runs everything else on a
+supervised worker pool with retry/backoff, circuit breakers, per-job
+wall-clock budgets and a crash-safe write-ahead job journal.
+
+Module map:
+
+* :mod:`repro.serve.jobs` — job model + the picklable worker entry point;
+* :mod:`repro.serve.journal` — append-only fsynced JSONL journal with
+  atomic rotation and torn-write-tolerant recovery;
+* :mod:`repro.serve.pool` — supervised ``ProcessPoolExecutor``: crash
+  detection, hang budgets, kill-and-restart;
+* :mod:`repro.serve.breaker` — per-job-class circuit breaker;
+* :mod:`repro.serve.service` — admission control, dispatch, retries,
+  recovery, stats;
+* :mod:`repro.serve.http` — dependency-free HTTP front end + clients;
+* :mod:`repro.serve.chaos` — process/disk-level fault injection for the
+  chaos suite.
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.jobs import Job, backoff_delay, execute_job
+from repro.serve.journal import JobJournal
+from repro.serve.pool import SupervisedPool
+from repro.serve.service import ServeConfig, SweepService
+from repro.serve.http import start_http_server, server_port, submit_job, wait_job
+
+__all__ = [
+    "CircuitBreaker",
+    "Job",
+    "JobJournal",
+    "ServeConfig",
+    "SupervisedPool",
+    "SweepService",
+    "backoff_delay",
+    "execute_job",
+    "server_port",
+    "start_http_server",
+    "submit_job",
+    "wait_job",
+]

@@ -1,0 +1,84 @@
+"""Per-job-class circuit breaker.
+
+Standard three-state breaker guarding the worker pool from a job class
+that keeps failing (a pathological kernel, a broken experiment harness,
+a fault campaign gone wrong):
+
+* **closed** — normal operation; consecutive terminal failures are
+  counted, successes reset the count;
+* **open** — tripped after ``threshold`` consecutive failures.  New
+  submissions of the class are rejected at admission (HTTP 503) so they
+  cannot occupy workers; cache hits still answer (the degradation story:
+  a tripped class keeps serving whatever the content-addressed store
+  already knows);
+* **half-open** — after ``cooldown_s`` one *probe* job is admitted; its
+  success closes the breaker, its failure re-opens it for another full
+  cooldown.
+
+The clock is injected so tests (and journal-replay determinism checks)
+can drive state transitions without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe."""
+
+    def __init__(
+        self,
+        threshold: int = 4,
+        cooldown_s: float = 5.0,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self.state = "closed"            # closed | open | half_open
+        self.failures = 0                # consecutive failures while closed
+        self.opened_at = 0.0
+        self.trips = 0                   # lifetime closed->open transitions
+
+    def allow(self) -> bool:
+        """May a new job of this class be admitted right now?
+
+        In the open state this is also the half-open transition: the
+        first call after the cooldown admits the probe.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self.opened_at >= self.cooldown_s:
+                self.state = "half_open"
+                return True
+            return False
+        # half_open: the probe is already in flight; shed everything else
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = "closed"
+
+    def record_failure(self) -> None:
+        if self.state == "half_open":
+            # failed probe: straight back to open, fresh cooldown
+            self.state = "open"
+            self.opened_at = self._clock()
+            return
+        self.failures += 1
+        if self.state == "closed" and self.failures >= self.threshold:
+            self.state = "open"
+            self.opened_at = self._clock()
+            self.trips += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "trips": self.trips,
+        }

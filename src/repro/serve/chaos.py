@@ -1,0 +1,86 @@
+"""Chaos harness: process- and disk-level fault injection for the service.
+
+:mod:`repro.verify.faults` perturbs *microarchitectural* state to prove
+the simulator's checkers notice corruption.  This module is the same
+idea one level up — it perturbs the *service's* world to prove the
+supervision layer never silently loses an accepted job:
+
+* **worker SIGKILL** (:func:`kill_one_worker`) — the supervisor must
+  replace the broken pool and retry the victim's job;
+* **injected hangs** — the ``chaos_hang`` / ``chaos_stall`` job kinds
+  (:mod:`repro.serve.jobs`) wedge a worker so the per-job budget and
+  pool recycling fire;
+* **torn/corrupt disk state** (:func:`truncate_file`,
+  :func:`corrupt_tail`, :func:`corrupt_cache_entry`) — the journal
+  reader and the content-addressed cache must degrade to "recompute",
+  never to a crash or a wrong answer;
+* **microarchitectural faults inside jobs** — a chaos-enabled service
+  accepts ``"inject": "<fault-class>"`` on ``loop`` jobs, routing the
+  PR 1 fault injector through the serving path: the corruption surfaces
+  as a structured ``correct: false`` result.
+
+Everything here is deterministic (seeded choices, flag files instead of
+timing races) so the chaos suite is an ordinary fast test suite, not a
+flaky soak test.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+
+
+def kill_one_worker(pool, *, rng: random.Random | None = None) -> int:
+    """SIGKILL one live worker process; returns the victim PID.
+
+    Raises :class:`LookupError` when no worker is alive yet — callers
+    should first ensure a job has been submitted (workers spawn lazily).
+    """
+    pids = pool.worker_pids()
+    if not pids:
+        raise LookupError("no live worker to kill (pool not started?)")
+    victim = (rng or random).choice(pids)
+    os.kill(victim, signal.SIGKILL)
+    return victim
+
+
+def truncate_file(path: str, keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` to a fraction of its size (torn write). Returns
+    the new size."""
+    size = os.path.getsize(path)
+    keep = int(size * keep_fraction)
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return keep
+
+
+def corrupt_tail(path: str, garbage: bytes = b"\x00{torn") -> None:
+    """Append undecodable bytes to ``path`` (a kill mid-append)."""
+    with open(path, "ab") as fh:
+        fh.write(garbage)
+
+
+def cache_entry_paths(cache_dir: str) -> list[str]:
+    """Every on-disk result-cache entry under ``cache_dir``, sorted."""
+    return sorted(
+        os.path.join(dirpath, name)
+        for dirpath, _, names in os.walk(cache_dir)
+        for name in names
+        if name.endswith(".pkl")
+    )
+
+def corrupt_cache_entry(
+    cache_dir: str, *, seed: int = 0, mode: str = "truncate"
+) -> str:
+    """Damage one cache entry (``truncate`` or ``zero``); returns its path."""
+    paths = cache_entry_paths(cache_dir)
+    if not paths:
+        raise LookupError(f"no cache entries under {cache_dir!r}")
+    victim = random.Random(f"chaos/{seed}").choice(paths)
+    if mode == "zero":
+        with open(victim, "wb"):
+            pass
+    else:
+        truncate_file(victim)
+    return victim

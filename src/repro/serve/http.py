@@ -1,0 +1,209 @@
+"""Minimal asyncio HTTP/JSON front end for the sweep service.
+
+Dependency-free by design (the repo adds no packages): a small HTTP/1.1
+request parser over ``asyncio.start_server`` plus a blocking
+``http.client`` helper for CLI/benchmark clients.  The protocol surface:
+
+==========================  ==============================================
+``POST /jobs``              body ``{"kind", "payload", "client"}`` →
+                            ``200`` terminal (cache hit), ``202`` queued,
+                            ``400``/``429``/``503`` structured rejection
+``GET /jobs/<id>``          job status, result, progress (``404`` unknown)
+``GET /stats``              counters, breaker/pool snapshots, shard table
+``GET /healthz``            liveness + queue depth
+==========================  ==============================================
+
+Robustness notes: request bodies are bounded (``MAX_BODY`` — oversized
+uploads are rejected ``413`` without buffering them), malformed JSON and
+unknown routes answer structured errors, and every connection is
+``Connection: close`` so a wedged client cannot pin server state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+MAX_BODY = 1 << 20          # 1 MiB: sweep payloads are tiny descriptors
+MAX_HEADER_LINES = 64
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response(status: int, body: dict) -> bytes:
+    payload = json.dumps(body).encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode() + payload
+
+
+def _status_for(job) -> int:
+    if job.status == "rejected":
+        return int(job.error.get("status", 400)) if job.error else 400
+    if job.terminal:
+        return 200
+    return 202
+
+
+async def _read_request(reader) -> tuple[str, str, bytes] | None:
+    """Parse one request; returns (method, path, body) or None on EOF."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ValueError("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+
+    content_length = 0
+    for _ in range(MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    else:
+        raise ValueError("too many header lines")
+
+    if content_length > MAX_BODY:
+        raise _TooLarge()
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, path, body
+
+
+class _TooLarge(Exception):
+    pass
+
+
+def _route(service, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    if method == "GET" and path == "/healthz":
+        return 200, {"ok": True, "queue_depth": service.queue.qsize()}
+    if method == "GET" and path == "/stats":
+        snapshot = service.snapshot()
+        snapshot["shard_table"] = service.stats_report().format_table()
+        return 200, snapshot
+    if method == "GET" and path.startswith("/jobs/"):
+        job = service.jobs.get(path[len("/jobs/"):])
+        if job is None:
+            return 404, {"error": "unknown job id"}
+        return _status_for(job), job.as_dict()
+    if method == "POST" and path == "/jobs":
+        try:
+            request = json.loads(body or b"{}")
+        except ValueError:
+            return 400, {"error": "request body is not valid JSON"}
+        if not isinstance(request, dict) or "kind" not in request:
+            return 400, {"error": 'request must be {"kind": ..., "payload": ...}'}
+        job = service.submit(
+            str(request["kind"]),
+            request.get("payload") or {},
+            str(request.get("client", "anon")),
+        )
+        return _status_for(job), job.as_dict()
+    if path in ("/jobs", "/healthz", "/stats") or path.startswith("/jobs/"):
+        return 405, {"error": f"{method} not supported on {path}"}
+    return 404, {"error": f"no route {path!r}"}
+
+
+async def start_http_server(
+    service, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.Server:
+    """Serve ``service`` over HTTP; ``port=0`` picks a free port."""
+
+    async def handle(reader, writer):
+        try:
+            try:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                status, body = _route(service, *request)
+            except _TooLarge:
+                status, body = 413, {"error": "request body too large"}
+            except (ValueError, asyncio.IncompleteReadError):
+                status, body = 400, {"error": "malformed HTTP request"}
+            except Exception as exc:  # a handler bug must not kill the server
+                status, body = 500, {
+                    "error": type(exc).__name__, "message": str(exc),
+                }
+            writer.write(_response(status, body))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    return await asyncio.start_server(handle, host, port)
+
+
+def server_port(server: asyncio.Server) -> int:
+    return server.sockets[0].getsockname()[1]
+
+
+# ---------------------------------------------------------------------------
+# blocking client helpers (CLI / benchmarks / CI smoke)
+# ---------------------------------------------------------------------------
+
+
+def request(
+    host: str, port: int, method: str, path: str, body: dict | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict]:
+    """One blocking JSON request against a running server."""
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(
+            method, path, body=payload,
+            headers={"Content-Type": "application/json"} if payload else {},
+        )
+        response = conn.getresponse()
+        data = response.read()
+        return response.status, json.loads(data) if data else {}
+    finally:
+        conn.close()
+
+
+def submit_job(
+    host: str, port: int, kind: str, payload: dict,
+    client: str = "cli", timeout: float = 30.0,
+) -> tuple[int, dict]:
+    return request(
+        host, port, "POST", "/jobs",
+        {"kind": kind, "payload": payload, "client": client},
+        timeout=timeout,
+    )
+
+
+def wait_job(
+    host: str, port: int, job_ident: str,
+    poll_s: float = 0.1, timeout: float = 300.0,
+) -> dict:
+    """Poll until the job is terminal; returns its final dict."""
+    import time as _time
+
+    deadline = _time.monotonic() + timeout
+    while True:
+        status, body = request(host, port, "GET", f"/jobs/{job_ident}")
+        if status == 404:
+            raise KeyError(f"unknown job {job_ident!r}")
+        if body.get("status") in ("done", "failed", "rejected"):
+            return body
+        if _time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_ident!r} still {body.get('status')!r}")
+        _time.sleep(poll_s)

@@ -1,0 +1,317 @@
+"""Job model and worker-side execution for the sweep service.
+
+A :class:`Job` is one client request flowing through the service:
+accepted (journaled), queued, dispatched to a pool worker, retried with
+backoff on transient failure, and finally terminal — ``done``,
+``failed`` or ``rejected``.  Jobs are JSON-serialisable end to end so
+the write-ahead journal and the HTTP layer share one representation.
+
+:func:`execute_job` is the *only* function the supervised pool runs.  It
+is a top-level picklable entry point that maps a job kind onto the
+existing machinery:
+
+==============  ===========================================================
+kind            backed by
+==============  ===========================================================
+``loop``        :func:`repro.experiments.runner.run_loop_hardened` (cache,
+                retry-with-reseed, LSU-overflow degradation to the paper's
+                III-D7 sequential fallback)
+``experiment``  the figure harnesses (:data:`repro.experiments.ALL_EXPERIMENTS`)
+``verify``      :func:`repro.verify.differential.verify_loop`
+``attrib``      :func:`repro.observe.harness.observe_loop` cycle attribution
+``trace``       :func:`repro.observe.harness.observe_loop` event counters
+==============  ===========================================================
+
+Chaos kinds (``chaos_crash``, ``chaos_hang``, ``chaos_flaky``,
+``chaos_stall``) exist so the chaos suite can exercise the supervisor's
+crash/hang paths deterministically; a service only accepts them when
+constructed with ``allow_chaos=True``.
+
+A ``loop`` job may carry ``"inject": "<fault-class>"`` (chaos services
+only): the worker arms a :class:`repro.verify.faults.FaultPlan` for the
+run, so injected corruption surfaces as a structured ``correct: false``
+result — never a silently wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+#: Job kinds every service accepts.
+PUBLIC_KINDS = ("loop", "experiment", "verify", "attrib", "trace")
+
+#: Fault-injection kinds for the chaos harness (``allow_chaos`` only).
+CHAOS_KINDS = ("chaos_crash", "chaos_hang", "chaos_flaky", "chaos_stall")
+
+#: Statuses a job can no longer leave.
+TERMINAL_STATES = frozenset({"done", "failed", "rejected"})
+
+
+@dataclass
+class Job:
+    """One request moving through the service."""
+
+    id: str
+    kind: str
+    payload: dict
+    client: str = "anon"
+    status: str = "queued"     # queued | running | done | failed | rejected
+    attempts: int = 0
+    created_s: float = 0.0
+    finished_s: float = 0.0
+    #: answered straight from the content-addressed cache at admission
+    cache_hit: bool = False
+    #: re-enqueued from the journal after a server restart
+    resumed: bool = False
+    result: dict | None = None
+    #: terminal failure: {"error": <type name>, "message": ...} — or, for
+    #: rejections, {"status": <int>, "reason": ...}
+    error: dict | None = None
+    #: (event, detail) pairs: "accept", "start", "retry", "done", ...
+    progress: list = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def note(self, event: str, detail: str = "") -> None:
+        self.progress.append((event, detail))
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "client": self.client,
+            "status": self.status,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "resumed": self.resumed,
+            "result": self.result,
+            "error": self.error,
+            "progress": [list(p) for p in self.progress],
+        }
+
+
+def job_id(kind: str, payload: dict, client: str, seq: int) -> str:
+    """Deterministic job identifier: sequence number + content digest."""
+    digest = hashlib.sha256(
+        f"{kind}\x1f{sorted(payload.items())!r}\x1f{client}\x1f{seq}".encode()
+    ).hexdigest()[:8]
+    return f"{kind}-{seq:06d}-{digest}"
+
+
+def backoff_delay(
+    job_ident: str,
+    attempt: int,
+    base_s: float = 0.05,
+    cap_s: float = 2.0,
+) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    The jitter term is a pure function of ``(job id, attempt)`` so a
+    journal-replayed job retries on exactly the same schedule — no
+    wall-clock or RNG state leaks into service behaviour.
+    """
+    word = hashlib.sha256(f"{job_ident}/{attempt}".encode()).digest()
+    jitter = int.from_bytes(word[:4], "big") / 0xFFFFFFFF       # [0, 1]
+    return min(cap_s, base_s * (2 ** attempt) * (0.5 + jitter))
+
+
+# ---------------------------------------------------------------------------
+# worker-side execution
+# ---------------------------------------------------------------------------
+
+
+def _find_spec(workload_name: str, loop_name: str):
+    from repro.workloads import by_name
+
+    workload = by_name(workload_name)
+    for spec in workload.loops:
+        if spec.name == loop_name or loop_name in spec.name:
+            return spec
+    raise KeyError(
+        f"workload {workload_name!r} has loops: "
+        f"{', '.join(s.name for s in workload.loops)}"
+    )
+
+
+def loop_result(run) -> dict:
+    """JSON-able summary of a :class:`~repro.experiments.runner.LoopRun`.
+
+    The service's cache fast path reconstructs *exactly* this dict from a
+    stored payload, so a cache-hit answer is byte-identical to a
+    freshly-computed one.
+    """
+    return {
+        "loop": run.spec.name,
+        "strategy": run.strategy.value,
+        "correct": run.correct,
+        "bad_array": run.bad_array,
+        "instructions": run.emu.dynamic_instructions,
+        "replays": run.emu.srv.replays,
+        "cycles": run.pipe.cycles if run.pipe is not None else None,
+        "degraded": any(f.degraded for f in run.failures),
+        "failures": [str(f) for f in run.failures],
+    }
+
+
+def _execute_loop(payload: dict) -> dict:
+    from repro.compiler import Strategy
+    from repro.experiments import runner
+
+    spec = _find_spec(payload["workload"], payload["loop"])
+    strategy = Strategy(payload.get("strategy", "srv"))
+    seed = int(payload.get("seed", 0))
+    kwargs = dict(
+        timing=bool(payload.get("timing", True)),
+        n_override=payload.get("n"),
+        core=payload.get("core", "ooo"),
+    )
+
+    inject = payload.get("inject")
+    if inject is None:
+        run = runner.run_loop_hardened(spec, strategy, seed, **kwargs)
+        return loop_result(run)
+
+    # chaos services only (the service refuses "inject" otherwise): arm a
+    # repeating fault plan so the corruption is guaranteed to land, and
+    # run uncached — an injected run must never publish its (corrupt)
+    # payload under the clean content address.
+    from repro.verify import faults
+
+    plan = faults.FaultPlan(
+        [faults.FaultSpec(fault=faults.FaultClass(inject), repeat=True)]
+    )
+    with faults.inject(plan):
+        run = runner.run_loop(spec, strategy, seed, use_cache=False, **kwargs)
+    result = loop_result(run)
+    result["injected"] = sorted({f.fault.value for f in plan.fired})
+    return result
+
+
+def _execute_experiment(payload: dict) -> dict:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    name = payload["name"]
+    if name not in ALL_EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from: "
+            f"{', '.join(ALL_EXPERIMENTS)}"
+        )
+    result = ALL_EXPERIMENTS[name](
+        seed=int(payload.get("seed", 0)), n_override=payload.get("n")
+    )
+    return {
+        "name": name,
+        "table": result.format_table(),
+        "rows": len(result.rows),
+        "failures": [str(f) for f in result.failures],
+    }
+
+
+def _execute_verify(payload: dict) -> dict:
+    from repro.compiler import Strategy
+    from repro.verify.differential import verify_loop
+    from repro.workloads import by_name
+
+    strategy = Strategy(payload.get("strategy", "srv"))
+    workload = by_name(payload["workload"])
+    loop_filter = payload.get("loop")
+    loops = violations = 0
+    lines: list[str] = []
+    for spec in workload.loops:
+        if loop_filter and loop_filter not in spec.name:
+            continue
+        report = verify_loop(
+            spec, strategy, seed=int(payload.get("seed", 0)),
+            n_override=payload.get("n"),
+        )
+        loops += 1
+        violations += len(report.violations)
+        lines.extend(report.format_lines())
+    return {"loops": loops, "violations": violations, "report": lines}
+
+
+def _execute_observe(kind: str, payload: dict) -> dict:
+    from repro.compiler import Strategy
+    from repro.observe.harness import observe_loop
+
+    spec = _find_spec(payload["workload"], payload["loop"])
+    run = observe_loop(
+        spec,
+        Strategy(payload.get("strategy", "srv")),
+        seed=int(payload.get("seed", 0)),
+        core=payload.get("core", "ooo"),
+        n_override=payload.get("n"),
+    )
+    out = {
+        "loop": spec.name,
+        "cycles": run.cycles,
+        "degraded": run.degraded,
+    }
+    if kind == "attrib":
+        out["buckets"] = {
+            bucket: cycles
+            for bucket, cycles in run.attribution.buckets.items()
+        }
+    else:
+        counts: dict[str, int] = {}
+        for event in run.events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        out["events"] = len(run.events)
+        out["event_counts"] = counts
+    return out
+
+
+def _execute_chaos(kind: str, payload: dict) -> dict:
+    if kind == "chaos_crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if kind == "chaos_hang":
+        time.sleep(float(payload.get("seconds", 3600.0)))
+        return {"slept": True}
+    # chaos_flaky / chaos_stall misbehave only until their flag file
+    # exists, so "first attempt dies/stalls, retry succeeds" is exactly
+    # reproducible: the first execution plants the flag, then crashes or
+    # stalls; the retry sees the flag and returns immediately.
+    flag = payload["flag"]
+    if os.path.exists(flag):
+        return {"recovered": True}
+    with open(flag, "w") as fh:
+        fh.write(str(os.getpid()))
+        fh.flush()
+        os.fsync(fh.fileno())
+    if kind == "chaos_flaky":
+        os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(float(payload.get("seconds", 3600.0)))
+    return {"stalled": True}
+
+
+def execute_job(kind: str, payload: dict, cache_dir: str | None = None) -> dict:
+    """Run one job in a pool worker; returns a JSON-able result dict.
+
+    Workers share nothing with the parent but the content-addressed disk
+    cache directory, mirroring the sweep engine's shard contract
+    (checkpoints stay parent-only — concurrent whole-file rewrites would
+    race).
+    """
+    from repro.experiments import runner
+
+    runner.disable_checkpoint()
+    if cache_dir is not None:
+        runner.enable_disk_cache(cache_dir)
+
+    if kind in CHAOS_KINDS:
+        return _execute_chaos(kind, payload)
+    if kind == "loop":
+        return _execute_loop(payload)
+    if kind == "experiment":
+        return _execute_experiment(payload)
+    if kind == "verify":
+        return _execute_verify(payload)
+    if kind in ("attrib", "trace"):
+        return _execute_observe(kind, payload)
+    raise KeyError(f"unknown job kind {kind!r}")

@@ -1,0 +1,178 @@
+"""Crash-safe write-ahead job journal.
+
+The durability contract of the sweep service: **every accepted job
+reaches a terminal state, even across a server kill**.  The journal is
+how a restarted server knows what it still owes its clients.
+
+Design, in order of importance:
+
+* **append-only JSONL** — one JSON object per line.  An ``accept``
+  record is written (and optionally fsynced) *before* the service
+  acknowledges the job; a terminal record (``done`` / ``failed`` /
+  ``rejected``) closes it.  Jobs with an ``accept`` but no terminal
+  record are *pending* and are re-enqueued by
+  :meth:`JobJournal.pending` after a restart.
+* **torn writes cannot poison recovery** — a kill mid-append leaves at
+  most one truncated final line; a corrupted disk can garble any line.
+  The reader treats every undecodable line as damage to *count*, never
+  an error to raise: recovery proceeds from the decodable records.
+* **atomic rotation** — the file grows forever under load, so once it
+  exceeds ``rotate_bytes`` the journal compacts itself: pending
+  ``accept`` records are rewritten to a temp file, fsynced, and
+  ``os.replace``d over the journal.  A kill at any point leaves either
+  the old complete journal or the new complete journal, never a mix.
+
+The journal never stores results — those are re-derivable from the
+content-addressed result cache — so entries stay small and rotation
+cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+
+class JobJournal:
+    """Append-only JSONL journal with fsync and atomic compaction."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: bool = True,
+        rotate_bytes: int = 1 << 20,
+        clock=time.time,
+    ) -> None:
+        self.path = path
+        self.fsync = fsync
+        self.rotate_bytes = rotate_bytes
+        self._clock = clock
+        #: job id -> accept record, for every job not yet terminal
+        self._open: dict[str, dict] = {}
+        #: undecodable lines encountered while loading (torn/corrupt)
+        self.corrupt_lines = 0
+        self._fh = None
+        self._load()
+
+    # -- recovery ------------------------------------------------------------
+
+    def _load(self) -> None:
+        """Rebuild the open-job map from whatever survives on disk."""
+        self._open.clear()
+        self.corrupt_lines = 0
+        try:
+            fh = open(self.path, "r", encoding="utf-8", errors="replace")
+        except FileNotFoundError:
+            return
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    self.corrupt_lines += 1
+                    continue
+                if not isinstance(record, dict) or "event" not in record:
+                    self.corrupt_lines += 1
+                    continue
+                event = record.get("event")
+                ident = record.get("id")
+                if event == "accept" and isinstance(ident, str):
+                    self._open[ident] = record
+                elif event in ("done", "failed", "rejected"):
+                    self._open.pop(ident, None)
+
+    def pending(self) -> list[dict]:
+        """Accept records with no terminal record, in accept order."""
+        return list(self._open.values())
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    # -- append --------------------------------------------------------------
+
+    def _ensure_fh(self):
+        if self._fh is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, record: dict) -> None:
+        fh = self._ensure_fh()
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+        event = record.get("event")
+        ident = record.get("id")
+        if event == "accept" and isinstance(ident, str):
+            self._open[ident] = record
+        elif event in ("done", "failed", "rejected"):
+            self._open.pop(ident, None)
+        if fh.tell() > self.rotate_bytes:
+            self.compact()
+
+    def record_accept(self, job, *, resumed: bool = False) -> None:
+        """Journal an accepted job.  Journal-resumed jobs are already
+        covered by their original ``accept`` record, so re-appending
+        would double them on the *next* recovery."""
+        if resumed:
+            self._open.setdefault(job.id, self._accept_record(job))
+            return
+        self.append(self._accept_record(job))
+
+    def _accept_record(self, job) -> dict:
+        return {
+            "event": "accept",
+            "id": job.id,
+            "kind": job.kind,
+            "client": job.client,
+            "payload": job.payload,
+            "t": self._clock(),
+        }
+
+    def record_start(self, job) -> None:
+        # progress records are best-effort (no fsync forced beyond the
+        # configured policy): losing one only means a restarted server
+        # re-runs the attempt, which retry semantics allow anyway
+        self.append({
+            "event": "start",
+            "id": job.id,
+            "attempt": job.attempts,
+            "t": self._clock(),
+        })
+
+    def record_terminal(self, job) -> None:
+        self.append({
+            "event": job.status,
+            "id": job.id,
+            "attempts": job.attempts,
+            "error": job.error,
+            "t": self._clock(),
+        })
+
+    # -- rotation ------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Atomically rewrite the journal to only its pending accepts."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in self._open.values():
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

@@ -1,0 +1,131 @@
+"""Supervised process pool: crash detection, hang budgets, restart.
+
+``ProcessPoolExecutor`` alone is not enough for an always-on service:
+
+* a **SIGKILLed worker** (OOM killer, chaos monkey) breaks the whole
+  executor — every queued future raises ``BrokenProcessPool`` and the
+  executor object is permanently dead;
+* a **hung worker** (livelock, pathological input) occupies its slot
+  forever; the executor offers no way to cancel a running call.
+
+:class:`SupervisedPool` wraps one executor and owns both failure modes.
+:meth:`SupervisedPool.run` awaits a submitted call under an optional
+wall-clock budget:
+
+* on ``BrokenProcessPool`` the pool is swapped for a fresh executor and
+  the structured :class:`~repro.common.errors.WorkerCrashError` is
+  raised — the *service* decides whether to retry (it does, with
+  backoff), so no queued job is lost with the pool;
+* on budget expiry the wedged worker cannot be reasoned with: every
+  worker process is SIGKILLed, the executor replaced, and
+  :class:`~repro.common.errors.WorkerHungError` raised.  This is the
+  async generalisation of the hardened runner's SIGALRM budget — the
+  supervisor enforces the deadline from *outside* the worker, so it
+  works even when the worker is stuck in C code.
+
+Restarts are idempotent per broken executor: concurrent ``run`` calls
+that observe the same broken pool trigger exactly one replacement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.common.errors import WorkerCrashError, WorkerHungError
+
+
+class SupervisedPool:
+    """A restartable ``ProcessPoolExecutor`` with per-call deadlines."""
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+        self.restarts = 0
+        self.crashes = 0
+        self.hangs = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of live worker processes (for chaos: pick one, SIGKILL it).
+
+        ``_processes`` is private executor state but stable across
+        CPython 3.8–3.13; an empty list simply means no worker has been
+        spawned yet (workers start lazily on first submit).
+        """
+        executor = self._executor
+        if executor is None:
+            return []
+        processes = getattr(executor, "_processes", None) or {}
+        return [p.pid for p in processes.values() if p.is_alive()]
+
+    def _retire(self, executor: ProcessPoolExecutor, *, kill: bool) -> None:
+        """Replace ``executor`` if it is still the active one."""
+        if self._executor is not executor:
+            return  # another run() call already handled this breakage
+        self._executor = None
+        self.restarts += 1
+        if kill:
+            for process in (getattr(executor, "_processes", None) or {}).values():
+                try:
+                    process.kill()
+                except (OSError, ValueError):
+                    pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass  # a broken executor may refuse even shutdown
+
+    def shutdown(self) -> None:
+        executor = self._executor
+        if executor is not None:
+            self._retire(executor, kill=True)
+            self.restarts -= 1  # an orderly shutdown is not a restart
+
+    # -- execution -----------------------------------------------------------
+
+    async def run(self, fn, /, *args, timeout_s: float | None = None):
+        """Run ``fn(*args)`` in a worker under an optional deadline."""
+        executor = self._ensure()
+        future = asyncio.wrap_future(executor.submit(fn, *args))
+        try:
+            if timeout_s is not None:
+                return await asyncio.wait_for(future, timeout_s)
+            return await future
+        except (asyncio.TimeoutError, TimeoutError):
+            self.hangs += 1
+            self._retire(executor, kill=True)
+            raise WorkerHungError(
+                f"job exceeded its {timeout_s:.1f}s budget; "
+                f"worker pool recycled"
+            ) from None
+        except BrokenProcessPool as exc:
+            self.crashes += 1
+            self._retire(executor, kill=False)
+            raise WorkerCrashError(
+                str(exc) or "a worker process died abruptly"
+            ) from None
+
+    def snapshot(self) -> dict:
+        return {
+            "workers": self.workers,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "pids": self.worker_pids(),
+        }
+
+
+def current_worker_pid() -> int:
+    """Picklable helper: the PID of whichever worker runs it."""
+    return os.getpid()

@@ -1,0 +1,413 @@
+"""The fault-tolerant sweep service.
+
+:class:`SweepService` glues the robustness pieces together around one
+asyncio event loop:
+
+* **admission control** (:meth:`SweepService.submit`) — a synchronous
+  decision made while the HTTP handler waits: unknown kinds are rejected
+  ``400``, a full queue or an over-quota client is load-shed ``429``, a
+  tripped circuit breaker rejects its class ``503``.  Rejections are
+  structured terminal jobs, never silent drops;
+* **cache fast path** — *before* any of that, a ``loop`` request whose
+  content address is already in the result cache
+  (:mod:`repro.parallel.cache`) is answered immediately.  This is the
+  graceful-degradation guarantee: a saturated pool or an open breaker
+  does not take away answers the store already knows;
+* **durability** — accepted jobs hit the write-ahead journal
+  (:mod:`repro.serve.journal`) before the client sees ``202``;
+  :meth:`SweepService.recover` re-enqueues whatever a killed server left
+  pending;
+* **supervision** — dispatcher tasks (one per pool worker) pull jobs and
+  run them on the :class:`~repro.serve.pool.SupervisedPool` under the
+  per-job wall-clock budget; crashes and hangs surface as structured
+  errors and are retried with exponential backoff + deterministic jitter
+  (:func:`~repro.serve.jobs.backoff_delay`) up to ``max_retries``;
+* **observability** — every lifecycle edge lands on the
+  :mod:`repro.observe` bus (domain ``"serve"``) when one is installed,
+  in each job's ``progress`` list always, and in the per-dispatcher
+  :class:`~repro.experiments.report.ShardReport` accounting that
+  ``GET /stats`` renders.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.experiments.report import ShardReport, SweepReport
+from repro.observe import events as _obs
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.jobs import (
+    CHAOS_KINDS,
+    PUBLIC_KINDS,
+    Job,
+    backoff_delay,
+    execute_job,
+    job_id,
+    loop_result,
+)
+from repro.serve.journal import JobJournal
+from repro.serve.pool import SupervisedPool
+
+DEFAULT_CACHE_DIR = "results/cache"
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one service instance."""
+
+    workers: int = 2
+    queue_limit: int = 64          # bounded queue; beyond it: load-shed 429
+    client_quota: int = 8          # max non-terminal jobs per client
+    max_retries: int = 2           # attempts = max_retries + 1
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    job_timeout_s: float | None = 60.0
+    breaker_threshold: int = 4
+    breaker_cooldown_s: float = 5.0
+    cache_dir: str | None = DEFAULT_CACHE_DIR
+    allow_chaos: bool = False      # accept chaos_* kinds and "inject"
+
+
+@dataclass
+class _Shard:
+    """One dispatcher task's accounting, rendered via ShardReport."""
+
+    report: ShardReport
+    started: float = field(default_factory=time.perf_counter)
+
+
+class SweepService:
+    """Asyncio job service over the supervised pool and result cache."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        journal: JobJournal | None = None,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.journal = journal
+        if self.config.cache_dir is not None:
+            # the fast path answers from the same content-addressed store
+            # the pool workers publish into, so the parent needs the disk
+            # layer too
+            from repro.experiments import runner
+
+            runner.enable_disk_cache(self.config.cache_dir)
+        self.pool = SupervisedPool(self.config.workers)
+        self.jobs: dict[str, Job] = {}
+        self.queue: asyncio.Queue[Job] = asyncio.Queue()
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.counters: Counter = Counter()
+        self.shards: list[ShardReport] = []
+        self._clock = clock
+        self._started_at = clock()
+        self._seq = 0
+        self._tasks: list[asyncio.Task] = []
+        self._accepting = True
+
+    # -- observability -------------------------------------------------------
+
+    def _emit(self, kind: _obs.EventKind, job: Job, detail: str = "") -> None:
+        job.note(kind.value.removeprefix("job_"), detail)
+        bus = _obs.ACTIVE
+        if bus is not None:
+            t_ms = int((self._clock() - self._started_at) * 1000)
+            bus.emit(
+                kind, "serve", -1, t_ms,
+                data=(("id", job.id), ("kind", job.kind), ("detail", detail)),
+            )
+
+    def breaker_for(self, kind: str) -> CircuitBreaker:
+        breaker = self.breakers.get(kind)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.config.breaker_threshold,
+                self.config.breaker_cooldown_s,
+                clock=self._clock,
+            )
+            self.breakers[kind] = breaker
+        return breaker
+
+    # -- admission -----------------------------------------------------------
+
+    def _active_for_client(self, client: str, exclude: str = "") -> int:
+        # ``exclude`` is the job currently under admission (already
+        # registered in ``self.jobs``): it must not count against itself
+        return sum(
+            1 for job in self.jobs.values()
+            if job.client == client and not job.terminal
+            and job.id != exclude
+        )
+
+    def _cache_fast_path(self, kind: str, payload: dict) -> dict | None:
+        """Millisecond answer for a ``loop`` request already in the store."""
+        if kind != "loop" or "inject" in payload:
+            return None
+        try:
+            from repro.compiler import Strategy
+            from repro.experiments import runner
+            from repro.parallel.cache import result_cache
+            from repro.serve.jobs import _find_spec
+
+            spec = _find_spec(payload["workload"], payload["loop"])
+            strategy = Strategy(payload.get("strategy", "srv"))
+            key = runner.cache_key_for(
+                spec, strategy,
+                int(payload.get("seed", 0)),
+                timing=bool(payload.get("timing", True)),
+                n_override=payload.get("n"),
+                core=payload.get("core", "ooo"),
+            )
+            stored = result_cache().get(key)
+            if stored is None:
+                return None
+            return loop_result(runner.payload_run(stored, spec, strategy))
+        except (KeyError, ValueError):
+            return None  # malformed payloads take the normal path -> 400 later
+
+    def _reject(self, job: Job, status: int, reason: str) -> Job:
+        job.status = "rejected"
+        job.error = {"status": status, "reason": reason}
+        job.finished_s = self._clock()
+        self.counters[f"rejected_{status}"] += 1
+        self.counters["rejected"] += 1
+        self._emit(_obs.EventKind.JOB_REJECT, job, reason)
+        return job
+
+    def submit(
+        self,
+        kind: str,
+        payload: dict | None = None,
+        client: str = "anon",
+        *,
+        _resume_id: str | None = None,
+    ) -> Job:
+        """Admit (or reject, or answer) one request; never raises.
+
+        Returns a :class:`Job` that is terminal (cache hit / rejection)
+        or queued.  The journal holds the accept record before this
+        method returns, so a crash immediately after cannot lose the job.
+        """
+        payload = dict(payload or {})
+        self._seq += 1
+        ident = _resume_id or job_id(kind, payload, client, self._seq)
+        job = Job(
+            id=ident, kind=kind, payload=payload, client=client,
+            created_s=self._clock(), resumed=_resume_id is not None,
+        )
+        self.jobs[job.id] = job
+
+        allowed = PUBLIC_KINDS + (CHAOS_KINDS if self.config.allow_chaos else ())
+        if kind not in allowed:
+            return self._reject(job, 400, f"unknown job kind {kind!r}")
+        if "inject" in payload and not self.config.allow_chaos:
+            return self._reject(
+                job, 400, "fault injection requires a chaos-enabled service"
+            )
+        if not self._accepting:
+            return self._reject(job, 503, "service is shutting down")
+
+        # Degradation fast path: answer from the content-addressed store
+        # regardless of queue depth, quota or breaker state.
+        cached = self._cache_fast_path(kind, payload)
+        if cached is not None:
+            job.cache_hit = True
+            job.status = "done"
+            job.result = cached
+            job.finished_s = self._clock()
+            self.counters["cache_hits"] += 1
+            self._emit(_obs.EventKind.JOB_DONE, job, "cache")
+            return job
+
+        if not self.breaker_for(kind).allow():
+            return self._reject(
+                job, 503, f"circuit breaker open for kind {kind!r}"
+            )
+        if self._active_for_client(client, job.id) >= self.config.client_quota:
+            return self._reject(
+                job, 429,
+                f"client {client!r} already has "
+                f"{self.config.client_quota} active jobs",
+            )
+        if self.queue.qsize() >= self.config.queue_limit:
+            return self._reject(job, 429, "job queue is full (load shed)")
+
+        self.counters["accepted"] += 1
+        if job.resumed:
+            self.counters["resumed"] += 1
+        if self.journal is not None:
+            self.journal.record_accept(job, resumed=job.resumed)
+        self._emit(_obs.EventKind.JOB_ACCEPT, job)
+        self.queue.put_nowait(job)
+        return job
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Re-enqueue every job the journal still owes a terminal state."""
+        if self.journal is None:
+            return 0
+        resumed = 0
+        for record in self.journal.pending():
+            job = self.submit(
+                record.get("kind", "?"),
+                record.get("payload") or {},
+                record.get("client", "anon"),
+                _resume_id=record["id"],
+            )
+            if not job.terminal:
+                resumed += 1
+            elif self.journal is not None:
+                # already terminal on resubmission — answered from the
+                # cache (computed before the crash, terminal record lost)
+                # or rejected (kind no longer allowed): close out the
+                # journal entry so it is not replayed again
+                self.journal.record_terminal(job)
+                if job.cache_hit:
+                    resumed += 1
+        return resumed
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def start(self) -> None:
+        for index in range(self.config.workers):
+            report = ShardReport(index=index, cells=0)
+            self.shards.append(report)
+            self._tasks.append(
+                asyncio.create_task(self._dispatch(report))
+            )
+
+    async def stop(self, *, drain: bool = False) -> None:
+        self._accepting = False
+        if drain:
+            await self.drain()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+        self.pool.shutdown()
+        if self.journal is not None:
+            self.journal.close()
+
+    async def drain(self) -> None:
+        """Wait until every accepted job reached a terminal state."""
+        while any(not job.terminal for job in self.jobs.values()):
+            await asyncio.sleep(0.01)
+
+    async def _dispatch(self, report: ShardReport) -> None:
+        start = time.perf_counter()
+        while True:
+            job = await self.queue.get()
+            report.cells += 1
+            if job.resumed:
+                report.resumed += 1
+            try:
+                await self._run_job(job, report)
+            finally:
+                report.elapsed_s = time.perf_counter() - start
+                self.queue.task_done()
+
+    async def _run_job(self, job: Job, report: ShardReport) -> None:
+        config = self.config
+        breaker = self.breaker_for(job.kind)
+        last_error: dict | None = None
+        for attempt in range(config.max_retries + 1):
+            job.attempts = attempt + 1
+            job.status = "running"
+            if self.journal is not None:
+                self.journal.record_start(job)
+            self._emit(
+                _obs.EventKind.JOB_RETRY if attempt else _obs.EventKind.JOB_START,
+                job, f"attempt {job.attempts}",
+            )
+            try:
+                result = await self.pool.run(
+                    execute_job, job.kind, job.payload, config.cache_dir,
+                    timeout_s=config.job_timeout_s,
+                )
+            except Exception as exc:
+                # WorkerCrashError / WorkerHungError from the supervisor,
+                # any ReproError pickled back from the worker, or plumbing
+                # failures — all retried the same bounded way
+                last_error = {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                    "attempt": job.attempts,
+                }
+                if isinstance(exc, (KeyError, ValueError, TypeError)):
+                    # a malformed payload (unknown workload/strategy/...) is
+                    # permanent — retrying it only burns pool capacity
+                    break
+                if attempt < config.max_retries:
+                    self.counters["retries"] += 1
+                    delay = backoff_delay(
+                        job.id, attempt,
+                        config.backoff_base_s, config.backoff_cap_s,
+                    )
+                    await asyncio.sleep(delay)
+                    continue
+            else:
+                job.status = "done"
+                job.result = result
+                job.finished_s = self._clock()
+                report.executed += 1
+                self.counters["done"] += 1
+                breaker.record_success()
+                if self.journal is not None:
+                    self.journal.record_terminal(job)
+                self._emit(_obs.EventKind.JOB_DONE, job)
+                return
+
+        job.status = "failed"
+        job.error = last_error
+        job.finished_s = self._clock()
+        report.failures.append(
+            f"{job.id}: {last_error['error']}: {last_error['message']}"
+        )
+        self.counters["failed"] += 1
+        breaker.record_failure()
+        if self.journal is not None:
+            self.journal.record_terminal(job)
+        self._emit(
+            _obs.EventKind.JOB_FAIL, job,
+            f"{last_error['error']} after {job.attempts} attempt(s)",
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats_report(self) -> SweepReport:
+        """The service's progress as a standard :class:`SweepReport`.
+
+        Dispatcher tasks play the role of shards; journal-resumed jobs
+        appear in the per-shard ``resumed`` column.
+        """
+        report = SweepReport(jobs=self.config.workers)
+        report.planned_cells = self.counters["accepted"]
+        report.skipped_cache = self.counters["cache_hits"]
+        report.shards = self.shards
+        return report
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_s": round(self._clock() - self._started_at, 3),
+            "queue_depth": self.queue.qsize(),
+            "jobs": len(self.jobs),
+            "counters": dict(self.counters),
+            "breakers": {
+                kind: breaker.snapshot()
+                for kind, breaker in self.breakers.items()
+            },
+            "pool": self.pool.snapshot(),
+            "journal_pending": (
+                len(self.journal) if self.journal is not None else None
+            ),
+        }

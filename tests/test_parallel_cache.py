@@ -21,6 +21,11 @@ KEY_A = ("loop_a", "srv", 0, "cfg", True, 64, "ooo")
 KEY_B = ("loop_b", "srv", 0, "cfg", True, 64, "ooo")
 
 
+def payload(**extra) -> dict:
+    """A structurally valid run payload (disk reads validate the shape)."""
+    return {"emu": None, "pipe": None, "correct": True, **extra}
+
+
 @pytest.fixture(autouse=True)
 def _stable_code_version(monkeypatch):
     """Pin the code-version hash so tests don't re-hash the source tree."""
@@ -93,12 +98,12 @@ class TestDiskLayer:
     def test_hit_across_instances(self, tmp_path):
         writer = ResultCache()
         writer.enable_disk(str(tmp_path))
-        writer.put(KEY_A, {"v": 42})
+        writer.put(KEY_A, payload(v=42))
 
         reader = ResultCache()
         reader.enable_disk(str(tmp_path))
         assert reader.contains(KEY_A)
-        assert reader.get(KEY_A) == {"v": 42}
+        assert reader.get(KEY_A) == payload(v=42)
         assert reader.stats.disk_hits == 1
         # the hit was promoted into the reader's memory layer
         assert len(reader) == 1
@@ -106,7 +111,7 @@ class TestDiskLayer:
     def test_code_edit_invalidates_implicitly(self, tmp_path, monkeypatch):
         cache = ResultCache()
         cache.enable_disk(str(tmp_path))
-        cache.put(KEY_A, {"v": 1})
+        cache.put(KEY_A, payload(v=1))
         cache.clear_memory()
         assert cache.contains(KEY_A)
         # simulate editing a core simulator module: the version hash moves
@@ -117,17 +122,45 @@ class TestDiskLayer:
     def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
         cache = ResultCache()
         cache.enable_disk(str(tmp_path))
-        cache.put(KEY_A, {"v": 1})
+        cache.put(KEY_A, payload(v=1))
         cache.clear_memory()
         path = cache._disk_path(cache_digest(KEY_A))
         with open(path, "wb") as fh:
             fh.write(b"torn write garbage")
         assert cache.get(KEY_A) is None
         assert not os.path.exists(path)
+        assert cache.stats.evictions == 1
         # the slot can be rewritten cleanly afterwards
-        cache.put(KEY_A, {"v": 2})
+        cache.put(KEY_A, payload(v=2))
         cache.clear_memory()
-        assert cache.get(KEY_A) == {"v": 2}
+        assert cache.get(KEY_A) == payload(v=2)
+
+    def test_truncated_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache()
+        cache.enable_disk(str(tmp_path))
+        cache.put(KEY_A, payload(v=1))
+        cache.clear_memory()
+        path = cache._disk_path(cache_digest(KEY_A))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        # contains stays optimistic (non-empty file) but get detects it
+        assert cache.contains(KEY_A)
+        assert cache.get(KEY_A) is None
+        assert not os.path.exists(path)
+        assert cache.stats.evictions == 1
+
+    def test_zero_byte_entry_treated_as_absent(self, tmp_path):
+        cache = ResultCache()
+        cache.enable_disk(str(tmp_path))
+        cache.put(KEY_A, payload(v=1))
+        cache.clear_memory()
+        path = cache._disk_path(cache_digest(KEY_A))
+        with open(path, "wb"):
+            pass
+        assert not cache.contains(KEY_A)
+        assert not os.path.exists(path)
+        assert cache.stats.evictions == 1
 
     def test_non_dict_payload_rejected(self, tmp_path):
         cache = ResultCache()
@@ -137,11 +170,26 @@ class TestDiskLayer:
         with open(path, "wb") as fh:
             pickle.dump(["not", "a", "payload"], fh)
         assert cache.get(KEY_A) is None
+        assert not os.path.exists(path)
+        assert cache.stats.evictions == 1
+
+    def test_wrong_shape_dict_rejected(self, tmp_path):
+        # unpickles fine but lacks the run-payload keys: foreign file
+        # dropped in the cache directory, or a half-flipped entry
+        cache = ResultCache()
+        cache.enable_disk(str(tmp_path))
+        path = cache._disk_path(cache_digest(KEY_A))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump({"emu": None, "wrong": True}, fh)
+        assert cache.get(KEY_A) is None
+        assert not os.path.exists(path)
+        assert cache.stats.evictions == 1
 
     def test_disable_disk(self, tmp_path):
         cache = ResultCache()
         cache.enable_disk(str(tmp_path))
-        cache.put(KEY_A, {"v": 1})
+        cache.put(KEY_A, payload(v=1))
         cache.clear_memory()
         cache.disable_disk()
         assert cache.get(KEY_A) is None

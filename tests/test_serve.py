@@ -1,0 +1,463 @@
+"""Sweep-service unit tests (repro.serve).
+
+Covers the pieces in isolation — job identity and backoff, the
+write-ahead journal (including torn tails and rotation), the circuit
+breaker's state machine under an injected clock, admission control and
+the cache fast path, worker-side job execution — plus one end-to-end
+pass over the HTTP front end.  Crash/hang/corruption integration lives
+in ``test_serve_chaos.py``.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.parallel.cache import result_cache
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.jobs import (
+    CHAOS_KINDS,
+    PUBLIC_KINDS,
+    backoff_delay,
+    execute_job,
+    job_id,
+)
+from repro.serve.journal import JobJournal
+from repro.serve.service import ServeConfig, SweepService
+
+LOOP_PAYLOAD = {"workload": "is", "loop": "is_key_rank", "n": 48}
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    """Service construction flips the global cache's disk layer; keep
+    each test hermetic."""
+    cache = result_cache()
+    saved = cache.disk_dir
+    cache.clear_memory()
+    yield
+    cache.disk_dir = saved
+    cache.clear_memory()
+
+
+class TestJobIdentity:
+    def test_job_id_is_deterministic(self):
+        a = job_id("loop", {"n": 8}, "cli", 3)
+        b = job_id("loop", {"n": 8}, "cli", 3)
+        assert a == b
+        assert a.startswith("loop-000003-")
+
+    def test_job_id_distinguishes_sequence(self):
+        assert job_id("loop", {}, "cli", 1) != job_id("loop", {}, "cli", 2)
+
+    def test_backoff_deterministic_and_capped(self):
+        delays = [backoff_delay("job-1", a, 0.05, 2.0) for a in range(12)]
+        assert delays == [backoff_delay("job-1", a, 0.05, 2.0)
+                          for a in range(12)]
+        assert all(0.0 < d <= 2.0 for d in delays)
+        assert delays[-1] == 2.0  # exponential growth reaches the cap
+
+    def test_backoff_jitter_varies_by_job(self):
+        assert backoff_delay("job-1", 0) != backoff_delay("job-2", 0)
+
+
+class TestJournal:
+    def _job(self, ident, status="queued", kind="loop"):
+        from repro.serve.jobs import Job
+
+        return Job(id=ident, kind=kind, payload={"n": 1}, status=status)
+
+    def test_pending_survives_reload(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = JobJournal(path)
+        journal.record_accept(self._job("a"))
+        journal.record_accept(self._job("b"))
+        done = self._job("a", status="done")
+        journal.record_start(done)
+        journal.record_terminal(done)
+        journal.close()
+
+        reloaded = JobJournal(path)
+        pending = reloaded.pending()
+        assert [r["id"] for r in pending] == ["b"]
+        assert pending[0]["payload"] == {"n": 1}
+        assert reloaded.corrupt_lines == 0
+
+    def test_torn_tail_is_counted_not_fatal(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = JobJournal(path)
+        journal.record_accept(self._job("a"))
+        journal.record_accept(self._job("b"))
+        journal.close()
+        with open(path, "ab") as fh:
+            fh.write(b'{"event": "done", "id": "b"')  # kill mid-append
+
+        reloaded = JobJournal(path)
+        # the torn terminal never landed: both jobs still owed
+        assert sorted(r["id"] for r in reloaded.pending()) == ["a", "b"]
+        assert reloaded.corrupt_lines == 1
+
+    def test_rotation_bounds_file_and_keeps_pending(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = JobJournal(path, rotate_bytes=2048)
+        journal.record_accept(self._job("keep"))
+        for i in range(100):
+            job = self._job(f"j{i}", status="done")
+            journal.record_accept(job)
+            journal.record_terminal(job)
+        journal.close()
+        assert os.path.getsize(path) < 2048 + 512  # compacted under load
+        assert [r["id"] for r in JobJournal(path).pending()] == ["keep"]
+
+    def test_compaction_is_atomic_format(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = JobJournal(path)
+        journal.record_accept(self._job("a"))
+        journal.compact()
+        journal.close()
+        with open(path) as fh:
+            lines = [json.loads(line) for line in fh]
+        assert len(lines) == 1 and lines[0]["event"] == "accept"
+
+    def test_resumed_accept_not_reappended(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = JobJournal(path)
+        journal.record_accept(self._job("a"))
+        size = os.path.getsize(path)
+        journal.record_accept(self._job("a"), resumed=True)
+        journal.close()
+        assert os.path.getsize(path) == size  # no duplicate accept line
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_trips_open_at_threshold(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_half_open_admits_single_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.t = 5.0
+        assert breaker.allow()           # the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()       # everything else is shed
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.t = 1.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_probe_failure_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=2.0, clock=clock)
+        breaker.record_failure()         # open at t=0
+        clock.t = 2.0
+        assert breaker.allow()           # probe
+        breaker.record_failure()         # back to open at t=2
+        clock.t = 3.9
+        assert not breaker.allow()
+        clock.t = 4.0
+        assert breaker.allow()
+
+
+def _service(tmp_path=None, **overrides) -> SweepService:
+    cache_dir = None
+    if tmp_path is not None:
+        cache_dir = str(tmp_path / "cache")
+    defaults = dict(workers=1, cache_dir=cache_dir)
+    defaults.update(overrides)
+    return SweepService(ServeConfig(**defaults))
+
+
+class TestAdmission:
+    """submit() decisions, none of which need the pool running."""
+
+    def test_unknown_kind_rejected_400(self):
+        job = _service().submit("frobnicate", {})
+        assert job.status == "rejected"
+        assert job.error == {
+            "status": 400, "reason": "unknown job kind 'frobnicate'",
+        }
+
+    def test_chaos_kind_needs_opt_in(self):
+        service = _service()
+        for kind in CHAOS_KINDS:
+            assert service.submit(kind, {}).error["status"] == 400
+
+    def test_inject_needs_opt_in(self):
+        job = _service().submit(
+            "loop", dict(LOOP_PAYLOAD, inject="force-replay")
+        )
+        assert job.error["status"] == 400
+
+    def test_queue_full_sheds_429(self):
+        service = _service(queue_limit=1)
+        assert service.submit("loop", LOOP_PAYLOAD).status == "queued"
+        job = service.submit("loop", LOOP_PAYLOAD)
+        assert job.error["status"] == 429
+        assert "load shed" in job.error["reason"]
+
+    def test_client_quota_sheds_429(self):
+        service = _service(client_quota=1)
+        assert service.submit("loop", LOOP_PAYLOAD, "alice").status == "queued"
+        assert service.submit(
+            "loop", LOOP_PAYLOAD, "alice").error["status"] == 429
+        # a different client is unaffected
+        assert service.submit("loop", LOOP_PAYLOAD, "bob").status == "queued"
+
+    def test_open_breaker_rejects_503(self):
+        service = _service()
+        breaker = service.breaker_for("loop")
+        for _ in range(breaker.threshold):
+            breaker.record_failure()
+        job = service.submit("loop", LOOP_PAYLOAD)
+        assert job.error["status"] == 503
+        # other kinds have their own breaker and still queue
+        assert service.submit("verify", {"workload": "is"}).status == "queued"
+
+    def test_shutdown_rejects_503(self):
+        service = _service()
+        service._accepting = False
+        assert service.submit("loop", LOOP_PAYLOAD).error["status"] == 503
+
+    def test_rejections_are_journaled_nowhere(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        service = SweepService(
+            ServeConfig(cache_dir=None), JobJournal(path)
+        )
+        service.submit("nope", {})
+        service.journal.close()
+        assert not os.path.exists(path) or os.path.getsize(path) == 0
+
+
+class TestCacheFastPath:
+    def _warm(self, tmp_path):
+        from repro.compiler import Strategy
+        from repro.experiments import runner
+        from repro.serve.jobs import _find_spec
+
+        runner.enable_disk_cache(str(tmp_path / "cache"))
+        spec = _find_spec("is", "is_key_rank")
+        runner.run_loop(spec, Strategy.SRV, n_override=48)
+
+    def test_hit_answers_terminal_at_submit(self, tmp_path):
+        self._warm(tmp_path)
+        service = _service(tmp_path)
+        job = service.submit("loop", LOOP_PAYLOAD)
+        assert job.terminal and job.status == "done"
+        assert job.cache_hit
+        assert job.result["loop"] == "is_key_rank"
+        assert job.result["correct"] is True
+        assert service.counters["cache_hits"] == 1
+
+    def test_hit_answers_even_with_breaker_open(self, tmp_path):
+        self._warm(tmp_path)
+        service = _service(tmp_path)
+        breaker = service.breaker_for("loop")
+        for _ in range(breaker.threshold):
+            breaker.record_failure()
+        # uncached requests are shed ...
+        other = dict(LOOP_PAYLOAD, n=32)
+        assert service.submit("loop", other).error["status"] == 503
+        # ... but the store still answers what it knows
+        assert service.submit("loop", LOOP_PAYLOAD).status == "done"
+
+    def test_hit_answers_even_when_queue_full(self, tmp_path):
+        self._warm(tmp_path)
+        service = _service(tmp_path, queue_limit=0)
+        assert service.submit("verify", {"workload": "is"}).error[
+            "status"] == 429
+        assert service.submit("loop", LOOP_PAYLOAD).status == "done"
+
+    def test_miss_takes_the_queue(self, tmp_path):
+        service = _service(tmp_path)
+        job = service.submit("loop", LOOP_PAYLOAD)
+        assert job.status == "queued" and not job.cache_hit
+
+
+class TestExecuteJob:
+    """Worker-side entry point, run in-process for shape checks."""
+
+    def test_loop_result_shape(self, tmp_path):
+        result = execute_job("loop", LOOP_PAYLOAD, str(tmp_path / "cache"))
+        assert result["loop"] == "is_key_rank"
+        assert result["correct"] is True
+        assert result["cycles"] > 0
+        assert result["failures"] == []
+
+    def test_loop_populates_shared_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        execute_job("loop", LOOP_PAYLOAD, cache_dir)
+        from repro.serve.chaos import cache_entry_paths
+
+        assert cache_entry_paths(cache_dir)
+
+    def test_verify_result_shape(self):
+        result = execute_job(
+            "verify", {"workload": "is", "n": 48}, None
+        )
+        assert result["loops"] == 1
+        assert result["violations"] == 0
+
+    def test_attrib_result_shape(self):
+        result = execute_job("attrib", dict(LOOP_PAYLOAD), None)
+        assert result["cycles"] > 0
+        assert sum(result["buckets"].values()) == result["cycles"]
+
+    def test_trace_result_shape(self):
+        result = execute_job("trace", dict(LOOP_PAYLOAD), None)
+        assert result["events"] > 0
+        assert sum(result["event_counts"].values()) == result["events"]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            execute_job("nope", {}, None)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            execute_job("experiment", {"name": "figure99"}, None)
+
+    def test_injected_loop_reports_corruption(self, tmp_path):
+        result = execute_job(
+            "loop",
+            dict(LOOP_PAYLOAD, inject="corrupt-store-data"),
+            str(tmp_path / "cache"),
+        )
+        assert result["correct"] is False
+        assert result["injected"] == ["corrupt-store-data"]
+        # the corrupt run must not have been published in the cache
+        from repro.serve.chaos import cache_entry_paths
+
+        assert not cache_entry_paths(str(tmp_path / "cache"))
+
+
+class TestHttpEndToEnd:
+    def test_submit_status_stats_health(self, tmp_path):
+        from repro.serve.http import (
+            request,
+            server_port,
+            start_http_server,
+            submit_job,
+            wait_job,
+        )
+
+        async def scenario():
+            service = _service(tmp_path, workers=1)
+            await service.start()
+            server = await start_http_server(service)
+            port = server_port(server)
+            loop = asyncio.get_running_loop()
+
+            def rpc(fn, *args, **kwargs):
+                return loop.run_in_executor(
+                    None, lambda: fn("127.0.0.1", port, *args, **kwargs)
+                )
+
+            status, body = await rpc(submit_job, "loop", LOOP_PAYLOAD)
+            assert status == 202 and body["status"] == "queued"
+            final = await rpc(wait_job, body["id"])
+            assert final["status"] == "done"
+            assert final["result"]["correct"] is True
+
+            # warm: the identical request answers 200 immediately
+            status, hit = await rpc(submit_job, "loop", LOOP_PAYLOAD)
+            assert status == 200 and hit["cache_hit"]
+            assert hit["result"] == final["result"]
+
+            status, health = await rpc(request, "GET", "/healthz")
+            assert status == 200 and health["ok"]
+            status, stats = await rpc(request, "GET", "/stats")
+            assert status == 200
+            assert stats["counters"]["done"] == 1
+            assert stats["counters"]["cache_hits"] == 1
+            assert "shard" in stats["shard_table"]
+
+            status, _ = await rpc(request, "GET", "/jobs/none-such")
+            assert status == 404
+            status, _ = await rpc(request, "DELETE", "/jobs")
+            assert status == 405
+            status, _ = await rpc(request, "GET", "/nope")
+            assert status == 404
+            status, err = await rpc(request, "POST", "/jobs", {"no": "kind"})
+            assert status == 400 and "kind" in err["error"]
+
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_malformed_json_is_400(self, tmp_path):
+        async def scenario():
+            from repro.serve.http import server_port, start_http_server
+
+            service = _service(tmp_path)
+            server = await start_http_server(service)
+            port = server_port(server)
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            body = b"{not json"
+            writer.write(
+                b"POST /jobs HTTP/1.1\r\nContent-Length: "
+                + str(len(body)).encode() + b"\r\n\r\n" + body
+            )
+            await writer.drain()
+            response = await reader.read()
+            assert b"400" in response.split(b"\r\n", 1)[0]
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_oversized_body_is_413(self, tmp_path):
+        async def scenario():
+            from repro.serve.http import server_port, start_http_server
+
+            service = _service(tmp_path)
+            server = await start_http_server(service)
+            port = server_port(server)
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"POST /jobs HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+            )
+            await writer.drain()
+            response = await reader.read()
+            assert b"413" in response.split(b"\r\n", 1)[0]
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+
+        asyncio.run(scenario())

@@ -1,0 +1,331 @@
+"""Chaos suite: the service under worker kills, hangs and disk damage.
+
+The acceptance bar for ``repro.serve``: every accepted job reaches a
+terminal state no matter what is done to the workers or the disk, the
+journal replays pending work after a server kill, and answers produced
+through the service are byte-identical to the sequential harnesses.
+
+All scenarios are deterministic — the ``chaos_flaky``/``chaos_stall``
+kinds coordinate through flag files (first execution plants the flag
+then dies/stalls; the retry sees it and succeeds), so there are no
+timing races to flake on.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.parallel.cache import result_cache
+from repro.serve import chaos
+from repro.serve.jobs import execute_job
+from repro.serve.journal import JobJournal
+from repro.serve.service import ServeConfig, SweepService
+
+LOOP_PAYLOAD = {"workload": "is", "loop": "is_key_rank", "n": 48}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    cache = result_cache()
+    saved = cache.disk_dir
+    cache.clear_memory()
+    yield
+    cache.disk_dir = saved
+    cache.clear_memory()
+
+
+def _config(tmp_path, **overrides) -> ServeConfig:
+    defaults = dict(
+        workers=1,
+        cache_dir=str(tmp_path / "cache"),
+        allow_chaos=True,
+        job_timeout_s=60.0,
+        backoff_base_s=0.01,
+        backoff_cap_s=0.05,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _submit_and_drain(service, kind, payload, client="chaos"):
+    job = service.submit(kind, payload, client)
+    await service.drain()
+    return job
+
+
+class TestWorkerCrash:
+    def test_sigkilled_worker_job_retries_to_done(self, tmp_path):
+        """chaos_flaky: attempt 1 SIGKILLs its own worker; the supervisor
+        replaces the pool and the retry completes."""
+
+        async def scenario():
+            service = SweepService(_config(tmp_path))
+            await service.start()
+            try:
+                job = await _submit_and_drain(
+                    service, "chaos_flaky",
+                    {"flag": str(tmp_path / "flaky.flag")},
+                )
+                assert job.status == "done"
+                assert job.result == {"recovered": True}
+                assert job.attempts == 2
+                assert service.pool.crashes >= 1
+                assert service.pool.restarts >= 1
+            finally:
+                await service.stop()
+
+        _run(scenario())
+
+    def test_external_kill_mid_job(self, tmp_path):
+        """CI-smoke shape: a worker is SIGKILLed from outside while its
+        job runs; the job still reaches ``done``."""
+
+        async def scenario():
+            flag = str(tmp_path / "stall.flag")
+            service = SweepService(_config(tmp_path))
+            await service.start()
+            try:
+                job = service.submit("chaos_stall", {"flag": flag})
+                # the flag appears the moment the worker starts stalling
+                for _ in range(2000):
+                    if os.path.exists(flag):
+                        break
+                    await asyncio.sleep(0.01)
+                else:
+                    raise AssertionError("worker never started the job")
+                chaos.kill_one_worker(service.pool)
+                await service.drain()
+                assert job.status == "done"
+                assert job.result == {"recovered": True}
+            finally:
+                await service.stop()
+
+        _run(scenario())
+
+    def test_pool_survives_for_subsequent_jobs(self, tmp_path):
+        """After a crash/restart cycle the pool keeps serving real work."""
+
+        async def scenario():
+            service = SweepService(_config(tmp_path))
+            await service.start()
+            try:
+                crash = await _submit_and_drain(
+                    service, "chaos_flaky",
+                    {"flag": str(tmp_path / "f.flag")},
+                )
+                assert crash.status == "done"
+                loop_job = await _submit_and_drain(
+                    service, "loop", LOOP_PAYLOAD
+                )
+                assert loop_job.status == "done"
+                assert loop_job.result["correct"] is True
+            finally:
+                await service.stop()
+
+        _run(scenario())
+
+
+class TestWorkerHang:
+    def test_budget_fires_and_stalled_job_recovers(self, tmp_path):
+        """chaos_stall: attempt 1 wedges past the budget; the supervisor
+        kills the pool and the retry (flag present) succeeds."""
+
+        async def scenario():
+            service = SweepService(_config(tmp_path, job_timeout_s=1.0))
+            await service.start()
+            try:
+                job = await _submit_and_drain(
+                    service, "chaos_stall",
+                    {"flag": str(tmp_path / "stall.flag")},
+                )
+                assert job.status == "done"
+                assert job.result == {"recovered": True}
+                assert job.attempts == 2
+                assert service.pool.hangs >= 1
+            finally:
+                await service.stop()
+
+        _run(scenario())
+
+    def test_persistent_hang_fails_terminally(self, tmp_path):
+        """chaos_hang never recovers: every attempt exhausts its budget
+        and the job lands in ``failed`` — a terminal state, not limbo."""
+
+        async def scenario():
+            service = SweepService(
+                _config(tmp_path, job_timeout_s=0.5, max_retries=1)
+            )
+            await service.start()
+            try:
+                job = await _submit_and_drain(service, "chaos_hang", {})
+                assert job.status == "failed"
+                assert job.error["error"] == "WorkerHungError"
+                assert job.attempts == 2
+                assert service.pool.hangs == 2
+                # the recycled pool still works
+                after = await _submit_and_drain(service, "loop", LOOP_PAYLOAD)
+                assert after.status == "done"
+            finally:
+                await service.stop()
+
+        _run(scenario())
+
+
+class TestJournalReplay:
+    def test_pending_jobs_replay_after_server_kill(self, tmp_path):
+        """Accept jobs, never dispatch them, drop everything (simulated
+        kill): a fresh service recovers and completes them."""
+        path = str(tmp_path / "journal.jsonl")
+        first = SweepService(_config(tmp_path), JobJournal(path))
+        accepted = first.submit("loop", LOOP_PAYLOAD, "alice")
+        assert accepted.status == "queued"
+        # simulated kill -9: no stop(), no terminal records, just gone
+
+        async def scenario():
+            journal = JobJournal(path)
+            assert len(journal) == 1
+            service = SweepService(_config(tmp_path), journal)
+            resumed = service.recover()
+            assert resumed == 1
+            replayed = service.jobs[accepted.id]
+            assert replayed.resumed
+            await service.start()
+            try:
+                await service.drain()
+                assert replayed.status == "done"
+                assert replayed.result["correct"] is True
+                assert len(service.journal) == 0
+                # the per-dispatcher accounting renders the resumed column
+                table = service.stats_report().format_table()
+                assert "resumed" in table
+                assert sum(s.resumed for s in service.shards) == 1
+            finally:
+                await service.stop()
+
+        _run(scenario())
+
+    def test_replay_with_torn_journal_tail(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        first = SweepService(_config(tmp_path), JobJournal(path))
+        first.submit("loop", LOOP_PAYLOAD, "alice")
+        chaos.corrupt_tail(path)
+
+        async def scenario():
+            journal = JobJournal(path)
+            assert journal.corrupt_lines == 1
+            service = SweepService(_config(tmp_path), journal)
+            assert service.recover() == 1
+            await service.start()
+            try:
+                await service.drain()
+                assert all(j.status == "done" for j in service.jobs.values())
+            finally:
+                await service.stop()
+
+        _run(scenario())
+
+    def test_completed_before_kill_answers_from_cache(self, tmp_path):
+        """The terminal record was lost but the result was published in
+        the content-addressed cache: recovery answers instantly and
+        closes the journal entry."""
+        path = str(tmp_path / "journal.jsonl")
+        cache_dir = str(tmp_path / "cache")
+        # the job ran to completion (cache populated) but the terminal
+        # journal record never made it out
+        execute_job("loop", LOOP_PAYLOAD, cache_dir)
+        # the dying server itself never saw the store (else the original
+        # submit would have been a fast-path hit, not a pending accept)
+        result_cache().clear_memory()
+        result_cache().disable_disk()
+        first = SweepService(
+            ServeConfig(workers=1, cache_dir=None), JobJournal(path)
+        )
+        accepted = first.submit("loop", LOOP_PAYLOAD, "alice")
+        assert accepted.status == "queued"
+
+        journal = JobJournal(path)
+        service = SweepService(_config(tmp_path), journal)
+        assert service.recover() == 1
+        job = next(iter(service.jobs.values()))
+        assert job.status == "done" and job.cache_hit
+        assert len(journal) == 0  # closed out without dispatch
+
+
+class TestDiskCorruption:
+    def _warm(self, cache_dir) -> dict:
+        return execute_job("loop", LOOP_PAYLOAD, cache_dir)
+
+    @pytest.mark.parametrize("mode", ["truncate", "zero"])
+    def test_corrupt_cache_entry_recomputes(self, tmp_path, mode):
+        cache_dir = str(tmp_path / "cache")
+        clean = self._warm(cache_dir)
+        result_cache().clear_memory()
+        chaos.corrupt_cache_entry(cache_dir, mode=mode)
+
+        async def scenario():
+            service = SweepService(_config(tmp_path))
+            await service.start()
+            try:
+                job = service.submit("loop", LOOP_PAYLOAD)
+                # damaged entry cannot answer the fast path ...
+                assert not job.cache_hit
+                await service.drain()
+                # ... but the recompute restores the identical answer
+                assert job.status == "done"
+                assert job.result == clean
+            finally:
+                await service.stop()
+
+        _run(scenario())
+
+
+class TestSequentialEquivalence:
+    def test_experiment_job_table_is_byte_identical(self, tmp_path):
+        """The figure harness through the service produces exactly the
+        sequential harness's table."""
+        from repro.experiments import ALL_EXPERIMENTS
+
+        direct = ALL_EXPERIMENTS["figure9"](seed=0, n_override=32)
+
+        async def scenario():
+            service = SweepService(_config(tmp_path))
+            await service.start()
+            try:
+                job = await _submit_and_drain(
+                    service, "experiment", {"name": "figure9", "n": 32}
+                )
+                assert job.status == "done"
+                assert job.result["table"] == direct.format_table()
+            finally:
+                await service.stop()
+
+        _run(scenario())
+
+    def test_injected_fault_surfaces_structured(self, tmp_path):
+        """A chaos-enabled service routes fault injection through the
+        serving path: corruption arrives as ``correct: false``, never a
+        silently wrong answer and never a poisoned cache entry."""
+
+        async def scenario():
+            service = SweepService(_config(tmp_path))
+            await service.start()
+            try:
+                job = await _submit_and_drain(
+                    service, "loop",
+                    dict(LOOP_PAYLOAD, inject="corrupt-store-data"),
+                )
+                assert job.status == "done"
+                assert job.result["correct"] is False
+                assert job.result["injected"] == ["corrupt-store-data"]
+                # the clean address must still miss: nothing was poisoned
+                clean = service.submit("loop", LOOP_PAYLOAD)
+                assert not clean.cache_hit
+            finally:
+                await service.stop()
+
+        _run(scenario())

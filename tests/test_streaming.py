@@ -204,3 +204,80 @@ class TestBoundedMemory:
         )
         assert stats_stream == stats_list
         assert stats_stream.store_set_squashes == stats_list.store_set_squashes
+
+
+class TestFaultArmedFallback:
+    """With a fault plan armed, streaming must auto-fall back to the
+    materialised path (a fused warm pre-pass would double-advance the
+    plan's poll counters) — and record which path it took."""
+
+    def _spec(self):
+        for workload, spec in SUITE:
+            if spec.name == "is_key_rank":
+                return spec
+        raise LookupError("is_key_rank missing from suite")
+
+    def test_unarmed_takes_stream_path(self):
+        from repro.pipeline import stream as stream_mod
+
+        spec = self._spec()
+        program, mem = _materialise(spec, Strategy.SRV, 32)
+        simulate_streaming(program, mem, warm=True)
+        assert stream_mod.LAST_PATH == "stream"
+
+    def test_armed_falls_back_to_materialised(self):
+        from repro.pipeline import stream as stream_mod
+        from repro.verify import faults
+
+        spec = self._spec()
+        program, mem = _materialise(spec, Strategy.SRV, 32)
+        plan = faults.FaultPlan([
+            faults.FaultSpec(fault=faults.FaultClass.FORCE_REPLAY)
+        ])
+        with faults.inject(plan):
+            simulate_streaming(program, mem, warm=True)
+        assert stream_mod.LAST_PATH == "materialised"
+        # and the armed plan actually fired during the run
+        assert plan.fired
+
+    def test_armed_results_match_materialised_call(self):
+        from repro.verify import faults
+
+        spec = self._spec()
+
+        def run_once():
+            program, mem = _materialise(spec, Strategy.SRV, 32)
+            plan = faults.FaultPlan([
+                faults.FaultSpec(fault=faults.FaultClass.FORCE_REPLAY)
+            ])
+            with faults.inject(plan):
+                metrics, stats, _ = simulate_streaming(program, mem, warm=True)
+            return metrics, stats, _final_arrays(spec, mem)
+
+        metrics_a, stats_a, arrays_a = run_once()
+        metrics_b, stats_b, arrays_b = run_once()
+        # deterministic fallback: identical metrics, stats and memory
+        assert metrics_a == metrics_b
+        assert stats_a == stats_b
+        assert arrays_a == arrays_b
+
+    def test_runner_fallback_under_injection(self):
+        """End to end: run_loop under an armed plan goes materialised
+        and still produces a structured (possibly incorrect) result."""
+        from repro.experiments import runner
+        from repro.pipeline import stream as stream_mod
+        from repro.verify import faults
+
+        spec = self._spec()
+        plan = faults.FaultPlan([
+            faults.FaultSpec(
+                fault=faults.FaultClass.CORRUPT_STORE_DATA, repeat=True
+            )
+        ])
+        with faults.inject(plan):
+            run = runner.run_loop(
+                spec, Strategy.SRV, use_cache=False, n_override=32,
+            )
+        assert stream_mod.LAST_PATH == "materialised"
+        assert plan.fired
+        assert run.correct is False
