@@ -21,6 +21,10 @@ Commands:
 * ``attrib <workload> <loop>`` / ``attrib --suite`` — exact cycle
   attribution into {compute, memory, replay, barrier, fallback, other}
   buckets, per loop or rolled up over the whole suite;
+* ``fuzz`` — run a differential fuzz campaign (:mod:`repro.gen`):
+  generate N seeded kernels, check each against the scalar oracle and
+  the LSU differential, shrink any failure to a minimal reproducer, and
+  write a machine-readable campaign report;
 * ``serve`` — run the fault-tolerant sweep service (:mod:`repro.serve`):
   an HTTP/JSON job server with a supervised worker pool, retry/backoff,
   circuit breakers, and a crash-safe write-ahead job journal;
@@ -307,6 +311,50 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 1 if body.get("status") in ("failed", "rejected") else 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.gen import FuzzConfig, run_fuzz
+
+    cfg = FuzzConfig(
+        count=args.count,
+        seed=args.seed,
+        strategy=Strategy(args.strategy),
+        n_override=args.n,
+        trace_mode=args.trace_mode,
+        shrink=not args.no_shrink,
+        use_cache=not args.no_cache,
+        out_dir=Path(args.out),
+        plant=args.plant,
+    )
+    report = run_fuzz(cfg)
+    obj = report.to_obj()
+    print(f"fuzz: generator v{obj['generator_version']} seed={cfg.seed} "
+          f"count={cfg.count} strategy={cfg.strategy.value}"
+          + (f" plant={cfg.plant}" if cfg.plant else ""))
+    for outcome in report.outcomes:
+        if outcome.status == "ok":
+            continue
+        print(f"  {outcome.name}: {outcome.status} — {outcome.detail}")
+        if outcome.reproducer:
+            print(f"    reproducer: {Path(args.out) / outcome.reproducer} "
+                  f"({len(outcome.shrink_steps)} shrink step(s))")
+    print(f"{obj['passed']} passed, {obj['failed']} failed, "
+          f"{obj['errors']} error(s) in {obj['elapsed_s']:.1f}s")
+    print(f"report: {Path(args.out) / 'report.json'}")
+    if not report.ok:
+        pointers = [o.reproducer for o in report.failures if o.reproducer]
+        if pointers:
+            print(f"FAIL: see {Path(args.out) / pointers[0]}",
+                  file=sys.stderr)
+        else:
+            print("FAIL: oracle disagreement (shrinking disabled; rerun "
+                  "without --no-shrink for a minimal reproducer)",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_inject(args: argparse.Namespace) -> int:
     from repro.verify.campaign import default_catalogue, run_campaign
     from repro.verify.faults import FaultClass
@@ -479,6 +527,35 @@ def main(argv: list[str] | None = None) -> int:
                        choices=["all"] + [f.value for f in FaultClass],
                        help="restrict the campaign to one fault class")
 
+    from repro.gen.campaign import PLANTS
+
+    p_fuz = sub.add_parser(
+        "fuzz",
+        help="run a generated-kernel differential fuzz campaign",
+    )
+    p_fuz.add_argument("--count", type=int, default=50,
+                       help="kernels to generate and check (default 50)")
+    p_fuz.add_argument("--seed", type=int, default=0,
+                       help="campaign seed; same seed => identical kernels")
+    p_fuz.add_argument("--strategy", default="srv",
+                       choices=[s.value for s in Strategy])
+    p_fuz.add_argument("-n", type=int, default=None,
+                       help="trip-count override")
+    p_fuz.add_argument("--out", default="results/fuzz", metavar="DIR",
+                       help="campaign report + reproducer directory "
+                            "(default results/fuzz)")
+    p_fuz.add_argument("--trace-mode", choices=("stream", "list"),
+                       default="stream",
+                       help="fused streaming checks (default) or the "
+                            "materialised-trace path; results are identical")
+    p_fuz.add_argument("--no-shrink", action="store_true",
+                       help="report failures without minimising them")
+    p_fuz.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache even for clean checks")
+    p_fuz.add_argument("--plant", default=None, choices=sorted(PLANTS),
+                       help="inject a named check-time miscompile into every "
+                            "kernel (self-test of the campaign machinery)")
+
     args = parser.parse_args(argv)
     handler = {
         "list": _cmd_list,
@@ -487,6 +564,7 @@ def main(argv: list[str] | None = None) -> int:
         "disasm": _cmd_disasm,
         "verify": _cmd_verify,
         "inject": _cmd_inject,
+        "fuzz": _cmd_fuzz,
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
         "attrib": _cmd_attrib,

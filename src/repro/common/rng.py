@@ -135,6 +135,55 @@ def forward_alias_indices(
     return out
 
 
+def planted_conflict_indices(
+    n: int,
+    lanes: int,
+    density: float,
+    distance: int,
+    *,
+    seed: int = 0,
+    backward: bool = False,
+) -> list[int]:
+    """Mostly-identity indices with conflicts of a *controlled distance*.
+
+    A fraction ``density`` of vector groups contains exactly one lane
+    whose index points ``distance`` lanes ahead inside the same group —
+    a horizontal RAW whose lane distance is exactly ``distance`` (clamped
+    to ``lanes - 1``).  Where :func:`sparse_conflict_indices` draws the
+    victim lane uniformly, this generator pins the distance, which is
+    what the fuzzer's ``dep_distance`` knob sweeps: short distances
+    exercise the horizontal disambiguation fast paths, ``lanes - 1`` the
+    worst-case replay mask.
+
+    With ``backward`` the planted index points ``distance`` lanes
+    *behind* instead.  A store used with a DOWN-direction loop (step -1)
+    executes its high indices first, so only a backward-pointing index
+    targets an iteration that runs *later* — the shape that actually
+    violates under DOWN, mirroring what forward conflicts are to UP.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be within [0, 1]")
+    if distance < 1:
+        raise ValueError("distance must be at least 1")
+    distance = min(distance, lanes - 1)
+    rng = make_rng(seed, "planted")
+    out = list(range(n))
+    bases = list(range(0, n - lanes + 1, lanes))
+    if not bases or density == 0.0:
+        return out
+    count = min(len(bases), round(density * len(bases)))
+    if count == 0:
+        count = 1
+    for base in sorted(rng.sample(bases, count)):
+        if backward:
+            lane = rng.randrange(distance, lanes)
+            out[base + lane] = base + lane - distance
+        else:
+            lane = rng.randrange(0, lanes - distance)
+            out[base + lane] = base + lane + distance
+    return out
+
+
 def uniform_indices(n: int, table_size: int, *, seed: int = 0) -> list[int]:
     """Uniformly random indices into a table (RandomAccess-style updates)."""
     rng = make_rng(seed, "uniform")

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig11_disambiguation,
     fig12_power,
     fig13_flexvec,
+    fuzz_smoke,
     headline,
     limit_study,
 )
@@ -49,6 +50,7 @@ ALL_EXPERIMENTS = {
     "figure11": fig11_disambiguation.run,
     "figure12": fig12_power.run,
     "figure13": fig13_flexvec.run,
+    "fuzz_smoke": fuzz_smoke.run,
     "headline": headline.run,
     "ablation_inorder": ablation_inorder.run,
     "ablation_barrier": ablation_barrier.run,

@@ -1,0 +1,64 @@
+"""Fuzz smoke — a small generated-scenario sweep (no paper counterpart).
+
+Runs a fixed-size generated workload (:data:`FUZZ_SMOKE_COUNT` kernels,
+derived from the experiment seed) under SRV and SVE with the scalar
+oracle armed, one row per kernel.  This is the experiment the sweep
+matrix shards and caches: the per-kernel differential *campaign* (with
+shrinking) lives in ``repro fuzz`` / :mod:`repro.gen.campaign`, while
+this harness keeps a representative generated slice inside the standard
+``repro sweep`` / CI surface.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.compiler import Strategy
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import run_loop
+from repro.gen.emitter import generated_workload
+
+#: kernels per smoke workload — small enough for per-PR CI, large enough
+#: to cover scatter/gather/predication/direction variation
+FUZZ_SMOKE_COUNT = 12
+
+
+def run(
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    n_override: int | None = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fuzz_smoke",
+        title=f"Fuzz smoke: {FUZZ_SMOKE_COUNT} generated kernels, "
+              f"SRV vs SVE with oracle",
+        columns=(
+            "kernel",
+            "srv_correct",
+            "sve_correct",
+            "srv_cycles",
+            "sve_cycles",
+            "raw_violations",
+        ),
+    )
+    workload = generated_workload(seed, FUZZ_SMOKE_COUNT)
+    for spec in workload.loops:
+        srv = run_loop(spec, Strategy.SRV, seed=seed, config=config,
+                       n_override=n_override)
+        sve = run_loop(spec, Strategy.SVE, seed=seed, config=config,
+                       n_override=n_override)
+        result.rows.append((
+            spec.name,
+            srv.correct,
+            sve.correct,
+            srv.cycles,
+            sve.cycles,
+            srv.emu.srv.raw_violations,
+        ))
+        result.failures.extend(srv.failures)
+        result.failures.extend(sve.failures)
+    result.summary = {
+        "workload": workload.name,
+        "kernels": len(result.rows),
+        "all_correct": all(r[1] and r[2] for r in result.rows),
+    }
+    return result

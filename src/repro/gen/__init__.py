@@ -1,0 +1,74 @@
+"""Seeded kernel generator + differential scenario fuzzer.
+
+Public surface:
+
+* :mod:`repro.gen.knobs` — the declared knob space and seeded sampler;
+* :mod:`repro.gen.emitter` — ``(seed, knobs)`` → :class:`LoopSpec`,
+  plus ``gen:``-named workloads for the sweep matrix;
+* :mod:`repro.gen.shrinker` — greedy 1-minimal failing-kernel reducer;
+* :mod:`repro.gen.campaign` — the ``repro fuzz`` campaign driver.
+
+See ``docs/GENERATOR.md`` for the knob table and the determinism
+contract.
+"""
+
+from repro.gen.campaign import (
+    PLANTS,
+    CheckOutcome,
+    FuzzConfig,
+    FuzzReport,
+    check_kernel,
+    load_reproducer,
+    run_fuzz,
+    write_reproducer,
+)
+from repro.gen.emitter import (
+    GeneratedKernel,
+    generate_kernel,
+    generated_workload,
+    is_generated_name,
+    kernel_seed,
+    workload_from_name,
+    workload_name,
+)
+from repro.gen.knobs import (
+    GENERATOR_VERSION,
+    KNOB_SPACE,
+    KNOBS_BY_NAME,
+    Knobs,
+    KnobSpec,
+    default_knobs,
+    knob_digest,
+    sample_knobs,
+    validate_knobs,
+)
+from repro.gen.shrinker import ShrinkResult, shrink_spec
+
+__all__ = [
+    "GENERATOR_VERSION",
+    "KNOB_SPACE",
+    "KNOBS_BY_NAME",
+    "CheckOutcome",
+    "FuzzConfig",
+    "FuzzReport",
+    "GeneratedKernel",
+    "Knobs",
+    "KnobSpec",
+    "PLANTS",
+    "ShrinkResult",
+    "check_kernel",
+    "default_knobs",
+    "generate_kernel",
+    "generated_workload",
+    "is_generated_name",
+    "kernel_seed",
+    "knob_digest",
+    "load_reproducer",
+    "run_fuzz",
+    "sample_knobs",
+    "shrink_spec",
+    "validate_knobs",
+    "workload_from_name",
+    "workload_name",
+    "write_reproducer",
+]

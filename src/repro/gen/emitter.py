@@ -1,0 +1,597 @@
+"""Seeded kernel emitter: ``(seed, knobs)`` → a :class:`LoopSpec`.
+
+Generated kernels flow through the exact objects the hand-written suite
+uses — a :class:`~repro.compiler.ir.Loop` in the IR plus a seeded input
+builder wrapped in a :class:`~repro.workloads.base.LoopSpec` — so the
+compiler, both timing models, the differential checkers, the sweep
+engine and the result cache treat them identically to the 28 curated
+loops.
+
+Determinism: everything is drawn from private
+:func:`~repro.common.rng.make_rng` streams keyed by
+``(GENERATOR_VERSION, seed)``; the same ``(seed, knobs)`` pair produces
+a byte-identical loop and byte-identical inputs on any host.  The
+kernel *name* embeds the generator version, the seed and a digest of
+the knob set, and the loop name is part of the result-cache key — so a
+generator change can never alias a cached result from an older version.
+
+Value-range discipline: the emulator wraps intermediate values at the
+destination register width while the scalar oracle wraps only at
+stores, so the two agree exactly as long as intermediates stay inside
+the 32-bit signed range.  The emitter enforces this structurally:
+multiplications take at most one *bounded* operand (a read-only source
+array value, a small constant or a parameter — never two evolving
+destination-array values), shift post-ops use small constants, and
+every stored value is masked to 16 bits, which also keeps
+self-referencing kernels (``a[x[i]] = f(a[..])`` iterated) from growing
+without bound.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+from repro.common.config import TABLE_I
+from repro.common.rng import (
+    conflict_free_permutation,
+    forward_alias_indices,
+    make_rng,
+    planted_conflict_indices,
+    uniform_indices,
+    values,
+)
+from repro.compiler.ir import (
+    Affine,
+    BinOp,
+    Const,
+    Expr,
+    IndexExpr,
+    Indirect,
+    Loop,
+    LoopIndex,
+    Param,
+    Read,
+    Select,
+    Store,
+    VALID_CMPS,
+)
+from repro.gen.knobs import (
+    GENERATOR_VERSION,
+    Knobs,
+    knob_digest,
+    sample_knobs,
+    validate_knobs,
+)
+from repro.workloads.base import LoopSpec, Workload
+
+LANES = 16
+
+#: combining operators per palette; ``*`` is handled separately so a
+#: product never multiplies two evolving destination-array values
+_COMBINE_OPS = {
+    "arith": ("+", "-"),
+    "logic": ("&", "|", "^"),
+    "mixed": ("+", "-", "&", "|", "^", "min", "max"),
+}
+
+#: every stored value is masked to this, bounding self-referencing growth
+_VALUE_MASK = 0xFFFF
+
+#: Per-pass demand target for kernels that must speculate.  The emulator
+#: falls back only above the full 64-entry capacity, but the cycle model
+#: keeps entries live until commit, so two overlapping region passes
+#: coexist in the out-of-order window — half the capacity per pass keeps
+#: the timing model from degrading the run to the sequential fallback.
+_LSU_BUDGET = TABLE_I.lsu_entries // 2
+
+
+def lsu_demand(loop: Loop, n_lanes: int = LANES) -> int:
+    """LSU entries one region pass of ``loop`` needs (III-D7 sizing rule).
+
+    Mirrors the emulator: contiguous and broadcast accesses take one
+    entry, gathers and scatters one per lane; an indirect access also
+    loads its index table — contiguously for an UP loop, as a gather
+    for DOWN.  A loop whose demand exceeds the 64-entry capacity runs
+    every region through the sequential fallback and never speculates.
+    """
+    def ref_cost(index: IndexExpr) -> int:
+        if isinstance(index, Affine):
+            if index.scale == 0:
+                return 1
+            if index.scale == 1 and loop.step == 1:
+                return 1
+            return n_lanes
+        table = 1 if loop.step == 1 else n_lanes
+        return n_lanes + table
+
+    return sum(ref_cost(r.index) for r in loop.reads()) + \
+        sum(ref_cost(s.index) for s in loop.writes())
+
+
+@dataclass(frozen=True)
+class GeneratedKernel:
+    """One generated kernel: its identity, knobs, and runnable spec."""
+
+    seed: int
+    knobs: Knobs
+    spec: LoopSpec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def kernel_name(seed: int, knobs: Knobs) -> str:
+    return f"gen_v{GENERATOR_VERSION}_s{seed}_{knob_digest(knobs)}"
+
+
+def _is_bounded(expr: Expr) -> bool:
+    """True if ``expr`` is safe as a multiplication operand: a value that
+    cannot itself have grown through the destination array."""
+    if isinstance(expr, (Const, Param, LoopIndex)):
+        return True
+    return isinstance(expr, Read) and expr.array != "a"
+
+
+def _build_reads(rng, knobs: Knobs, stmt_index: int,
+                 force_dest_gather: bool) -> list[Read]:
+    reads: list[Read] = []
+    for j in range(knobs.reads_per_stmt):
+        if force_dest_gather and j == 0:
+            reads.append(Read("a", Indirect("z")))
+            continue
+        if rng.random() < knobs.gather_ratio:
+            if rng.random() < 0.3:
+                reads.append(Read("a", Indirect("z")))
+            else:
+                reads.append(Read("b", Indirect("y")))
+        elif rng.random() < knobs.broadcast_rate:
+            reads.append(Read("b", Affine(0, rng.randrange(4))))
+        elif rng.random() < 0.4:
+            reads.append(Read("a", Affine(1, rng.randrange(3))))
+        else:
+            scale = knobs.stride if (knobs.stride != 1
+                                     and rng.random() < 0.6) else 1
+            reads.append(Read("b", Affine(scale, rng.randrange(3))))
+    return reads
+
+
+def _fold_value(rng, knobs: Knobs, reads: list[Read]) -> Expr:
+    """Fold the reads into one expression under the palette rules."""
+    expr: Expr = reads[0]
+    mul_used = False
+    ops = _COMBINE_OPS[knobs.op_mix]
+    for read in reads[1:]:
+        allow_mul = (
+            knobs.op_mix in ("arith", "mixed")
+            and not mul_used
+            and _is_bounded(read)
+        )
+        if allow_mul and rng.random() < 0.35:
+            expr = BinOp("*", expr, read)
+            mul_used = True
+        else:
+            expr = BinOp(rng.choice(ops), expr, read)
+    if knobs.op_mix in ("logic", "mixed") and rng.random() < 0.3:
+        expr = BinOp(rng.choice(("<<", ">>")), expr,
+                     Const(rng.randint(1, 3)))
+    if (knobs.op_mix in ("arith", "mixed") and not mul_used
+            and rng.random() < 0.25):
+        expr = BinOp("*", expr, Param("k"))
+    return BinOp("&", expr, Const(_VALUE_MASK))
+
+
+def _maybe_predicate(rng, knobs: Knobs, value: Expr) -> Expr:
+    if rng.random() >= knobs.predication_rate:
+        return value
+    return Select(
+        rng.choice(VALID_CMPS),
+        Read("a", Affine(1, 0)),
+        Param("t"),
+        value,
+        Read("a", Affine(1, 0)),
+    )
+
+
+def _replace_first_read(expr: Expr, pred, replacement: Read):
+    """``(new_expr, replaced)`` with the first Read matching ``pred``
+    swapped for ``replacement``."""
+    if isinstance(expr, Read):
+        if pred(expr):
+            return replacement, True
+        return expr, False
+    if isinstance(expr, BinOp):
+        lhs, done = _replace_first_read(expr.lhs, pred, replacement)
+        if done:
+            return BinOp(expr.op, lhs, expr.rhs), True
+        rhs, done = _replace_first_read(expr.rhs, pred, replacement)
+        return BinOp(expr.op, expr.lhs, rhs), done
+    if isinstance(expr, Select):
+        for name in ("cmp_lhs", "cmp_rhs", "then_value", "else_value"):
+            sub, done = _replace_first_read(getattr(expr, name), pred,
+                                            replacement)
+            if done:
+                return replace(expr, **{name: sub}), True
+        return expr, False
+    return expr, False
+
+
+def _is_witness(read: Read) -> bool:
+    """The destination-at-own-position read that observes a planted
+    conflict (``a[i]``)."""
+    return (read.array == "a" and isinstance(read.index, Affine)
+            and read.index.scale == 1 and read.index.offset == 0)
+
+
+def _reduce_one_read(loop: Loop, pred) -> Loop | None:
+    """Replace the first value-expression read matching ``pred`` with a
+    1-entry broadcast; None if nothing matched."""
+    for i, stmt in enumerate(loop.body):
+        value, done = _replace_first_read(stmt.value, pred,
+                                          Read("b", Affine(0, 0)))
+        if done:
+            body = list(loop.body)
+            body[i] = Store(stmt.array, stmt.index, value)
+            return Loop(loop.name, loop.arrays, body, step=loop.step)
+    return None
+
+
+def _fit_lsu_budget(loop: Loop) -> Loop:
+    """Shrink per-pass LSU demand until the loop can actually speculate.
+
+    Kernels carrying planted dependences must run the speculative path —
+    a region over the 64-entry budget silently takes the sequential
+    fallback and the ``dep_density``/``dep_distance`` knobs would test
+    nothing.  Value-expression reads are demoted to broadcast loads
+    (gathers first, then non-witness strided/contiguous reads, then
+    duplicate witness reads), preserving the scatter store and one
+    ``a[i]`` witness read that make the conflict observable.
+    """
+    while lsu_demand(loop) > _LSU_BUDGET:
+        reduced = _reduce_one_read(
+            loop, lambda r: isinstance(r.index, Indirect))
+        if reduced is None:
+            reduced = _reduce_one_read(
+                loop, lambda r: isinstance(r.index, Affine)
+                and r.index.scale != 0 and not _is_witness(r))
+        if reduced is None:
+            witnesses = sum(1 for r in loop.reads() if _is_witness(r))
+            if witnesses > 1:
+                reduced = _reduce_one_read(loop, _is_witness)
+        if reduced is None:
+            break  # nothing left to demote; stores alone exceed budget
+        loop = reduced
+    return loop
+
+
+def generate_loop(seed: int, knobs: Knobs) -> Loop:
+    """Build the IR loop for ``(seed, knobs)`` — deterministic."""
+    rng = make_rng(seed, f"gen/v{GENERATOR_VERSION}/emit")
+    # a kernel with planted conflicts must speculate for the plant to
+    # replay, so its shape is held inside the LSU budget (III-D7)
+    speculative = knobs.scatter and knobs.dep_density > 0.0
+    statements = knobs.statements
+    if speculative and knobs.direction == "down":
+        # DOWN lowers every affine access to a gather (16 entries each):
+        # extra contiguous stores alone would exhaust the budget
+        statements = 1
+    body: list[Store] = []
+    for s in range(statements):
+        scatter_here = knobs.scatter and s == 0
+        # at least one statically-unknown reference: an indirect store,
+        # or (contiguous store) a forced gather from the destination
+        force_dest_gather = s == 0 and not knobs.scatter
+        reads = _build_reads(rng, knobs, s, force_dest_gather)
+        if scatter_here and speculative and not any(
+            _is_witness(r) for r in reads
+        ):
+            # a planted scatter conflict is only *observable* (and hence
+            # replayed) when some lane also reads the destination at its
+            # own position — guarantee that witness read exists
+            reads[-1] = Read("a", Affine(1, 0))
+        value = _maybe_predicate(rng, knobs, _fold_value(rng, knobs, reads))
+        index: IndexExpr = Indirect("x") if scatter_here else Affine(1, 0)
+        body.append(Store("a", index, value))
+
+    arrays = {"a": knobs.elem_size, "b": 4}
+    step = 1 if knobs.direction == "up" else -1
+    loop = Loop(kernel_name(seed, knobs), _with_tables(arrays, body),
+                body, step=step)
+    if speculative:
+        loop = _fit_lsu_budget(loop)
+
+    # pad the last statement with cheap reads until the body carries
+    # region_len static memory references (III-D7 / fig 10 coverage);
+    # speculative kernels stop at the LSU budget instead of overflowing
+    pad = 0
+    while loop.memory_reference_count() < knobs.region_len:
+        extra = (Read("b", Affine(0, pad % 4))
+                 if speculative and knobs.direction == "down"
+                 else Read("b", Affine(1, pad)))
+        last = loop.body[-1]
+        value = BinOp("+", last.value, extra)
+        body = list(loop.body[:-1]) + [Store(last.array, last.index, value)]
+        candidate = Loop(loop.name, loop.arrays, body, step=loop.step)
+        if speculative and lsu_demand(candidate) > _LSU_BUDGET:
+            break
+        loop = candidate
+        pad += 1
+    return loop
+
+
+def _with_tables(arrays: dict[str, int], body: list[Store]) -> dict[str, int]:
+    """Add the index tables the body actually references."""
+    out = dict(arrays)
+    probe = Loop("probe", {**arrays, "x": 4, "y": 4, "z": 4}, body)
+    for table in sorted(probe.index_arrays()):
+        out[table] = 4
+    return out
+
+
+def required_lengths(loop: Loop, n: int) -> dict[str, int]:
+    """Minimum element count per array for trip count ``n``.
+
+    Affine references need ``scale * (n-1) + offset + 1`` elements;
+    indirect tables hold values in ``[0, n)`` and are themselves read at
+    scale-1, so both the table and its target need at least ``n``.
+    """
+    need = {name: n for name in loop.arrays}
+
+    def note(array: str, index: IndexExpr) -> None:
+        if isinstance(index, Affine):
+            req = (index.scale * (n - 1) + index.offset + 1
+                   if index.scale > 0 else index.offset + 1)
+            need[array] = max(need[array], req)
+        else:
+            need[index.array] = max(need[index.array], n)
+
+    for read in loop.reads():
+        note(read.array, read.index)
+    for store in loop.writes():
+        note(store.array, store.index)
+    return need
+
+
+def _max_forward_offset(loop: Loop, array: str) -> int:
+    """Largest affine forward offset on ``array`` (alias-margin input)."""
+    offsets = [0]
+    for read in loop.reads():
+        if read.array == array and isinstance(read.index, Affine) \
+                and read.index.scale == 1:
+            offsets.append(read.index.offset)
+    return max(offsets)
+
+
+def _input_builder(loop: Loop, knobs: Knobs, kernel_seed: int):
+    """The :class:`LoopSpec` arrays callable for a generated loop.
+
+    Captures only plain values (never RNG state); mixing the kernel seed
+    into the run seed keeps different kernels' inputs independent even
+    at the same run seed.
+    """
+    n = knobs.n
+    lengths = required_lengths(loop, n)
+    margin = _max_forward_offset(loop, "a")
+
+    def build(run_seed: int) -> dict[str, list[int]]:
+        s = run_seed * 7919 + kernel_seed
+        out: dict[str, list[int]] = {}
+        for name in sorted(loop.arrays):
+            length = lengths[name]
+            if name == "a":
+                out[name] = values(length, 0, 255, seed=s + 1)
+            elif name == "b":
+                out[name] = values(length, 0, 255, seed=s + 2)
+            elif name == "x":
+                if knobs.dep_density > 0.0:
+                    out[name] = planted_conflict_indices(
+                        length, LANES, knobs.dep_density,
+                        knobs.dep_distance, seed=s + 3,
+                        backward=knobs.direction == "down",
+                    )
+                elif knobs.alias_rate > 0.0:
+                    out[name] = forward_alias_indices(
+                        length, LANES, knobs.alias_rate,
+                        min_dist=LANES + margin,
+                        max_dist=LANES + margin + 32,
+                        seed=s + 3,
+                    )
+                else:
+                    out[name] = conflict_free_permutation(
+                        length, LANES, seed=s + 3
+                    )
+            elif name == "y":
+                out[name] = uniform_indices(length, n, seed=s + 4)
+            elif name == "z":
+                out[name] = conflict_free_permutation(length, LANES, seed=s + 5)
+            else:  # pragma: no cover - no other arrays are emitted
+                out[name] = [0] * length
+        return out
+
+    return build
+
+
+def generate_kernel(seed: int, knobs: Knobs | None = None) -> GeneratedKernel:
+    """Generate one kernel.  ``knobs=None`` samples them from ``seed``."""
+    if knobs is None:
+        knobs = sample_knobs(seed)
+    validate_knobs(knobs)
+    loop = generate_loop(seed, knobs)
+    rng = make_rng(seed, f"gen/v{GENERATOR_VERSION}/params")
+    params = {"k": rng.randint(2, 5), "t": rng.randint(32, 224)}
+    spec = LoopSpec(
+        loop=loop,
+        n=knobs.n,
+        arrays=_input_builder(loop, knobs, seed),
+        params=params,
+        description=(
+            f"generated v{GENERATOR_VERSION} seed={seed} "
+            f"dep={knobs.dep_density:g}@{knobs.dep_distance} "
+            f"gather={knobs.gather_ratio:g} pred={knobs.predication_rate:g} "
+            f"{knobs.direction}"
+        ),
+    )
+    return GeneratedKernel(seed=seed, knobs=knobs, spec=spec)
+
+
+# ---------------------------------------------------------------------------
+# generated workloads (sweep-matrix integration)
+# ---------------------------------------------------------------------------
+
+#: derived per-kernel seed stride within a campaign
+_KERNEL_SEED_STRIDE = 1_000_003
+#: hard cap on kernels per generated workload (sweep-cell sanity bound)
+MAX_WORKLOAD_KERNELS = 4096
+
+_WORKLOAD_NAME = re.compile(r"^gen:v(?P<ver>[0-9A-Za-z._-]+)"
+                            r":s(?P<seed>-?\d+):c(?P<count>\d+)$")
+
+
+def kernel_seed(campaign_seed: int, index: int) -> int:
+    return campaign_seed * _KERNEL_SEED_STRIDE + index
+
+
+def workload_name(seed: int, count: int) -> str:
+    return f"gen:v{GENERATOR_VERSION}:s{seed}:c{count}"
+
+
+def is_generated_name(name: str) -> bool:
+    return name.startswith("gen:")
+
+
+def generated_workload(seed: int, count: int) -> Workload:
+    """A synthetic :class:`Workload` of ``count`` generated kernels.
+
+    The workload name encodes ``(generator version, seed, count)``, so a
+    sweep cell carrying it can be resolved in any worker process by
+    regenerating the identical kernels — nothing but the name crosses
+    the process boundary.
+    """
+    if not 1 <= count <= MAX_WORKLOAD_KERNELS:
+        raise ValueError(
+            f"count must be within [1, {MAX_WORKLOAD_KERNELS}], got {count}"
+        )
+    loops = tuple(
+        generate_kernel(kernel_seed(seed, i)).spec for i in range(count)
+    )
+    return Workload(
+        name=workload_name(seed, count),
+        suite="gen",
+        coverage=0.0,
+        loops=loops,
+        description=f"{count} generated kernels "
+                    f"(generator v{GENERATOR_VERSION}, seed {seed})",
+    )
+
+
+def workload_from_name(name: str) -> Workload:
+    """Rebuild a generated workload from its encoded name.
+
+    Raises :class:`KeyError` (matching :func:`repro.workloads.by_name`
+    semantics) for malformed names or a generator-version mismatch — a
+    stale cell from an older generator must never silently resolve to
+    different kernels.
+    """
+    match = _WORKLOAD_NAME.match(name)
+    if match is None:
+        raise KeyError(f"malformed generated-workload name {name!r}")
+    if match.group("ver") != GENERATOR_VERSION:
+        raise KeyError(
+            f"generated workload {name!r} was produced by generator "
+            f"v{match.group('ver')}; this tree is v{GENERATOR_VERSION}"
+        )
+    count = int(match.group("count"))
+    if not 1 <= count <= MAX_WORKLOAD_KERNELS:
+        raise KeyError(f"generated workload {name!r} has an invalid count")
+    return generated_workload(int(match.group("seed")), count)
+
+
+# ---------------------------------------------------------------------------
+# IR <-> JSON (reproducer files)
+# ---------------------------------------------------------------------------
+
+
+def _index_to_obj(index: IndexExpr) -> dict:
+    if isinstance(index, Affine):
+        return {"kind": "affine", "scale": index.scale, "offset": index.offset}
+    return {
+        "kind": "indirect", "array": index.array,
+        "scale": index.inner.scale, "offset": index.inner.offset,
+    }
+
+
+def _obj_to_index(obj: dict) -> IndexExpr:
+    if obj["kind"] == "affine":
+        return Affine(obj["scale"], obj["offset"])
+    return Indirect(obj["array"], Affine(obj["scale"], obj["offset"]))
+
+
+def _expr_to_obj(expr: Expr) -> dict:
+    if isinstance(expr, Const):
+        return {"kind": "const", "value": expr.value}
+    if isinstance(expr, LoopIndex):
+        return {"kind": "index"}
+    if isinstance(expr, Param):
+        return {"kind": "param", "name": expr.name}
+    if isinstance(expr, Read):
+        return {"kind": "read", "array": expr.array,
+                "index": _index_to_obj(expr.index)}
+    if isinstance(expr, BinOp):
+        return {"kind": "binop", "op": expr.op,
+                "lhs": _expr_to_obj(expr.lhs), "rhs": _expr_to_obj(expr.rhs)}
+    if isinstance(expr, Select):
+        return {
+            "kind": "select", "cmp": expr.cmp,
+            "cmp_lhs": _expr_to_obj(expr.cmp_lhs),
+            "cmp_rhs": _expr_to_obj(expr.cmp_rhs),
+            "then": _expr_to_obj(expr.then_value),
+            "else": _expr_to_obj(expr.else_value),
+        }
+    raise TypeError(f"unserialisable expression {expr!r}")
+
+
+def _obj_to_expr(obj: dict) -> Expr:
+    kind = obj["kind"]
+    if kind == "const":
+        return Const(obj["value"])
+    if kind == "index":
+        return LoopIndex()
+    if kind == "param":
+        return Param(obj["name"])
+    if kind == "read":
+        return Read(obj["array"], _obj_to_index(obj["index"]))
+    if kind == "binop":
+        return BinOp(obj["op"], _obj_to_expr(obj["lhs"]),
+                     _obj_to_expr(obj["rhs"]))
+    if kind == "select":
+        return Select(obj["cmp"], _obj_to_expr(obj["cmp_lhs"]),
+                      _obj_to_expr(obj["cmp_rhs"]),
+                      _obj_to_expr(obj["then"]), _obj_to_expr(obj["else"]))
+    raise ValueError(f"unknown expression kind {kind!r}")
+
+
+def loop_to_obj(loop: Loop) -> dict:
+    """JSON-serialisable form of a generated loop (``Store`` bodies only)."""
+    return {
+        "name": loop.name,
+        "arrays": dict(loop.arrays),
+        "step": loop.step,
+        "body": [
+            {
+                "array": stmt.array,
+                "index": _index_to_obj(stmt.index),
+                "value": _expr_to_obj(stmt.value),
+            }
+            for stmt in loop.body
+        ],
+    }
+
+
+def obj_to_loop(obj: dict) -> Loop:
+    body = [
+        Store(stmt["array"], _obj_to_index(stmt["index"]),
+              _obj_to_expr(stmt["value"]))
+        for stmt in obj["body"]
+    ]
+    return Loop(obj["name"], obj["arrays"], body, step=obj["step"])

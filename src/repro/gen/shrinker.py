@@ -1,0 +1,143 @@
+"""Greedy 1-minimal kernel shrinker.
+
+Given a failing :class:`LoopSpec` and a predicate that re-runs the
+differential check, repeatedly try structure-removing transformations —
+halving the trip count, dropping whole statements, simplifying value
+expressions one node at a time, turning gathers/scatters back into
+contiguous accesses — keeping a transformation only if the kernel
+*still fails*.  The result is 1-minimal: no single remaining candidate
+transformation preserves the failure.
+
+The shrinker never invents structure, so every intermediate kernel is a
+sub-kernel of the original and inherits its input arrays unchanged
+(shrinking only ever *lowers* the trip count, and array lengths were
+sized for the original, so every access stays in bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from repro.compiler.ir import (
+    Affine,
+    BinOp,
+    Expr,
+    Indirect,
+    Loop,
+    Read,
+    Select,
+    Store,
+)
+from repro.workloads.base import LoopSpec
+
+#: hard cap on predicate invocations per shrink (each one is a full
+#: compile + simulate + compare cycle)
+MAX_ATTEMPTS = 400
+
+#: trip counts are halved but never shrunk below one vector group's worth
+MIN_N = 32
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    spec: LoopSpec          # the minimal still-failing spec
+    steps: tuple[str, ...]  # accepted transformations, in order
+    attempts: int           # predicate invocations spent
+    exhausted: bool         # True if MAX_ATTEMPTS stopped us early
+
+
+def _expr_reductions(expr: Expr) -> Iterator[tuple[str, Expr]]:
+    """Single-node simplifications of ``expr`` (candidate, description)."""
+    if isinstance(expr, BinOp):
+        yield f"binop-{expr.op}->lhs", expr.lhs
+        yield f"binop-{expr.op}->rhs", expr.rhs
+        for desc, sub in _expr_reductions(expr.lhs):
+            yield desc, BinOp(expr.op, sub, expr.rhs)
+        for desc, sub in _expr_reductions(expr.rhs):
+            yield desc, BinOp(expr.op, expr.lhs, sub)
+    elif isinstance(expr, Select):
+        yield "select->then", expr.then_value
+        yield "select->else", expr.else_value
+        for desc, sub in _expr_reductions(expr.then_value):
+            yield desc, replace(expr, then_value=sub)
+        for desc, sub in _expr_reductions(expr.else_value):
+            yield desc, replace(expr, else_value=sub)
+    elif isinstance(expr, Read) and isinstance(expr.index, Indirect):
+        yield f"ungather-{expr.array}", Read(expr.array, Affine(1, 0))
+
+
+def _loop_candidates(loop: Loop) -> Iterator[tuple[str, Loop]]:
+    """All single-step structural reductions of ``loop``."""
+    body = list(loop.body)
+    if len(body) > 1:
+        for i in range(len(body)):
+            yield (
+                f"drop-stmt-{i}",
+                Loop(loop.name, loop.arrays, body[:i] + body[i + 1:],
+                     step=loop.step),
+            )
+    for i, stmt in enumerate(body):
+        if not isinstance(stmt, Store):  # pragma: no cover - gen emits Stores
+            continue
+        if isinstance(stmt.index, Indirect):
+            new = body.copy()
+            new[i] = Store(stmt.array, Affine(1, 0), stmt.value)
+            yield f"unscatter-stmt-{i}", Loop(loop.name, loop.arrays, new,
+                                              step=loop.step)
+        for desc, value in _expr_reductions(stmt.value):
+            new = body.copy()
+            new[i] = Store(stmt.array, stmt.index, value)
+            yield f"stmt-{i}:{desc}", Loop(loop.name, loop.arrays, new,
+                                           step=loop.step)
+
+
+def _spec_candidates(spec: LoopSpec,
+                     min_n: int) -> Iterator[tuple[str, LoopSpec]]:
+    if spec.n // 2 >= min_n:
+        yield f"halve-n:{spec.n}->{spec.n // 2}", replace(spec, n=spec.n // 2)
+    for desc, loop in _loop_candidates(spec.loop):
+        yield desc, replace(spec, loop=loop)
+
+
+def shrink_spec(
+    spec: LoopSpec,
+    still_fails: Callable[[LoopSpec], bool],
+    *,
+    min_n: int = MIN_N,
+    max_attempts: int = MAX_ATTEMPTS,
+) -> ShrinkResult:
+    """Greedily minimise ``spec`` while ``still_fails`` holds.
+
+    ``still_fails`` must return True when the given candidate reproduces
+    the original failure and False for anything else — including a
+    candidate that errors in some *new* way; returning False simply
+    rejects the candidate, so a conservative predicate is always safe.
+    """
+    current = spec
+    steps: list[str] = []
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for desc, candidate in _spec_candidates(current, min_n):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                failing = False
+            if failing:
+                current = candidate
+                steps.append(desc)
+                progress = True
+                break  # restart candidate enumeration from the new spec
+    return ShrinkResult(
+        spec=current,
+        steps=tuple(steps),
+        attempts=attempts,
+        exhausted=attempts >= max_attempts,
+    )

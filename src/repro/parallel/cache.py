@@ -36,6 +36,7 @@ CORE_MODULES: tuple[str, ...] = (
     "common",
     "compiler",
     "emu",
+    "gen",
     "isa",
     "lsu",
     "memory",

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.common.config import TABLE_I, MachineConfig
 from repro.compiler import Strategy
-from repro.workloads import ALL_WORKLOADS
+from repro.workloads import ALL_WORKLOADS, by_name
 
 #: Named configurations used by the standard sweep; cells reference
 #: configs by tag so they stay picklable and content-addressable.
@@ -49,12 +49,19 @@ class SweepCell:
         return CONFIG_TAGS[self.config_tag]
 
     def resolve(self):
-        """Return the ``(LoopSpec, Strategy, MachineConfig)`` triple."""
-        for workload in ALL_WORKLOADS:
-            if workload.name == self.workload:
-                for spec in workload.loops:
-                    if spec.name == self.loop:
-                        return spec, Strategy(self.strategy), self.config()
+        """Return the ``(LoopSpec, Strategy, MachineConfig)`` triple.
+
+        Resolution goes through :func:`repro.workloads.by_name`, so
+        ``gen:``-prefixed workloads are deterministically regenerated in
+        whichever worker process resolves the cell.
+        """
+        try:
+            workload = by_name(self.workload)
+        except KeyError:
+            raise KeyError(f"unknown cell {self.workload}/{self.loop}")
+        for spec in workload.loops:
+            if spec.name == self.loop:
+                return spec, Strategy(self.strategy), self.config()
         raise KeyError(f"unknown cell {self.workload}/{self.loop}")
 
     def label(self) -> str:
@@ -124,6 +131,23 @@ def _cells_ablation_barrier(seed, n):
     )
 
 
+def _cells_fuzz_smoke(seed, n):
+    # lazy: repro.gen pulls in the experiment runner, which imports
+    # repro.parallel.cache — an eager import here would close the cycle
+    from repro.experiments.fuzz_smoke import FUZZ_SMOKE_COUNT
+    from repro.gen.emitter import generated_workload
+
+    workload = generated_workload(seed, FUZZ_SMOKE_COUNT)
+    return [
+        SweepCell(
+            workload=workload.name, loop=spec.name, strategy=strategy.value,
+            seed=seed, n_override=n,
+        )
+        for spec in workload.loops
+        for strategy in (Strategy.SRV, Strategy.SVE)
+    ]
+
+
 def _cells_ablation_tm(seed, n):
     return (
         _loop_cells((Strategy.SRV,), timing=False, seed=seed, n_override=n)
@@ -145,6 +169,7 @@ CELLS_BY_EXPERIMENT = {
     "figure12": _cells_fig12,
     "figure13": _cells_fig13,
     "headline": _cells_fig6,
+    "fuzz_smoke": _cells_fuzz_smoke,
     "ablation_inorder": _cells_ablation_inorder,
     "ablation_barrier": _cells_ablation_barrier,
     "ablation_tm": _cells_ablation_tm,

@@ -51,6 +51,18 @@ ALL_WORKLOADS: tuple[Workload, ...] = SPEC_WORKLOADS + HPC_WORKLOADS
 
 
 def by_name(name: str) -> Workload:
+    """Resolve a workload by name.
+
+    ``gen:v<version>:s<seed>:c<count>`` names resolve to generated
+    workloads, deterministically rebuilt from the encoded seed — this is
+    how sweep cells carry generated scenarios across process boundaries
+    without pickling any loop objects.
+    """
+    if name.startswith("gen:"):
+        # local import: repro.gen imports the workloads base
+        from repro.gen.emitter import workload_from_name
+
+        return workload_from_name(name)
     for workload in ALL_WORKLOADS:
         if workload.name == name:
             return workload

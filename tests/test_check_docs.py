@@ -83,3 +83,24 @@ class TestCliDocumented:
         assert any("'trace'" in p for p in problems)
         # the one documented command is not flagged
         assert not any("'list'" in p for p in problems)
+
+
+class TestKnobsDocumented:
+    def test_finds_declared_knobs(self, check_docs):
+        names = check_docs.generator_knobs()
+        assert {"n", "dep_density", "dep_distance", "gather_ratio",
+                "scatter", "predication_rate", "direction"} <= set(names)
+        # the source parse must agree with the importable declaration
+        from repro.gen.knobs import KNOB_SPACE
+        assert set(names) == {spec.name for spec in KNOB_SPACE}
+
+    def test_generator_doc_covers_every_knob(self, check_docs):
+        assert check_docs.check_knobs_documented() == []
+
+    def test_flags_undocumented_knob(self, check_docs, tmp_path):
+        doc = tmp_path / "GENERATOR.md"
+        doc.write_text("only `dep_density` is mentioned here\n")
+        problems = check_docs.check_knobs_documented(str(doc))
+        assert problems
+        assert any("'gather_ratio'" in p for p in problems)
+        assert not any("'dep_density'" in p for p in problems)

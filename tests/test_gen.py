@@ -1,0 +1,272 @@
+"""Tests for the seeded kernel generator and differential fuzzer.
+
+Pins the determinism contract (same seed => byte-identical kernel),
+knob-boundary behaviour, shrinker minimality on a planted bug, and a
+50-kernel differential smoke campaign.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import TABLE_I
+from repro.compiler import Strategy
+from repro.compiler.ir import Affine, Indirect, Select
+from repro.experiments.runner import run_loop
+from repro.gen import (
+    GENERATOR_VERSION,
+    KNOB_SPACE,
+    FuzzConfig,
+    Knobs,
+    check_kernel,
+    default_knobs,
+    generate_kernel,
+    generated_workload,
+    is_generated_name,
+    kernel_seed,
+    load_reproducer,
+    run_fuzz,
+    sample_knobs,
+    shrink_spec,
+    validate_knobs,
+    workload_from_name,
+    workload_name,
+)
+from repro.gen.emitter import _LSU_BUDGET, LANES, loop_to_obj, lsu_demand, obj_to_loop
+from repro.workloads import by_name
+
+
+def _spec_fingerprint(spec):
+    """Everything observable about a generated spec, as one structure."""
+    return (loop_to_obj(spec.loop), spec.n, dict(spec.params),
+            {k: list(v) for k, v in spec.arrays(0).items()})
+
+
+class TestDeterminism:
+    def test_same_seed_identical_kernel(self):
+        for seed in (0, 7, 991):
+            a = generate_kernel(seed)
+            b = generate_kernel(seed)
+            assert a.name == b.name
+            assert a.knobs == b.knobs
+            assert _spec_fingerprint(a.spec) == _spec_fingerprint(b.spec)
+
+    def test_name_encodes_version_seed_knobs(self):
+        k = generate_kernel(42)
+        assert k.name.startswith(f"gen_v{GENERATOR_VERSION}_s42_")
+        assert k.spec.name == k.name
+
+    def test_different_seeds_different_kernels(self):
+        assert generate_kernel(0).name != generate_kernel(1).name
+
+    def test_sampler_covers_declared_space(self):
+        for seed in range(50):
+            validate_knobs(sample_knobs(seed))
+
+    def test_loop_json_round_trip(self):
+        for seed in range(10):
+            loop = generate_kernel(seed).spec.loop
+            assert obj_to_loop(loop_to_obj(loop)) == loop
+
+    def test_fuzz_report_deterministic(self):
+        cfg = FuzzConfig(count=5, seed=13, use_cache=False)
+        a, b = run_fuzz(cfg).to_obj(), run_fuzz(cfg).to_obj()
+        for report in (a, b):
+            report.pop("elapsed_s")
+            for outcome in report["kernels"]:
+                outcome.pop("elapsed_s")
+        assert a == b
+
+
+def _has_select(loop):
+    return any(isinstance(stmt.value, Select) for stmt in loop.body)
+
+
+class TestKnobBoundaries:
+    def test_predication_boundaries(self):
+        never = default_knobs().with_overrides(predication_rate=0.0)
+        always = default_knobs().with_overrides(predication_rate=1.0,
+                                                statements=2)
+        assert not _has_select(generate_kernel(3, never).spec.loop)
+        assert _has_select(generate_kernel(3, always).spec.loop)
+
+    def test_scatter_boundary(self):
+        scatter = generate_kernel(5, default_knobs()).spec.loop
+        assert isinstance(scatter.body[0].index, Indirect)
+        contiguous = default_knobs().with_overrides(scatter=False)
+        loop = generate_kernel(5, contiguous).spec.loop
+        assert isinstance(loop.body[0].index, Affine)
+
+    def test_direction_down_steps_backwards(self):
+        knobs = default_knobs().with_overrides(direction="down")
+        assert generate_kernel(5, knobs).spec.loop.step == -1
+        assert generate_kernel(5, default_knobs()).spec.loop.step == 1
+
+    def test_out_of_range_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            validate_knobs(default_knobs().with_overrides(dep_distance=16))
+        with pytest.raises(ValueError):
+            validate_knobs(default_knobs().with_overrides(dep_density=1.5))
+        with pytest.raises(ValueError):
+            validate_knobs(default_knobs().with_overrides(direction="left"))
+
+    @pytest.mark.parametrize("overrides", [
+        {"dep_density": 1.0, "dep_distance": 15},           # worst-case mask
+        {"dep_density": 0.5, "dep_distance": 1},            # adjacent lanes
+        {"dep_density": 0.5, "dep_distance": 15, "direction": "down"},
+        {"gather_ratio": 1.0, "scatter": False},            # pure gather
+        {"gather_ratio": 0.0, "predication_rate": 1.0},
+        {"elem_size": 8, "statements": 3, "reads_per_stmt": 4},
+        {"region_len": 24, "dep_density": 0.0},             # fallback path
+    ])
+    def test_boundary_kernels_run_correct(self, overrides):
+        knobs = default_knobs().with_overrides(n=64, **overrides)
+        spec = generate_kernel(11, knobs).spec
+        run = run_loop(spec, Strategy.SRV, seed=0, config=TABLE_I,
+                       timing=False, validate_lsu=True, check_oracle=True,
+                       use_cache=False)
+        assert run.correct, run.bad_array
+
+    def test_planted_dependences_actually_violate(self):
+        for direction in ("up", "down"):
+            knobs = default_knobs().with_overrides(
+                n=128, dep_density=1.0, dep_distance=4, direction=direction)
+            spec = generate_kernel(2, knobs).spec
+            run = run_loop(spec, Strategy.SRV, seed=0, config=TABLE_I,
+                           timing=False, validate_lsu=True, check_oracle=True,
+                           use_cache=False)
+            assert run.correct
+            assert run.emu.srv.raw_violations > 0, direction
+
+
+class TestLsuBudget:
+    def test_demand_matches_lowering_rules(self):
+        loop = generate_kernel(0, default_knobs()).spec.loop
+        gathers = sum(isinstance(stmt.index, Indirect) for stmt in loop.body)
+        gathers += sum(isinstance(read.index, Indirect)
+                       for read in loop.reads())
+        assert lsu_demand(loop) >= gathers * LANES
+
+    def test_speculative_kernels_fit_the_budget(self):
+        # kernels that must speculate stay under the emulator's static
+        # 64-entry capacity (never the sequential fallback), and UP
+        # kernels meet the stricter half-capacity budget so the cycle
+        # model's overlapping region passes cannot degrade them either
+        # (a DOWN scatter's index table is itself a gather, so DOWN
+        # demand is irreducibly higher)
+        for seed in range(30):
+            kernel = generate_kernel(seed)
+            if kernel.knobs.scatter and kernel.knobs.dep_density > 0.0:
+                demand = lsu_demand(kernel.spec.loop)
+                assert demand <= TABLE_I.lsu_entries
+                if kernel.knobs.direction == "up":
+                    assert demand <= _LSU_BUDGET
+
+
+class TestWorkloadNames:
+    def test_round_trip(self):
+        name = workload_name(7, 4)
+        assert is_generated_name(name)
+        workload = workload_from_name(name)
+        assert workload.name == name
+        assert len(workload.loops) == 4
+        assert workload.loops[0].name == generate_kernel(kernel_seed(7, 0)).name
+
+    def test_by_name_dispatches_generated(self):
+        workload = by_name(workload_name(3, 2))
+        assert [s.name for s in workload.loops] == [
+            generate_kernel(kernel_seed(3, i)).name for i in range(2)
+        ]
+
+    @pytest.mark.parametrize("bad", [
+        "gen:bogus",
+        "gen:v999:s1:c4",          # version mismatch
+        "gen:v1:s1:c0",            # empty workload
+        "gen:v1:s1:c99999",        # over MAX_WORKLOAD_KERNELS
+    ])
+    def test_malformed_names_rejected(self, bad):
+        with pytest.raises(KeyError):
+            workload_from_name(bad)
+
+
+class TestShrinker:
+    def test_always_failing_spec_shrinks_to_floor(self):
+        knobs = default_knobs().with_overrides(n=256, statements=3,
+                                               reads_per_stmt=3)
+        spec = generate_kernel(17, knobs).spec
+        result = shrink_spec(spec, lambda candidate: True)
+        assert result.spec.n == 32
+        assert len(result.spec.loop.body) == 1
+        assert result.steps and not result.exhausted
+
+    def test_rejecting_predicate_changes_nothing(self):
+        spec = generate_kernel(17).spec
+        result = shrink_spec(spec, lambda candidate: False)
+        assert result.spec is spec
+        assert list(result.steps) == []
+
+    def test_predicate_exceptions_reject_the_candidate(self):
+        def explode(candidate):
+            raise RuntimeError("checker crashed")
+        result = shrink_spec(generate_kernel(17).spec, explode)
+        assert result.spec.loop == generate_kernel(17).spec.loop
+
+
+class TestCampaign:
+    def test_planted_bug_is_caught_shrunk_and_reloadable(self, tmp_path):
+        cfg = FuzzConfig(count=2, seed=11, plant="store-skew",
+                         out_dir=tmp_path, use_cache=False)
+        report = run_fuzz(cfg)
+        assert not report.ok and len(report.failures) == 2
+        assert json.loads((tmp_path / "report.json").read_text())["failed"] == 2
+        for outcome in report.outcomes:
+            path = tmp_path / outcome.reproducer
+            spec, obj = load_reproducer(path)
+            # minimality: the planted off-by-one survives every reduction,
+            # so the shrinker must reach the structural floor
+            assert spec.n == 32
+            assert len(spec.loop.body) == 1
+            assert spec.name.endswith("_min")
+            assert obj["shrink_steps"]
+            # the reloaded minimal spec still fails the same check
+            ok, detail = check_kernel(spec, cfg, use_cache=False)
+            assert not ok and "diverges" in detail
+
+    def test_reproducer_version_guard(self, tmp_path):
+        cfg = FuzzConfig(count=1, seed=11, plant="store-skew",
+                         out_dir=tmp_path, use_cache=False)
+        run_fuzz(cfg)
+        path = tmp_path / "reproducers"
+        repro_file = next(path.iterdir())
+        obj = json.loads(repro_file.read_text())
+        obj["generator_version"] = "0-stale"
+        repro_file.write_text(json.dumps(obj))
+        with pytest.raises(ValueError):
+            load_reproducer(repro_file)
+
+    def test_smoke_campaign_50_kernels_green(self):
+        report = run_fuzz(FuzzConfig(count=50, seed=7, n_override=64,
+                                     use_cache=False))
+        assert report.ok
+        assert report.to_obj()["passed"] == 50
+        assert {o.status for o in report.outcomes} == {"ok"}
+
+
+class TestExperimentIntegration:
+    def test_fuzz_smoke_experiment_and_sweep_cells_agree(self):
+        from repro.experiments.fuzz_smoke import FUZZ_SMOKE_COUNT
+        from repro.parallel.plan import cells_for_experiments
+
+        cells = cells_for_experiments(["fuzz_smoke"], seed=1, n_override=64)
+        workload = generated_workload(1, FUZZ_SMOKE_COUNT)
+        assert len(cells) == 2 * FUZZ_SMOKE_COUNT
+        assert {c.workload for c in cells} == {workload.name}
+        spec, strategy, config = cells[0].resolve()
+        assert spec.name in {s.name for s in workload.loops}
+        assert strategy in (Strategy.SRV, Strategy.SVE)
+        assert config == TABLE_I
+
+    def test_knob_space_matches_dataclass(self):
+        assert {spec.name for spec in KNOB_SPACE} == set(
+            Knobs().as_dict().keys()
+        )

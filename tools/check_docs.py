@@ -11,10 +11,13 @@ each against the working tree:
   ``src/repro/pipeline/core.py`` (an optional ``::test`` suffix is
   ignored) — the file or directory must exist.
 
-It also checks the reverse direction for the CLI: every subcommand
-registered in ``src/repro/cli.py`` (every ``add_parser("name")`` call)
-must be mentioned as ``repro <name>`` somewhere in ``README.md``, so a
-new subcommand cannot ship undocumented.
+It also checks the reverse direction for two registries: every CLI
+subcommand registered in ``src/repro/cli.py`` (every
+``add_parser("name")`` call) must be mentioned as ``repro <name>``
+somewhere in ``README.md``, and every generator knob declared in
+``src/repro/gen/knobs.py`` (every ``KnobSpec(name="...")``) must appear
+backticked in ``docs/GENERATOR.md`` — so neither a new subcommand nor a
+new knob can ship undocumented.
 
 The point is cheap rot detection: when a module is renamed or a file is
 deleted, the docs that still mention it break this check instead of
@@ -141,12 +144,45 @@ def check_cli_documented(readme_path: str | None = None) -> list[str]:
     return problems
 
 
+KNOB_REF = re.compile(r"KnobSpec\(\s*\n?\s*name=[\"']([a-z_]+)[\"']")
+
+
+def generator_knobs(knobs_path: str | None = None) -> list[str]:
+    """Knob names declared in ``src/repro/gen/knobs.py``.
+
+    Parsed from source rather than imported so the checker keeps
+    working without ``PYTHONPATH=src`` (CI runs it bare).
+    """
+    if knobs_path is None:
+        knobs_path = os.path.join(SRC_ROOT, "repro", "gen", "knobs.py")
+    with open(knobs_path, encoding="utf-8") as fh:
+        return KNOB_REF.findall(fh.read())
+
+
+def check_knobs_documented(doc_path: str | None = None) -> list[str]:
+    """Every generator knob must appear backticked in docs/GENERATOR.md."""
+    if doc_path is None:
+        doc_path = os.path.join(REPO_ROOT, "docs", "GENERATOR.md")
+    with open(doc_path, encoding="utf-8") as fh:
+        doc = fh.read()
+    rel_doc = os.path.relpath(doc_path, REPO_ROOT)
+    problems = []
+    for name in generator_knobs():
+        if f"`{name}`" not in doc:
+            problems.append(
+                f"{rel_doc}: generator knob {name!r} is not documented "
+                f"(expected the text '`{name}`')"
+            )
+    return problems
+
+
 def main() -> int:
     files = doc_files()
     problems = []
     for path in files:
         problems.extend(check_file(path))
     problems.extend(check_cli_documented())
+    problems.extend(check_knobs_documented())
     if problems:
         print(f"check_docs: {len(problems)} stale reference(s):")
         for problem in problems:
