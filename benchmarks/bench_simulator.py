@@ -9,11 +9,14 @@ Two entry points:
 * ``pytest benchmarks/bench_simulator.py`` — pytest-benchmark runs with
   full statistics;
 * ``python benchmarks/bench_simulator.py [--reps N] [--json [PATH]]
-  [--check [PATH]]`` — a dependency-free runner that measures per-bench
-  median milliseconds, optionally appends a machine-readable entry to
-  ``BENCH_simulator.json`` at the repo root (the cross-PR perf
-  trajectory), and/or compares against the committed numbers, failing on
-  a >2.5x regression (the generous bound CI uses — CI boxes are noisy).
+  [--record LABEL] [--check [PATH]]`` — a dependency-free runner that
+  measures per-bench median milliseconds, optionally appends a
+  machine-readable entry to ``BENCH_simulator.json`` at the repo root
+  (the cross-PR perf trajectory; ``--record`` labels the entry, e.g.
+  ``--record "PR 8: lane-batched numpy engine"``), and/or compares
+  against the committed numbers, failing on a >2.5x regression (the
+  generous bound CI uses — CI boxes are noisy) or on a committed bench
+  that the runner no longer measures.
 """
 
 import argparse
@@ -164,12 +167,22 @@ def _load_entries(path: Path) -> list[dict]:
 
 
 def check(measured: dict[str, float], path: Path) -> int:
-    """Compare against the committed trajectory; 0 = within bounds."""
+    """Compare against the committed trajectory; 0 = within bounds.
+
+    Every measured bench is compared against its most recent committed
+    baseline (the latest entry that contains it — early entries predate
+    the streaming bench, so per-bench lookup keeps all three gated).  A
+    committed bench the runner no longer measures is itself a failure:
+    a bench silently dropping out of ``measure()`` must not read as a
+    pass.
+    """
     entries = _load_entries(path)
     if not entries:
         print(f"[check] no committed entries at {path}; skipping")
         return 0
-    committed = entries[-1]["benches"]
+    committed: dict[str, float] = {}
+    for entry in entries:  # latest committed value per bench wins
+        committed.update(entry["benches"])
     status = 0
     for name, got in measured.items():
         want = committed.get(name)
@@ -184,16 +197,24 @@ def check(measured: dict[str, float], path: Path) -> int:
             f"[check] {name}: {got:.2f} ms vs committed {want:.2f} ms "
             f"(bound {bound:.2f} ms) {verdict}"
         )
+    for name in committed:
+        if name not in measured:
+            print(f"[check] {name}: committed but NOT MEASURED — failing")
+            status = 1
     return status
 
 
-def write_json(measured: dict[str, float], path: Path) -> None:
+def write_json(measured: dict[str, float], path: Path,
+               label: str | None = None) -> None:
     entries = _load_entries(path)
-    entries.append({
+    entry = {
         "date": date.today().isoformat(),
         "git_sha": _git_sha(),
-        "benches": measured,
-    })
+    }
+    if label is not None:
+        entry["label"] = label
+    entry["benches"] = measured
+    entries.append(entry)
     path.write_text(json.dumps({"entries": entries}, indent=2) + "\n")
     print(f"[json] appended entry to {path}")
 
@@ -209,7 +230,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", nargs="?", const=str(DEFAULT_JSON),
                         default=None, metavar="PATH",
                         help="fail on a >2.5x regression of any bench vs "
-                             "the last committed trajectory entry")
+                             "its most recent committed baseline")
+    parser.add_argument("--record", default=None, metavar="LABEL",
+                        help="append a labelled entry (date + git sha + "
+                             "LABEL) to the default trajectory file")
     args = parser.parse_args(argv)
 
     measured = measure(args.reps)
@@ -221,6 +245,8 @@ def main(argv: list[str] | None = None) -> int:
         status = check(measured, Path(args.check))
     if args.json is not None:
         write_json(measured, Path(args.json))
+    if args.record is not None:
+        write_json(measured, DEFAULT_JSON, label=args.record)
     return status
 
 

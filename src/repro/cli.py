@@ -88,7 +88,8 @@ def _cmd_loop(args: argparse.Namespace) -> int:
     print(f"{'strategy':8s}  {'correct':7s}  {'instructions':>12s}  "
           f"{'cycles':>8s}  {'replays':>7s}")
     for strategy in Strategy:
-        run = run_loop(spec, strategy, seed=args.seed, n_override=args.n)
+        run = run_loop(spec, strategy, seed=args.seed, n_override=args.n,
+                       lane_engine=args.lane_engine)
         print(
             f"{strategy.value:8s}  {str(run.correct):7s}  "
             f"{run.emu.dynamic_instructions:12d}  {run.pipe.cycles:8d}  "
@@ -135,6 +136,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             report = verify_loop(
                 spec, strategy, seed=args.seed,
                 n_override=args.n, timing=not args.no_timing,
+                lane_engine=args.lane_engine,
             )
             total += 1
             violations += len(report.violations)
@@ -164,6 +166,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         timeout_s=args.timeout,
         trace_mode=args.trace_mode,
+        lane_engine=args.lane_engine,
         progress=print,
     )
     for name in names:
@@ -322,6 +325,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         strategy=Strategy(args.strategy),
         n_override=args.n,
         trace_mode=args.trace_mode,
+        lane_engine=args.lane_engine,
+        lane_engine_diff=args.lane_engine_diff,
         shrink=not args.no_shrink,
         use_cache=not args.no_cache,
         out_dir=Path(args.out),
@@ -331,7 +336,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     obj = report.to_obj()
     print(f"fuzz: generator v{obj['generator_version']} seed={cfg.seed} "
           f"count={cfg.count} strategy={cfg.strategy.value}"
-          + (f" plant={cfg.plant}" if cfg.plant else ""))
+          + (f" plant={cfg.plant}" if cfg.plant else "")
+          + (" lane-engine-diff" if cfg.lane_engine_diff else ""))
     for outcome in report.outcomes:
         if outcome.status == "ok":
             continue
@@ -388,6 +394,10 @@ def main(argv: list[str] | None = None) -> int:
     p_loop.add_argument("loop")
     p_loop.add_argument("-n", type=int, default=None)
     p_loop.add_argument("--seed", type=int, default=0)
+    p_loop.add_argument("--lane-engine", choices=("python", "numpy"),
+                        default=None,
+                        help="emulator vector engine (default: numpy when "
+                             "available); results are identical")
 
     p_dis = sub.add_parser("disasm", help="print a loop's generated program")
     p_dis.add_argument("workload")
@@ -412,6 +422,10 @@ def main(argv: list[str] | None = None) -> int:
     p_ver.add_argument("--seed", type=int, default=0)
     p_ver.add_argument("--no-timing", action="store_true",
                        help="skip the LSU differential cross-check")
+    p_ver.add_argument("--lane-engine", choices=("python", "numpy"),
+                       default=None,
+                       help="emulator vector engine (default: numpy when "
+                            "available); results are identical")
 
     p_swp = sub.add_parser(
         "sweep",
@@ -438,6 +452,10 @@ def main(argv: list[str] | None = None) -> int:
                        default="stream",
                        help="fused streaming simulation (default) or the "
                             "materialised-trace path; results are identical")
+    p_swp.add_argument("--lane-engine", choices=("python", "numpy"),
+                       default=None,
+                       help="emulator vector engine (default: numpy when "
+                            "available); results are identical")
 
     p_trc = sub.add_parser(
         "trace",
@@ -548,6 +566,14 @@ def main(argv: list[str] | None = None) -> int:
                        default="stream",
                        help="fused streaming checks (default) or the "
                             "materialised-trace path; results are identical")
+    p_fuz.add_argument("--lane-engine", choices=("python", "numpy"),
+                       default=None,
+                       help="emulator vector engine for the checks "
+                            "(default: numpy when available)")
+    p_fuz.add_argument("--lane-engine-diff", action="store_true",
+                       help="run every kernel through BOTH lane engines "
+                            "and demand bit-identical memory, metrics and "
+                            "monitor verdicts (bypasses the result cache)")
     p_fuz.add_argument("--no-shrink", action="store_true",
                        help="report failures without minimising them")
     p_fuz.add_argument("--no-cache", action="store_true",

@@ -27,9 +27,11 @@ from repro.common.errors import (
     ReplayBoundExceededError,
     SrvError,
 )
+from repro.emu import lanes as _lanes
+from repro.emu.lanes import NumpyFallback, np as _np, scalar_i64
 from repro.emu.metrics import EmuMetrics
 from repro.emu.speculative import SpeculativeBuffer
-from repro.emu.state import ArchState
+from repro.emu.state import ArchState, make_arch_state
 from repro.isa.instructions import (
     Branch,
     BranchCond,
@@ -62,7 +64,14 @@ from repro.isa.instructions import (
     VecStoreScatter,
 )
 from repro.isa.program import Program
-from repro.memory.image import MemoryImage, to_signed, to_unsigned
+from repro.isa.registers import Imm, ScalarReg, VecReg
+from repro.memory.image import (
+    MemoryImage,
+    to_signed,
+    to_signed_array,
+    to_unsigned,
+    to_unsigned_array,
+)
 from repro.observe import events as _obs
 from repro.pipeline.decode import DecodeTable
 from repro.pipeline.trace import (
@@ -161,13 +170,24 @@ class Interpreter:
         max_steps: int = 50_000_000,
         tracer: Tracer | None = None,
         interrupt_at_step: int | None = None,
+        lane_engine: str | None = None,
     ) -> None:
         program.validate()
         self.program = program
         self.memory = memory
         self.config = config
         self.lanes = config.vector_lanes
-        self.state = ArchState(lanes=self.lanes)
+        #: lane engine: "python" executes vector ops as per-lane loops,
+        #: "numpy" (the default when numpy is available) batches all lanes
+        #: of an op through the kernels in repro.emu.lanes — bit-identical
+        self.lane_engine = _lanes.resolve_engine(lane_engine)
+        self.state = make_arch_state(self.lanes, self.lane_engine)
+        if self.lane_engine == "numpy":
+            self._handlers = _NP_HANDLERS
+            self._iota = _np.arange(self.lanes, dtype=_np.int64)
+            self._extra_cache: tuple | None = None
+        else:
+            self._handlers = _HANDLERS
         self.metrics = EmuMetrics()
         self.max_steps = max_steps
         self.tracer = tracer
@@ -330,13 +350,14 @@ class Interpreter:
         buffer: SpeculativeBuffer | None,
         region_offset: int,
     ) -> int:
-        handler = _HANDLERS.get(type(inst))
+        handlers = self._handlers
+        handler = handlers.get(type(inst))
         if handler is None:
             # subclasses of known instruction types still dispatch; cache
             # the resolution so the scan happens once per type
-            for klass, fn in list(_HANDLERS.items()):
+            for klass, fn in list(handlers.items()):
                 if isinstance(inst, klass):
-                    _HANDLERS[type(inst)] = fn
+                    handlers[type(inst)] = fn
                     handler = fn
                     break
             else:
@@ -588,8 +609,6 @@ class Interpreter:
         return mask
 
     def _vec_operand(self, operand, lane: int, elem: int) -> int:
-        from repro.isa.registers import Imm, ScalarReg, VecReg
-
         if isinstance(operand, VecReg):
             return self.state.read_lane(operand, lane, elem)
         if isinstance(operand, Imm):
@@ -597,6 +616,308 @@ class Interpreter:
         if isinstance(operand, ScalarReg):
             return self.state.read_scalar(operand)
         raise IsaError(f"bad vector operand {operand!r}")
+
+    # ---- lane-batched (numpy) handlers ----------------------------------
+    #
+    # Installed via _NP_HANDLERS when lane_engine == "numpy".  Each batches
+    # all lanes of an op through the kernels in repro.emu.lanes; results
+    # are bit-identical to the per-lane handlers above (see the module
+    # docstring of repro.emu.lanes for the congruence argument).  Anything
+    # the kernels cannot represent — an immediate outside signed 64-bit,
+    # a gather index that would overflow int64 address arithmetic — raises
+    # NumpyFallback *before any state is mutated* and the op re-executes
+    # through the scalar Python handler, which accepts NumpyArchState via
+    # its ArchState-compatible API.
+    #
+    # Irreducibly sequential parts stay element-wise by design:
+    # speculative-buffer traffic (SRV conflict witnessing must observe
+    # loads/stores in lane order), traced runs (MemAccess event order is
+    # part of the canonical trace), and scatter commits (overlapping
+    # lanes resolve by lane order).
+
+    def _extra_np(self, extra_mask: list[bool]):
+        """Bool-array view of the SRV replay mask, cached by identity.
+
+        The region executor allocates a fresh ``active`` list per pass and
+        never mutates one in place, so object identity is a sound cache
+        key; the tuple holds a strong reference to keep the id stable.
+        """
+        cached = self._extra_cache
+        if cached is not None and cached[0] is extra_mask:
+            return cached[1]
+        arr = _np.asarray(extra_mask, dtype=_np.bool_)
+        self._extra_cache = (extra_mask, arr)
+        return arr
+
+    def _mask_np(self, pred, extra_mask: list[bool] | None):
+        mask = self.state.mask_np(pred)
+        if extra_mask is not None:
+            mask = mask & self._extra_np(extra_mask)
+        return mask
+
+    def _np_vec_operand(self, operand, elem: int):
+        if isinstance(operand, VecReg):
+            return self.state.vec_signed(operand, elem)
+        if isinstance(operand, Imm):
+            return scalar_i64(operand.value)
+        if isinstance(operand, ScalarReg):
+            return self.state.read_scalar(operand)
+        raise IsaError(f"bad vector operand {operand!r}")
+
+    def _np_vec_alu(self, inst, pc, extra_mask, buffer, region_offset):
+        op = inst.op
+        fn = _NP_ALU_DISPATCH.get(op)
+        if fn is None:
+            fn = _lanes.NP_ALU_BY_NAME.get(op.name)
+            if fn is None:
+                raise IsaError(f"unhandled ALU opcode {op}")
+            _NP_ALU_DISPATCH[op] = fn
+        state = self.state
+        elem = inst.elem
+        try:
+            a = state.vec_signed(inst.src1, elem)
+            b = (
+                self._np_vec_operand(inst.src2, elem)
+                if inst.src2 is not None
+                else None
+            )
+            c = (
+                state.vec_signed(inst.src3, elem)
+                if inst.src3 is not None
+                else 0
+            )
+        except NumpyFallback:
+            return self._op_vec_alu(inst, pc, extra_mask, buffer, region_offset)
+        mask = self._mask_np(inst.pred, extra_mask)
+        state.write_masked_np(inst.dst, fn(a, b, c), mask, elem)
+        return pc + 1
+
+    def _np_vec_splat(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask_np(inst.pred, extra_mask)
+        # wrap in exact Python arithmetic: splat immediates may exceed int64
+        wrapped = to_unsigned(state.read_operand(inst.src), inst.elem)
+        _np.copyto(state.vec_raw(inst.dst), _np.uint64(wrapped), where=mask)
+        return pc + 1
+
+    def _np_vec_index(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        try:
+            start = scalar_i64(state.read_operand(inst.start))
+            step = scalar_i64(state.read_operand(inst.step))
+        except NumpyFallback:
+            return self._op_vec_index(inst, pc, extra_mask, buffer, region_offset)
+        mask = self._mask_np(None, extra_mask)  # VecIndex is unpredicated
+        values = self._iota * step + start
+        state.write_masked_np(inst.dst, values, mask, inst.elem)
+        return pc + 1
+
+    def _np_vec_reduce(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask_np(inst.pred, extra_mask)
+        if inst.op == "or":
+            raw = to_unsigned_array(state.vec_raw(inst.src), inst.elem)[mask]
+            result = int(_np.bitwise_or.reduce(raw)) if raw.size else 0
+        else:
+            values = state.vec_signed(inst.src, inst.elem)[mask]
+            if inst.op == "add":
+                result = int(values.sum())  # int64 wrap ≡ Python sum mod 2**64
+            elif inst.op == "min":
+                result = int(values.min()) if values.size else 0
+            else:  # "max"
+                result = int(values.max()) if values.size else 0
+        state.write_scalar(inst.dst, result)
+        return pc + 1
+
+    def _np_vec_cmp(self, inst, pc, extra_mask, buffer, region_offset):
+        op = inst.op
+        fn = _NP_COMPARE_DISPATCH.get(op)
+        if fn is None:
+            fn = _lanes.NP_COMPARE_BY_NAME[op.name]
+            _NP_COMPARE_DISPATCH[op] = fn
+        state = self.state
+        try:
+            a = state.vec_signed(inst.src1, inst.elem)
+            b = self._np_vec_operand(inst.src2, inst.elem)
+        except NumpyFallback:
+            return self._op_vec_cmp(inst, pc, extra_mask, buffer, region_offset)
+        mask = self._mask_np(inst.pred, extra_mask)
+        state.pred[inst.dst.index] = fn(a, b) & mask
+        return pc + 1
+
+    def _np_pred_set_all(self, inst, pc, extra_mask, buffer, region_offset):
+        self.state.pred[inst.dst.index].fill(inst.value)
+        return pc + 1
+
+    def _np_pred_count(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        state.write_scalar(inst.dst, int(state.pred[inst.src.index].sum()))
+        return pc + 1
+
+    def _np_pred_first_n(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        n = max(0, min(self.lanes, state.read_scalar(inst.count)))
+        state.pred[inst.dst.index] = self._iota < n
+        return pc + 1
+
+    def _np_pred_range(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        lo = state.read_scalar(inst.lo)
+        hi = state.read_scalar(inst.hi)
+        iota = self._iota
+        state.pred[inst.dst.index] = (lo <= iota) & (iota < hi)
+        return pc + 1
+
+    def _np_pred_logic(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        a = state.pred[inst.src1.index]
+        if inst.op == "not":
+            out = ~a
+        else:
+            b = state.pred[inst.src2.index]
+            if inst.op == "and":
+                out = a & b
+            elif inst.op == "or":
+                out = a | b
+            elif inst.op == "xor":
+                out = a ^ b
+            else:  # andnot
+                out = a & ~b
+        state.pred[inst.dst.index] = out
+        return pc + 1
+
+    # ---- lane-batched vector memory -------------------------------------
+
+    def _np_vec_load_contig(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask_np(inst.pred, extra_mask)
+        base = state.read_scalar(inst.base) + inst.offset
+        elem = inst.elem
+        broadcast = isinstance(inst, VecLoadBroadcast)
+        row = state.vec_raw(inst.dst)
+        if buffer is None and self.tracer is None:
+            # bulk path: untraced, non-speculative — touch order is
+            # unobservable, so one batched read covers all lanes
+            if not mask.any():
+                return pc + 1
+            if broadcast:
+                raw = self.memory.read_int(base, elem)
+                _np.copyto(row, _np.uint64(raw), where=mask)
+                return pc + 1
+            if bool(mask.all()):
+                row[:] = self.memory.read_lanes(base, elem, self.lanes)
+                return pc + 1
+            if -(1 << 62) <= base <= (1 << 62):  # int64 address math safe
+                idx = _np.flatnonzero(mask)
+                addrs = (base + idx * elem).astype(_np.int64)
+                row[idx] = self.memory.gather_lanes(addrs, elem)
+                return pc + 1
+        # sequential path: speculative-buffer touch order / trace events
+        out = [0] * self.lanes
+        mlist = mask.tolist()
+        for lane in range(self.lanes):
+            if not mlist[lane]:
+                continue
+            addr = base if broadcast else base + lane * elem
+            out[lane] = self._read_mem(addr, elem, lane, buffer, region_offset)
+        _np.copyto(row, _np.asarray(out, dtype=_np.uint64), where=mask)
+        return pc + 1
+
+    def _np_vec_load_gather(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask_np(inst.pred, extra_mask)
+        base = state.read_scalar(inst.base)
+        try:
+            scale = scalar_i64(inst.effective_scale)
+            idx_vals = state.vec_signed(inst.index, inst.index_elem)
+            self._guard_addr_math(base, idx_vals, scale, inst.index_elem)
+        except NumpyFallback:
+            return self._op_vec_load_gather(
+                inst, pc, extra_mask, buffer, region_offset
+            )
+        elem = inst.elem
+        row = state.vec_raw(inst.dst)
+        if buffer is None and self.tracer is None:
+            if not mask.any():
+                return pc + 1
+            idx = _np.flatnonzero(mask)
+            addrs = base + idx_vals[idx] * scale
+            row[idx] = self.memory.gather_lanes(addrs, elem)
+            return pc + 1
+        addrs = (base + idx_vals * scale).tolist()
+        out = [0] * self.lanes
+        mlist = mask.tolist()
+        for lane in range(self.lanes):
+            if not mlist[lane]:
+                continue
+            out[lane] = self._read_mem(
+                addrs[lane], elem, lane, buffer, region_offset
+            )
+        _np.copyto(row, _np.asarray(out, dtype=_np.uint64), where=mask)
+        return pc + 1
+
+    def _np_vec_store_contig(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask_np(inst.pred, extra_mask)
+        base = state.read_scalar(inst.base) + inst.offset
+        elem = inst.elem
+        values = to_unsigned_array(state.vec_raw(inst.src), elem)
+        if buffer is None and self.tracer is None and bool(mask.all()):
+            self.memory.write_lanes(base, elem, values)
+            return pc + 1
+        vlist = values.tolist()
+        mlist = mask.tolist()
+        for lane in range(self.lanes):
+            if mlist[lane]:
+                self._write_mem(
+                    base + lane * elem, elem, vlist[lane], lane,
+                    buffer, region_offset,
+                )
+        return pc + 1
+
+    def _np_vec_store_scatter(self, inst, pc, extra_mask, buffer, region_offset):
+        state = self.state
+        mask = self._mask_np(inst.pred, extra_mask)
+        base = state.read_scalar(inst.base)
+        try:
+            scale = scalar_i64(inst.effective_scale)
+            idx_vals = state.vec_signed(inst.index, inst.index_elem)
+            self._guard_addr_math(base, idx_vals, scale, inst.index_elem)
+        except NumpyFallback:
+            return self._op_vec_store_scatter(
+                inst, pc, extra_mask, buffer, region_offset
+            )
+        elem = inst.elem
+        # overlapping scatter lanes must commit in lane order, so stores
+        # stay element-wise; only the address/value computation is batched
+        addrs = (base + idx_vals * scale).tolist()
+        vlist = to_unsigned_array(state.vec_raw(inst.src), elem).tolist()
+        mlist = mask.tolist()
+        for lane in range(self.lanes):
+            if mlist[lane]:
+                self._write_mem(
+                    addrs[lane], elem, vlist[lane], lane, buffer, region_offset
+                )
+        return pc + 1
+
+    @staticmethod
+    def _guard_addr_math(base: int, idx_vals, scale: int, index_elem: int) -> None:
+        """Reject gather/scatter geometry that could wrap int64 addresses.
+
+        With ``|base| <= 2**62``, ``|index| <= 2**40`` and
+        ``|scale| <= 2**20`` the per-lane ``base + index * scale`` sums
+        stay strictly inside int64.  Anything larger is far outside the
+        memory image anyway — the Python handler re-executes it with
+        arbitrary-precision addresses and raises the exact per-lane
+        MemoryAccessError.
+        """
+        if not -(1 << 62) <= base <= (1 << 62):
+            raise NumpyFallback(f"base address {base} outside batched range")
+        if not -(1 << 20) <= scale <= (1 << 20):
+            raise NumpyFallback(f"gather scale {scale} too large")
+        if index_elem == 8:
+            if int(idx_vals.min()) < -(1 << 40) or int(idx_vals.max()) > 1 << 40:
+                raise NumpyFallback("gather index outside batched address range")
 
     # ------------------------------------------------------------- SRV region
 
@@ -861,6 +1182,34 @@ _HANDLERS: dict[type, object] = {
     VecStoreScatter: Interpreter._op_vec_store_scatter,
 }
 
+#: Dispatch table for the lane-batched engine: scalar/control ops share
+#: the Python handlers (they are not lane-parallel); vector and predicate
+#: ops route through the numpy kernels.
+_NP_HANDLERS: dict[type, object] = dict(_HANDLERS)
+_NP_HANDLERS.update(
+    {
+        VecALU: Interpreter._np_vec_alu,
+        VecSplat: Interpreter._np_vec_splat,
+        VecIndex: Interpreter._np_vec_index,
+        VecReduce: Interpreter._np_vec_reduce,
+        VecCmp: Interpreter._np_vec_cmp,
+        PredSetAll: Interpreter._np_pred_set_all,
+        PredCount: Interpreter._np_pred_count,
+        PredFirstN: Interpreter._np_pred_first_n,
+        PredRange: Interpreter._np_pred_range,
+        PredLogic: Interpreter._np_pred_logic,
+        VecLoadContig: Interpreter._np_vec_load_contig,
+        VecLoadBroadcast: Interpreter._np_vec_load_contig,
+        VecLoadGather: Interpreter._np_vec_load_gather,
+        VecStoreContig: Interpreter._np_vec_store_contig,
+        VecStoreScatter: Interpreter._np_vec_store_scatter,
+    }
+)
+
+#: per-enum-member caches for the numpy ALU / compare kernel lookup
+_NP_ALU_DISPATCH: dict = {}
+_NP_COMPARE_DISPATCH: dict = {}
+
 
 def run_program(
     program: Program,
@@ -868,8 +1217,11 @@ def run_program(
     config: MachineConfig = TABLE_I,
     max_steps: int = 50_000_000,
     tracer: Tracer | None = None,
+    lane_engine: str | None = None,
 ) -> tuple[EmuMetrics, ArchState]:
     """Convenience wrapper: run ``program`` to completion."""
-    interp = Interpreter(program, memory, config, max_steps, tracer)
+    interp = Interpreter(
+        program, memory, config, max_steps, tracer, lane_engine=lane_engine
+    )
     metrics = interp.run()
     return metrics, interp.state

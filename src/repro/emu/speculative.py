@@ -68,6 +68,15 @@ class SpeculativeBuffer:
     _loads: dict[tuple[int, int], _LoadRecord] = field(default_factory=dict)
     needs_replay: set[int] = field(default_factory=set)
     _tick: int = 0
+    # Conservative address bounds over all buffered stores / recorded loads.
+    # They only ever grow within a region instance (replay passes replace
+    # records in place, so a shrunk record leaves stale — safe — bounds);
+    # an access wholly outside them provably overlaps nothing, which is the
+    # overwhelmingly common case and skips the record scans entirely.
+    _smin: int = 1 << 62
+    _smax: int = -(1 << 62)
+    _lmin: int = 1 << 62
+    _lmax: int = -(1 << 62)
 
     # -- helpers -------------------------------------------------------------
 
@@ -94,19 +103,27 @@ class SpeculativeBuffer:
         """
         self._tick += 1
         self._loads[(instr, lane)] = _LoadRecord(addr, size, lane, instr, self._tick)
+        end = addr + size
+        if addr < self._lmin:
+            self._lmin = addr
+        if end > self._lmax:
+            self._lmax = end
+        if addr >= self._smax or end <= self._smin:
+            # no buffered store can overlap: plain memory read
+            return self.memory.read_int(addr, size), False
 
-        result = bytearray(self.memory.read_bytes(addr, size))
         my_pos = (lane, instr)
-        forwarded = False
         war_seen = False
-        # Per-byte: pick the store with the greatest sequential position that
-        # is still older than this load.
-        best_pos: list[tuple[int, int] | None] = [None] * size
+        overlapping: list[_StoreRecord] | None = None
         for record in self._stores.values():
-            if not record.overlaps(addr, size):
+            if record.addr >= end or addr >= record.addr + record.size:
                 continue
-            rec_pos = (record.lane, record.instr)
-            if not self._precedes(rec_pos, my_pos):
+            if (record.lane, record.instr) < my_pos:
+                if overlapping is None:
+                    overlapping = [record]
+                else:
+                    overlapping.append(record)
+            else:
                 # A sequentially *later* store already wrote these bytes:
                 # WAR — forwarding suppressed, bytes must come from elsewhere.
                 war_seen = True
@@ -115,44 +132,61 @@ class SpeculativeBuffer:
                     # lane's transaction aborts and re-executes.
                     self.needs_replay.add(record.lane)
                     self.metrics.tm_war_replays += 1
-                continue
+        if war_seen:
+            self.metrics.war_events += 1
+        if overlapping is None:
+            return self.memory.read_int(addr, size), False
+
+        # Per-byte: pick the store with the greatest sequential position that
+        # is still older than this load.
+        result = bytearray(self.memory.read_bytes(addr, size))
+        forwarded = False
+        best_pos: list[tuple[int, int] | None] = [None] * size
+        for record in overlapping:
+            rec_pos = (record.lane, record.instr)
             lo = max(addr, record.addr)
-            hi = min(addr + size, record.addr + record.size)
+            hi = min(end, record.addr + record.size)
             for byte_addr in range(lo, hi):
                 idx = byte_addr - addr
                 if best_pos[idx] is None or best_pos[idx] < rec_pos:
                     best_pos[idx] = rec_pos
                     result[idx] = record.data[byte_addr - record.addr]
                     forwarded = True
-        if war_seen:
-            self.metrics.war_events += 1
-        return int.from_bytes(bytes(result), "little"), forwarded
+        return int.from_bytes(result, "little"), forwarded
 
     # -- store ----------------------------------------------------------------
 
     def store(self, addr: int, size: int, value: int, lane: int, instr: int) -> None:
         self._tick += 1
         data = (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
+        end = addr + size
 
         # WAW: an overlapping buffered store in a *later* lane already
         # executed; ordered commit will keep the latest program-order data.
-        for record in self._stores.values():
-            if record.lane > lane and record.overlaps(addr, size):
-                self.metrics.waw_events += 1
-                break
+        if addr < self._smax and end > self._smin:
+            for record in self._stores.values():
+                if record.lane > lane and record.overlaps(addr, size):
+                    self.metrics.waw_events += 1
+                    break
 
         # Horizontal RAW: any load in a sequentially later position that
         # already executed (machine time) read stale bytes — flag its lane.
-        for load in self._loads.values():
-            if load.lane <= lane:
-                continue
-            if load.tick >= self._tick:
-                continue
-            if load.addr < addr + size and addr < load.addr + load.size:
-                self.needs_replay.add(load.lane)
-                self.metrics.raw_violations += 1
+        if addr < self._lmax and end > self._lmin:
+            tick = self._tick
+            for load in self._loads.values():
+                if load.lane <= lane:
+                    continue
+                if load.tick >= tick:
+                    continue
+                if load.addr < end and addr < load.addr + load.size:
+                    self.needs_replay.add(load.lane)
+                    self.metrics.raw_violations += 1
 
         self._stores[(instr, lane)] = _StoreRecord(addr, size, data, lane, instr)
+        if addr < self._smin:
+            self._smin = addr
+        if end > self._smax:
+            self._smax = end
 
     # -- commit -----------------------------------------------------------------
 
@@ -167,10 +201,15 @@ class SpeculativeBuffer:
         ):
             self.memory.write_bytes(record.addr, record.data)
 
+    def _reset_bounds(self) -> None:
+        self._smin = self._lmin = 1 << 62
+        self._smax = self._lmax = -(1 << 62)
+
     def discard(self) -> None:
         self._stores.clear()
         self._loads.clear()
         self.needs_replay.clear()
+        self._reset_bounds()
 
     def commit_prefix(self, oldest_lane: int, offset: int) -> None:
         """Context-switch writeback (section III-D2).
@@ -192,3 +231,4 @@ class SpeculativeBuffer:
         self._stores.clear()
         self._loads.clear()
         self.needs_replay.clear()
+        self._reset_bounds()

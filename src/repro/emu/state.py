@@ -21,9 +21,19 @@ from repro.isa.registers import (
     ScalarReg,
     VecReg,
 )
-from repro.memory.image import to_signed, to_unsigned
+from repro.memory.image import (
+    to_signed,
+    to_signed_array,
+    to_unsigned,
+    to_unsigned_array,
+)
 
 SCALAR_BYTES = 8
+
+try:  # numpy backs the lane-batched engine; the scalar engine never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None  # type: ignore[assignment]
 
 
 @dataclass
@@ -105,3 +115,120 @@ class ArchState:
             tuple(tuple(lane_vals) for lane_vals in self.vector),
             tuple(tuple(mask) for mask in self.pred),
         )
+
+
+class NumpyArchState:
+    """Architectural state backed by numpy arrays for the lane-batched engine.
+
+    Register *contents* are identical to :class:`ArchState`: each vector
+    lane stores the element-size-wrapped unsigned value of the writing
+    instruction (held in a ``uint64`` row per register), and predicates
+    are per-lane booleans.  Scalar registers stay Python ints — scalar
+    ops are not lane-parallel and Python arithmetic is faster there.
+
+    The full :class:`ArchState` API is provided (so per-lane handlers,
+    the SRV sequential fallback, and tracer paths run unmodified), plus
+    numpy-native accessors (:meth:`vec_signed`, :meth:`vec_raw`,
+    :meth:`write_masked_np`, :meth:`mask_np`) used by the batched
+    kernels in :mod:`repro.emu.lanes`.
+    """
+
+    __slots__ = ("lanes", "pc", "halted", "scalar", "vector", "pred", "_ones")
+
+    def __init__(self, lanes: int = 16) -> None:
+        if _np is None:  # pragma: no cover - guarded by lanes.resolve_engine
+            raise RuntimeError("NumpyArchState requires numpy")
+        self.lanes = lanes
+        self.pc = 0
+        self.halted = False
+        self.scalar = [0] * NUM_SCALAR_REGS
+        self.vector = _np.zeros((NUM_VECTOR_REGS, lanes), dtype=_np.uint64)
+        self.pred = _np.zeros((NUM_PRED_REGS, lanes), dtype=_np.bool_)
+        self._ones = _np.ones(lanes, dtype=_np.bool_)
+
+    # -- scalar (identical to ArchState) ------------------------------------
+
+    def read_scalar(self, reg: ScalarReg) -> int:
+        return to_signed(self.scalar[reg.index], SCALAR_BYTES)
+
+    def write_scalar(self, reg: ScalarReg, value: int) -> None:
+        self.scalar[reg.index] = to_unsigned(value, SCALAR_BYTES)
+
+    def read_operand(self, operand: ScalarOperand) -> int:
+        if isinstance(operand, Imm):
+            return operand.value
+        return self.read_scalar(operand)
+
+    # -- vector: ArchState-compatible API ------------------------------------
+
+    def read_vector(self, reg: VecReg) -> list[int]:
+        return self.vector[reg.index].tolist()
+
+    def read_lane(self, reg: VecReg, lane: int, elem: int, signed: bool = True) -> int:
+        raw = to_unsigned(int(self.vector[reg.index][lane]), elem)
+        return to_signed(raw, elem) if signed else raw
+
+    def write_lane(self, reg: VecReg, lane: int, value: int, elem: int) -> None:
+        self.vector[reg.index][lane] = to_unsigned(value, elem)
+
+    def write_vector_masked(
+        self, reg: VecReg, values: list[int], mask: list[bool], elem: int
+    ) -> None:
+        """Merging write (III-D5), Python-list flavour for compat callers."""
+        dest = self.vector[reg.index]
+        for lane, active in enumerate(mask):
+            if active:
+                dest[lane] = to_unsigned(values[lane], elem)
+
+    # -- vector: numpy-native API --------------------------------------------
+
+    def vec_raw(self, reg: VecReg) -> "_np.ndarray":
+        """The stored uint64 lanes (a view — do not mutate)."""
+        return self.vector[reg.index]
+
+    def vec_signed(self, reg: VecReg, elem: int) -> "_np.ndarray":
+        """Sign-extended int64 lanes at the given element size."""
+        return to_signed_array(self.vector[reg.index], elem)
+
+    def write_masked_np(
+        self, reg: VecReg, values: "_np.ndarray", mask: "_np.ndarray", elem: int
+    ) -> None:
+        """Merging write (III-D5): active lanes take the wrapped values."""
+        _np.copyto(self.vector[reg.index], to_unsigned_array(values, elem), where=mask)
+
+    def mask_np(self, pred: PredReg | None) -> "_np.ndarray":
+        """Effective mask as a bool array (a view / shared — do not mutate)."""
+        if pred is None:
+            return self._ones
+        return self.pred[pred.index]
+
+    # -- predicates -----------------------------------------------------------
+
+    def read_pred(self, reg: PredReg) -> list[bool]:
+        return self.pred[reg.index].tolist()
+
+    def write_pred(self, reg: PredReg, mask) -> None:
+        if len(mask) != self.lanes:
+            raise ValueError(f"predicate width {len(mask)} != lanes {self.lanes}")
+        self.pred[reg.index] = mask
+
+    def effective_mask(self, pred: PredReg | None) -> list[bool]:
+        if pred is None:
+            return [True] * self.lanes
+        return self.read_pred(pred)
+
+    # -- snapshots ------------------------------------------------------------
+
+    def registers_snapshot(self) -> tuple:
+        return (
+            tuple(self.scalar),
+            tuple(tuple(row.tolist()) for row in self.vector),
+            tuple(tuple(row.tolist()) for row in self.pred),
+        )
+
+
+def make_arch_state(lanes: int, engine: str):
+    """Build the architectural state for a resolved lane engine."""
+    if engine == "numpy":
+        return NumpyArchState(lanes)
+    return ArchState(lanes)

@@ -81,6 +81,14 @@ class FuzzConfig:
     config: MachineConfig = TABLE_I
     n_override: int | None = None
     trace_mode: str = "stream"
+    #: emulator lane engine ("python" / "numpy"); ``None`` = process default
+    lane_engine: str | None = None
+    #: two-engine differential mode: run every kernel through *both* lane
+    #: engines and demand identical memory, metrics, registers, and
+    #: monitor verdicts.  Executes outside the result cache by
+    #: construction (both runs happen here), so a warm cache can never
+    #: make the comparison vacuous.
+    lane_engine_diff: bool = False
     shrink: bool = True
     use_cache: bool = True
     out_dir: Path | None = None
@@ -214,6 +222,77 @@ def _mutated_check(
     return True, None
 
 
+def _lane_engine_diff_check(
+    spec: LoopSpec, cfg: FuzzConfig, n: int
+) -> tuple[bool, str | None]:
+    """Run one kernel through both lane engines and demand identity.
+
+    Both executions happen right here on fresh memory — never through
+    the result cache — so the comparison is real even when a prior
+    campaign already populated the cache for this kernel.  Compared per
+    engine: emulator metrics, final register file, final memory image,
+    and the invariant-monitor verdicts over the dynamic trace.
+    """
+    from repro.emu import run_program
+    from repro.emu.lanes import ENGINES, resolve_engine
+    from repro.pipeline import Tracer
+    from repro.verify.monitors import run_monitors
+
+    resolve_engine("numpy")  # fail fast when the numpy engine is absent
+    results: dict[str, tuple] = {}
+    arrays: dict = {}
+    for engine in ENGINES:
+        arrays = spec.arrays(cfg.seed)
+        mem = MemoryImage()
+        for name, init in arrays.items():
+            mem.alloc(name, len(init), spec.loop.arrays[name], init=init)
+        program = compile_loop(spec.loop, mem, n, cfg.strategy,
+                               params=spec.params)
+        tracer = Tracer()
+        try:
+            metrics, state = run_program(
+                program, mem, config=cfg.config, tracer=tracer,
+                lane_engine=engine,
+            )
+        except ReproError as exc:
+            results[engine] = ("error", f"{type(exc).__name__}: {exc}")
+            continue
+        verdicts = tuple(str(v) for v in run_monitors(tracer.ops, cfg.config))
+        results[engine] = ("ok", (
+            metrics, state.registers_snapshot(), mem.snapshot(), verdicts,
+        ))
+    python, numpy = results["python"], results["numpy"]
+    if python != numpy:
+        for label, idx in (("metrics", 0), ("registers", 1),
+                           ("memory", 2), ("monitor verdicts", 3)):
+            if (python[0] == numpy[0] == "ok"
+                    and python[1][idx] != numpy[1][idx]):
+                return False, f"lane-engine: {label} diverge between engines"
+        return False, (f"lane-engine: outcome diverges "
+                       f"(python={python[0]}, numpy={numpy[0]})")
+    if python[0] == "error":
+        return False, python[1]
+    reference = scalar_reference(spec.loop, arrays, n, params=spec.params)
+    for name in arrays:
+        mem_vals = results["numpy"][1]
+        # oracle judged on the (identical) final images via a fresh load
+        got = _snapshot_array(mem_vals[2], spec, name, arrays)
+        if got != reference[name]:
+            return False, _describe_mismatch(name, got, reference[name])
+    return True, None
+
+
+def _snapshot_array(snapshot: bytes, spec: LoopSpec, name: str,
+                    arrays: dict) -> list[int]:
+    """Re-read one named array out of a raw memory snapshot."""
+    mem = MemoryImage()
+    for alloc_name, init in arrays.items():
+        mem.alloc(alloc_name, len(init), spec.loop.arrays[alloc_name],
+                  init=init)
+    mem._data[:] = snapshot
+    return mem.load_array(mem.allocation(name))
+
+
 def check_kernel(
     spec: LoopSpec,
     cfg: FuzzConfig,
@@ -225,11 +304,14 @@ def check_kernel(
     if cfg.plant is not None:
         return _mutated_check(spec, PLANTS[cfg.plant], cfg.strategy,
                               cfg.seed, cfg.config, n)
+    if cfg.lane_engine_diff:
+        return _lane_engine_diff_check(spec, cfg, n)
     try:
         run = run_loop(
             spec, cfg.strategy, seed=cfg.seed, config=cfg.config,
             validate_lsu=True, check_oracle=True, n_override=cfg.n_override,
-            trace_mode=cfg.trace_mode, use_cache=use_cache,
+            trace_mode=cfg.trace_mode, lane_engine=cfg.lane_engine,
+            use_cache=use_cache,
         )
     except ReproError as exc:
         return False, f"{type(exc).__name__}: {exc}"

@@ -38,6 +38,18 @@ from repro.isa.instructions import SrvDirection
 from repro.lsu.entries import AccessType, LsuEntry
 from repro.lsu.vertical import vob_for_pair
 
+try:  # optional: enables the lane-batched violation-vector construction
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None  # type: ignore[assignment]
+
+#: Cached ``arange(region_bytes)`` per region size for the batched path.
+_BYTE_INDEX: dict[int, "_np.ndarray"] = {}
+
+#: Offsets beyond this magnitude fall back to the per-byte Python loop so
+#: the int64 address arithmetic below provably cannot wrap.
+_ADDR_GUARD = 1 << 60
+
 
 #: Memo for :func:`horizontal_violation_vector`.  The vector is a pure
 #: function of the two entries' lane geometry *relative to the region
@@ -81,10 +93,9 @@ def horizontal_violation_vector(
     cached = _VIOLATION_MEMO.get(memo_key)
     if cached is not None:
         return cached
-    bits = 0
     # Inlined lane geometry (LsuEntry.lane_span_of_byte and
     # _issuing_lane_for_byte) with the per-entry attributes hoisted out of
-    # the per-byte loop: this function dominates LSU issue time.
+    # the per-byte evaluation: this function dominates LSU issue time.
     p_lane = prior.lane
     if prior.access is AccessType.BROADCAST:
         p_base_lane, p_contig = p_lane + prior.lanes_covered - 1, False
@@ -107,18 +118,56 @@ def horizontal_violation_vector(
             if issuing.direction is SrvDirection.DOWN
             else None
         )
-    for bit in prior_chunk.bytes_accessed.set_indices():
-        byte_addr = base + bit
-        prior_max = p_base_lane
+    p_mask = prior_chunk.bytes_accessed.bits
+    p_off = base - p_addr if p_contig else 0
+    i_off = base - i_addr if i_contig else 0
+    if not p_contig and not i_contig:
+        # Both lanes are position-independent: one scalar comparison.
+        bits = p_mask if p_base_lane > i_lane else 0
+    elif (
+        _np is not None
+        and -_ADDR_GUARD < p_off < _ADDR_GUARD
+        and -_ADDR_GUARD < i_off < _ADDR_GUARD
+    ):
+        # Lane-batched construction: evaluate the per-byte predicate
+        # prior-lane(byte) > issuing-lane(byte) over the whole alignment
+        # region at once, then mask to the prior's bytes-accessed vector.
+        # The offset guard keeps every int64 intermediate exact.
+        idx = _BYTE_INDEX.get(region_bytes)
+        if idx is None:
+            idx = _np.arange(region_bytes, dtype=_np.int64)
+            _BYTE_INDEX[region_bytes] = idx
         if p_contig:
-            index = (byte_addr - p_addr) // p_elem
-            prior_max += p_mirror - index if p_mirror is not None else index
-        issuing_lane = i_lane
-        if i_contig and i_addr <= byte_addr < i_end:
-            index = (byte_addr - i_addr) // i_elem
-            issuing_lane += i_mirror - index if i_mirror is not None else index
-        if prior_max > issuing_lane:
-            bits |= 1 << bit
+            pindex = (p_off + idx) // p_elem
+            prior_max = p_base_lane + (
+                p_mirror - pindex if p_mirror is not None else pindex
+            )
+        else:
+            prior_max = p_base_lane
+        if i_contig:
+            off = i_off + idx
+            iindex = off // i_elem
+            delta = i_mirror - iindex if i_mirror is not None else iindex
+            in_span = (off >= 0) & (off < issuing.size)
+            issuing_lane = i_lane + _np.where(in_span, delta, 0)
+        else:
+            issuing_lane = i_lane
+        packed = _np.packbits(prior_max > issuing_lane, bitorder="little")
+        bits = int.from_bytes(packed.tobytes(), "little") & p_mask
+    else:
+        bits = 0
+        for bit in prior_chunk.bytes_accessed.set_indices():
+            byte_addr = base + bit
+            prior_max = p_base_lane
+            if p_contig:
+                index = (byte_addr - p_addr) // p_elem
+                prior_max += p_mirror - index if p_mirror is not None else index
+            issuing_lane = i_lane
+            if i_contig and i_addr <= byte_addr < i_end:
+                index = (byte_addr - i_addr) // i_elem
+                issuing_lane += i_mirror - index if i_mirror is not None else index
+            if prior_max > issuing_lane:
+                bits |= 1 << bit
     result = BitVector._new(region_bytes, bits)
     if len(_VIOLATION_MEMO) >= _VIOLATION_MEMO_MAX:
         _VIOLATION_MEMO.clear()
@@ -148,11 +197,19 @@ def hob_for_pair(
 ) -> dict[int, BitVector]:
     """Per-base HOB = VOB AND horizontal-violation (figure 4)."""
     result: dict[int, BitVector] = {}
-    for base, vob in vob_for_pair(issuing, prior).items():
-        violation = horizontal_violation_vector(issuing, prior, base, region_bytes)
-        hob = vob & violation
-        if hob.any():
-            result[base] = hob
+    for chunk in issuing.chunks:
+        other = prior.chunk_for_base(chunk.base)
+        if other is None:
+            continue
+        vob_bits = chunk.bytes_accessed.bits & other.bytes_accessed.bits
+        if not vob_bits:
+            continue
+        violation = horizontal_violation_vector(
+            issuing, prior, chunk.base, region_bytes
+        )
+        hob_bits = vob_bits & violation.bits
+        if hob_bits:
+            result[chunk.base] = BitVector._new(region_bytes, hob_bits)
     return result
 
 
@@ -163,18 +220,27 @@ def hob_and_forwardable(
 
     An issuing load needs both views of the same VOB/violation pair; the
     LSU calls this so the violation vector is built once per (pair, base)
-    instead of twice.
+    instead of twice.  Masks are combined as plain ints and only wrapped
+    back into :class:`BitVector` when non-empty — this pairing runs once
+    per (load, SAQ entry) and dominates load-issue time.
     """
     hobs: dict[int, BitVector] = {}
     forwardable: dict[int, BitVector] = {}
-    for base, vob in vob_for_pair(issuing, prior).items():
+    for chunk in issuing.chunks:
+        other = prior.chunk_for_base(chunk.base)
+        if other is None:
+            continue
+        vob_bits = chunk.bytes_accessed.bits & other.bytes_accessed.bits
+        if not vob_bits:
+            continue
+        base = chunk.base
         violation = horizontal_violation_vector(issuing, prior, base, region_bytes)
-        hob = vob & violation
-        if hob.any():
-            hobs[base] = hob
-        ok = vob.andnot(violation)
-        if ok.any():
-            forwardable[base] = ok
+        hob_bits = vob_bits & violation.bits
+        if hob_bits:
+            hobs[base] = BitVector._new(region_bytes, hob_bits)
+        ok_bits = vob_bits & ~violation.bits
+        if ok_bits:
+            forwardable[base] = BitVector._new(region_bytes, ok_bits)
     return hobs, forwardable
 
 
@@ -182,11 +248,14 @@ def overall_hob(
     issuing: LsuEntry, priors: list[LsuEntry], region_bytes: int
 ) -> dict[int, BitVector]:
     """OR of per-entry HOBs — "all HOB bit vectors are ORed together"."""
-    combined: dict[int, BitVector] = {}
+    combined: dict[int, int] = {}
     for prior in priors:
         for base, bv in hob_for_pair(issuing, prior, region_bytes).items():
-            combined[base] = combined[base] | bv if base in combined else bv
-    return combined
+            combined[base] = combined.get(base, 0) | bv.bits
+    return {
+        base: BitVector._new(region_bytes, bits)
+        for base, bits in combined.items()
+    }
 
 
 def replay_lanes_from_hob(
@@ -237,7 +306,7 @@ def forwardable_mask(
     result: dict[int, BitVector] = {}
     for base, vob in vob_for_pair(issuing, prior).items():
         violation = horizontal_violation_vector(issuing, prior, base, region_bytes)
-        ok = vob.andnot(violation)
-        if ok.any():
-            result[base] = ok
+        ok_bits = vob.bits & ~violation.bits
+        if ok_bits:
+            result[base] = BitVector._new(region_bytes, ok_bits)
     return result

@@ -27,9 +27,10 @@ def vob_for_pair(issuing: LsuEntry, prior: LsuEntry) -> dict[int, BitVector]:
         other = prior.chunk_for_base(chunk.base)
         if other is None:
             continue
-        overlap = chunk.bytes_accessed & other.bytes_accessed
-        if overlap.any():
-            result[chunk.base] = overlap
+        mine = chunk.bytes_accessed
+        bits = mine.bits & other.bytes_accessed.bits
+        if bits:
+            result[chunk.base] = BitVector._new(mine.width, bits)
     return result
 
 

@@ -13,6 +13,11 @@ from typing import Iterable, Sequence
 
 from repro.common.errors import MemoryAccessError
 
+try:  # optional: enables the vectorised bulk paths below
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None  # type: ignore[assignment]
+
 
 def to_unsigned(value: int, size: int) -> int:
     """Wrap a Python int into ``size``-byte two's-complement storage."""
@@ -26,6 +31,47 @@ def to_signed(value: int, size: int) -> int:
     if value >= 1 << (bits - 1):
         value -= 1 << bits
     return value
+
+
+#: element sizes the vectorised helpers handle (dtype-representable)
+_NP_ELEMS = (1, 2, 4, 8)
+
+if _np is not None:
+    _NP_MASKS = {s: _np.uint64((1 << (8 * s)) - 1) for s in _NP_ELEMS}
+    _NP_SIGNS = {s: _np.uint64(1 << (8 * s - 1)) for s in (1, 2, 4)}
+    _NP_DTYPES = {s: _np.dtype(f"<u{s}") for s in _NP_ELEMS}
+    _NP_BYTE_SHIFTS = {
+        s: _np.arange(s, dtype=_np.uint64) * _np.uint64(8) for s in _NP_ELEMS
+    }
+
+    def to_unsigned_array(values: "_np.ndarray", size: int) -> "_np.ndarray":
+        """Vectorised :func:`to_unsigned`: lanes → ``size``-byte storage.
+
+        Accepts int64/uint64/bool lanes; returns uint64 lanes holding the
+        wrapped (element-size-masked) unsigned value of each input lane.
+        """
+        if values.dtype == _np.bool_:
+            values = values.astype(_np.uint64)
+        elif values.dtype != _np.uint64:
+            values = values.view(_np.uint64)
+        if size == 8:
+            return values
+        return values & _NP_MASKS[size]
+
+    def to_signed_array(values: "_np.ndarray", size: int) -> "_np.ndarray":
+        """Vectorised :func:`to_signed`: uint64 storage lanes → int64.
+
+        Sign extension is the usual xor/subtract trick on the unsigned
+        values, exact for every stored pattern.
+        """
+        if size == 8:
+            return values.view(_np.int64)
+        sign = _NP_SIGNS[size]
+        return ((values ^ sign) - sign).view(_np.int64)
+
+else:  # pragma: no cover - exercised only on minimal installs
+    to_unsigned_array = None  # type: ignore[assignment]
+    to_signed_array = None  # type: ignore[assignment]
 
 
 @dataclass(frozen=True)
@@ -97,6 +143,48 @@ class MemoryImage:
     def write_int(self, addr: int, value: int, size: int) -> None:
         self.write_bytes(addr, to_unsigned(value, size).to_bytes(size, "little"))
 
+    # -- lane-batched access (numpy engine fast paths) -----------------------
+    #
+    # These helpers serve the lane-batched emulator engine: one call covers
+    # all lanes of a contiguous or gathered vector access.  They raise the
+    # same MemoryAccessError (same message, same offending span) as the
+    # per-lane path would, by re-checking lane-by-lane on failure.
+
+    def _check_lane_spans(self, addr: int, elem: int, lanes: int) -> int:
+        off = addr - self._base
+        if off < 0 or off + elem * lanes > len(self._data):
+            for lane in range(lanes):
+                self._span(addr + lane * elem, elem)
+        return off
+
+    def read_lanes(self, addr: int, elem: int, lanes: int) -> "_np.ndarray":
+        """All lanes of a contiguous unit-stride load, as a uint64 array."""
+        off = self._check_lane_spans(addr, elem, lanes)
+        view = _np.frombuffer(self._data, _NP_DTYPES[elem], count=lanes, offset=off)
+        return view.astype(_np.uint64)
+
+    def write_lanes(self, addr: int, elem: int, values: "_np.ndarray") -> None:
+        """Contiguous unit-stride store of elem-wrapped uint64 lanes."""
+        lanes = len(values)
+        off = self._check_lane_spans(addr, elem, lanes)
+        view = _np.frombuffer(self._data, _NP_DTYPES[elem], count=lanes, offset=off)
+        view[:] = values
+
+    def gather_lanes(self, addrs: "_np.ndarray", elem: int) -> "_np.ndarray":
+        """Gathered loads from per-lane int64 addresses, as a uint64 array.
+
+        Bounds are validated for every lane up front; on failure the error
+        is raised for the first offending lane in lane order, exactly as
+        the sequential path would.
+        """
+        off = addrs - self._base
+        bad = (off < 0) | (off + elem > len(self._data))
+        if bad.any():
+            self._span(int(addrs[int(_np.flatnonzero(bad)[0])]), elem)
+        flat = _np.frombuffer(self._data, _np.uint8)
+        chunk = flat[off[:, None] + _np.arange(elem)].astype(_np.uint64)
+        return _np.bitwise_or.reduce(chunk << _NP_BYTE_SHIFTS[elem], axis=1)
+
     # -- allocator -------------------------------------------------------------
 
     def alloc(self, name: str, count: int, elem: int = 4,
@@ -136,12 +224,39 @@ class MemoryImage:
             raise MemoryAccessError(
                 f"writing {len(values)} values at {start} overflows {alloc.name!r}"
             )
+        if _np is not None and alloc.elem in _NP_ELEMS and len(values) > 4:
+            try:
+                arr = _np.asarray(values, dtype=_np.int64)
+            except (OverflowError, TypeError, ValueError):
+                arr = None  # values outside int64 (or odd types): scalar path
+            if arr is not None:
+                off = alloc.addr(start) - self._base
+                view = _np.frombuffer(
+                    self._data, _NP_DTYPES[alloc.elem],
+                    count=len(values), offset=off,
+                )
+                view[:] = to_unsigned_array(arr, alloc.elem)
+                return
         for i, value in enumerate(values):
             self.write_int(alloc.addr(start + i), value, alloc.elem)
 
     def load_array(self, alloc: Allocation, count: int | None = None,
                    start: int = 0, signed: bool = True) -> list[int]:
         count = alloc.count - start if count is None else count
+        if (
+            _np is not None
+            and alloc.elem in _NP_ELEMS
+            and count > 4
+            and 0 <= start
+            and start + count <= alloc.count
+        ):
+            off = alloc.addr(start) - self._base
+            view = _np.frombuffer(
+                self._data, _NP_DTYPES[alloc.elem], count=count, offset=off
+            )
+            if signed:
+                return to_signed_array(view.astype(_np.uint64), alloc.elem).tolist()
+            return view.tolist()
         return [
             self.read_int(alloc.addr(start + i), alloc.elem, signed=signed)
             for i in range(count)

@@ -62,6 +62,7 @@ def _run_shard(
     cache_dir: str | None,
     timeout_s: float | None,
     trace_mode: str | None = None,
+    lane_engine: str | None = None,
 ) -> ShardReport:
     """Execute one shard's cells; importable at top level for pickling.
 
@@ -76,6 +77,8 @@ def _run_shard(
     if trace_mode is not None:
         # worker processes don't inherit the parent's runtime default
         runner.set_default_trace_mode(trace_mode)
+    if lane_engine is not None:
+        runner.set_default_lane_engine(lane_engine)
     if cache_dir is not None:
         runner.enable_disk_cache(cache_dir)
     cache = result_cache()
@@ -96,7 +99,7 @@ def _run_shard(
                 spec, strategy, cell.seed, config,
                 timeout_s=timeout_s,
                 timing=cell.timing, n_override=cell.n_override, core=cell.core,
-                trace_mode=trace_mode,
+                trace_mode=trace_mode, lane_engine=lane_engine,
             )
             report.executed += 1
         except (ReproError, KeyError) as exc:
@@ -114,6 +117,7 @@ def warm_cells(
     *,
     timeout_s: float | None = None,
     trace_mode: str | None = None,
+    lane_engine: str | None = None,
     progress=None,
 ) -> list[ShardReport]:
     """Populate the disk cache for ``cells`` using ``jobs`` processes.
@@ -128,7 +132,7 @@ def warm_cells(
 
     if jobs <= 1:
         return [
-            _run_shard(i, shard, cache_dir, timeout_s, trace_mode)
+            _run_shard(i, shard, cache_dir, timeout_s, trace_mode, lane_engine)
             for i, shard in enumerate(shards)
         ]
 
@@ -138,7 +142,8 @@ def warm_cells(
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
                 pool.submit(
-                    _run_shard, i, shard, cache_dir, timeout_s, trace_mode
+                    _run_shard, i, shard, cache_dir, timeout_s, trace_mode,
+                    lane_engine,
                 ): i
                 for i, shard in enumerate(shards)
             }
@@ -166,7 +171,8 @@ def warm_cells(
             if progress is not None:
                 progress(f"[shard {index}: worker died; retrying inline]")
             report = _run_shard(
-                index, shards[index], cache_dir, timeout_s, trace_mode
+                index, shards[index], cache_dir, timeout_s, trace_mode,
+                lane_engine,
             )
             report.resumed = len(shards[index])
             reports.append(report)
@@ -175,7 +181,7 @@ def warm_cells(
         if progress is not None:
             progress(f"[pool unavailable ({exc}); running shards inline]")
         return [
-            _run_shard(i, shard, cache_dir, timeout_s, trace_mode)
+            _run_shard(i, shard, cache_dir, timeout_s, trace_mode, lane_engine)
             for i, shard in enumerate(shards)
         ]
     reports.sort(key=lambda r: r.index)
@@ -207,6 +213,7 @@ def run_sweep(
     checkpoint: str | None = None,
     timeout_s: float | None = None,
     trace_mode: str | None = None,
+    lane_engine: str | None = None,
     progress=None,
 ) -> SweepOutcome:
     """Run experiments with a parallel warm phase and a sequential replay.
@@ -229,6 +236,8 @@ def run_sweep(
 
     if trace_mode is not None:
         runner.set_default_trace_mode(trace_mode)
+    if lane_engine is not None:
+        runner.set_default_lane_engine(lane_engine)
     if checkpoint is not None:
         runner.enable_checkpoint(checkpoint)
     if cache_dir is not None:
@@ -260,7 +269,7 @@ def run_sweep(
     start = time.perf_counter()
     report.shards = warm_cells(
         pending, jobs, cache_dir, timeout_s=timeout_s,
-        trace_mode=trace_mode, progress=progress,
+        trace_mode=trace_mode, lane_engine=lane_engine, progress=progress,
     )
     report.warm_elapsed_s = time.perf_counter() - start
 

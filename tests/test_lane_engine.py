@@ -1,0 +1,216 @@
+"""Two-engine equivalence: the numpy lane-batched engine vs the Python path.
+
+The lane-batched engine (:mod:`repro.emu.lanes`) promises **bit-identical**
+results to the per-lane Python interpreter.  These tests pin that contract
+from three directions:
+
+* generated kernels across the knob space (dependence density/distance,
+  gather/scatter, DOWN-direction regions, predication boundaries) must
+  produce identical final memory images, emulator metrics, register files
+  and invariant-monitor verdicts under both engines;
+* every loop of the 28-loop paper suite must match under both engines and
+  both vector strategies;
+* a paper figure table regenerated under each engine must be byte-identical.
+
+Because the engines are interchangeable, ``lane_engine`` is deliberately
+**excluded** from the result-cache key (like ``trace_mode``): a cached
+result produced by either engine is valid for both.  The exclusion is only
+sound while the identity above holds, so the cache test below documents
+and enforces the pairing — if an engine divergence ever slips in, the
+equivalence tests fail first and the exclusion must be revisited.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.common.bitvec import BitVector
+from repro.compiler import Strategy, compile_loop
+from repro.emu import run_program
+from repro.emu.lanes import ENGINES, resolve_engine
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import runner as runner_mod
+from repro.gen.campaign import FuzzConfig, _lane_engine_diff_check
+from repro.gen.emitter import generate_kernel, kernel_seed
+from repro.gen.knobs import Knobs
+from repro.memory import MemoryImage
+from repro.workloads import all_loops
+
+# ---------------------------------------------------------------------------
+# engine resolution
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_engine_defaults_and_validates():
+    assert resolve_engine(None) in ENGINES
+    assert resolve_engine("python") == "python"
+    assert resolve_engine("numpy") == "numpy"  # numpy imported above
+    with pytest.raises(ValueError, match="unknown lane engine"):
+        resolve_engine("cuda")
+
+
+# ---------------------------------------------------------------------------
+# generated kernels: both engines, full functional identity
+# ---------------------------------------------------------------------------
+
+#: Directed knob sets covering the axes where the engines could plausibly
+#: diverge: dependence-driven replays, indirect accesses, DOWN-direction
+#: lane mirroring, and merging predication under partial masks.
+DIRECTED_KNOBS = (
+    Knobs(dep_density=0.8, dep_distance=1),        # dense short-range RAW
+    Knobs(dep_density=0.5, dep_distance=15),       # longest-range deps
+    Knobs(alias_rate=0.7, dep_density=0.2),        # aliasing store targets
+    Knobs(gather_ratio=1.0, scatter=True),         # all-indirect kernels
+    Knobs(gather_ratio=0.0, scatter=False),        # all-contiguous kernels
+    Knobs(stride=4),                               # strided -> gather lowering
+    Knobs(direction="down"),                       # DOWN-direction regions
+    Knobs(direction="down", dep_density=0.6, dep_distance=2),
+    Knobs(predication_rate=1.0),                   # fully predicated body
+    Knobs(predication_rate=0.5, dep_density=0.3),  # predication + replay
+    Knobs(broadcast_rate=0.8),                     # broadcast-heavy reads
+    Knobs(elem_size=8, gather_ratio=0.7),          # 8-byte elements
+    Knobs(statements=3, reads_per_stmt=4),         # widest bodies
+    Knobs(region_len=24),                          # longest SRV-regions
+    Knobs(n=64, dep_density=1.0, dep_distance=1),  # every lane conflicts
+)
+
+KERNEL_CASES = [
+    pytest.param(kernel_seed(97, i), None, id=f"sampled-{i}")
+    for i in range(15)
+] + [
+    pytest.param(1_000 + i, knobs, id=f"directed-{i}")
+    for i, knobs in enumerate(DIRECTED_KNOBS)
+]
+
+
+@pytest.mark.parametrize("seed,knobs", KERNEL_CASES)
+def test_generated_kernel_identical_between_engines(seed, knobs):
+    kernel = generate_kernel(seed, knobs)
+    n = min(96, kernel.spec.n)
+    ok, detail = _lane_engine_diff_check(
+        kernel.spec, FuzzConfig(lane_engine_diff=True), n
+    )
+    assert ok, f"{kernel.name}: {detail}"
+
+
+# ---------------------------------------------------------------------------
+# the 28-loop paper suite: both engines, both vector strategies
+# ---------------------------------------------------------------------------
+
+SUITE = [
+    pytest.param(spec, id=f"{workload.name}/{spec.name}")
+    for workload, spec in all_loops()
+]
+
+
+def _run_engine(spec, strategy, engine, n):
+    arrays = spec.arrays(0)
+    mem = MemoryImage()
+    for name, init in arrays.items():
+        mem.alloc(name, len(init), spec.loop.arrays[name], init=init)
+    program = compile_loop(spec.loop, mem, n, strategy, params=spec.params)
+    metrics, state = run_program(program, mem, lane_engine=engine)
+    return metrics, state.registers_snapshot(), mem.snapshot()
+
+
+@pytest.mark.parametrize("spec", SUITE)
+def test_suite_loop_identical_between_engines(spec):
+    n = min(64, spec.n)
+    for strategy in (Strategy.SRV, Strategy.SVE):
+        results = [
+            _run_engine(spec, strategy, engine, n) for engine in ENGINES
+        ]
+        first, rest = results[0], results[1:]
+        for other in rest:
+            assert other[0] == first[0], f"{strategy}: metrics diverge"
+            assert other[1] == first[1], f"{strategy}: registers diverge"
+            assert other[2] == first[2], f"{strategy}: memory diverges"
+
+
+# ---------------------------------------------------------------------------
+# figure tables: byte-identical under either engine
+# ---------------------------------------------------------------------------
+
+
+def test_figure_table_identical_between_engines():
+    tables = {}
+    for engine in ENGINES:
+        runner_mod.clear_cache()  # a warm cache would make this vacuous
+        runner_mod.set_default_lane_engine(engine)
+        try:
+            tables[engine] = ALL_EXPERIMENTS["figure9"](
+                n_override=128
+            ).format_table()
+        finally:
+            runner_mod.set_default_lane_engine(None)
+    runner_mod.clear_cache()
+    assert tables["python"] == tables["numpy"]
+    assert len(tables["python"].splitlines()) > 3  # rows, not a header stub
+
+
+# ---------------------------------------------------------------------------
+# cache-key contract: lane_engine is output-invariant and excluded
+# ---------------------------------------------------------------------------
+
+
+def test_lane_engine_excluded_from_result_cache_key(monkeypatch):
+    """A run cached under one engine must satisfy the other engine's query.
+
+    This is the documented design decision: because the engines are
+    bit-identical (tests above), ``lane_engine`` — like ``trace_mode`` —
+    does not participate in the result-cache key.  The monkeypatched
+    ``_execute`` proves the second call is a genuine cache hit.
+    """
+    spec = all_loops()[0][1]
+    runner_mod.clear_cache()
+    first = runner_mod.run_loop(
+        spec, Strategy.SRV, n_override=32, lane_engine="python"
+    )
+
+    def no_execute(*args, **kwargs):
+        raise AssertionError(
+            "run_loop re-executed: lane_engine leaked into the cache key"
+        )
+
+    monkeypatch.setattr(runner_mod, "_execute", no_execute)
+    second = runner_mod.run_loop(
+        spec, Strategy.SRV, n_override=32, lane_engine="numpy"
+    )
+    runner_mod.clear_cache()
+    assert second.emu == first.emu
+    assert second.pipe == first.pipe
+    assert second.correct == first.correct
+
+
+def test_unavailable_engine_fails_fast_before_cache_lookup():
+    with pytest.raises(ValueError, match="unknown lane engine"):
+        runner_mod.run_loop(
+            all_loops()[0][1], Strategy.SRV, n_override=32,
+            lane_engine="fortran",
+        )
+
+
+# ---------------------------------------------------------------------------
+# BitVector numpy bridge (used by the vectorised LSU paths)
+# ---------------------------------------------------------------------------
+
+
+def test_bitvector_bool_array_roundtrip():
+    for width in (1, 7, 8, 63, 64, 65, 128):
+        mask = (1 << width) - 1
+        patterns = (0, mask, 0x5A5A_5A5A_5A5A_5A5A_5A5A & mask,
+                    (1 << (width - 1)) | 1)
+        for bits in patterns:
+            bv = BitVector(width, bits & mask)
+            flags = bv.to_bool_array()
+            assert len(flags) == width
+            assert BitVector.from_bool_array(flags) == bv
+
+
+def test_bitvector_from_bool_array_matches_from_indices():
+    flags = np.zeros(64, dtype=np.bool_)
+    flags[[0, 3, 17, 63]] = True
+    assert (BitVector.from_bool_array(flags)
+            == BitVector.from_indices(64, [0, 3, 17, 63]))
