@@ -37,6 +37,11 @@ from repro.pipeline import Tracer, simulate, simulate_streaming
 LANES = 16
 N = 512
 
+#: trip count of the generated kernel behind the ``sampled`` /
+#: ``sampled_exact`` pair — large enough that interval sampling has
+#: phases to find, small enough for a benchmark rep
+SAMPLE_TRIP = 8192
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_JSON = REPO_ROOT / "BENCH_simulator.json"
 
@@ -131,12 +136,43 @@ def _bench_streaming():
     simulate_streaming(build_listing2(mem), mem, warm=True)
 
 
+def _sample_kernel_name() -> str:
+    from repro.gen.emitter import workload_name
+
+    return workload_name(1, 1, n=SAMPLE_TRIP)
+
+
+def _bench_sampled():
+    # projected cycles via interval sampling (cache bypassed: the bench
+    # measures the projection pipeline, not a cache hit)
+    from repro.compiler import Strategy
+    from repro.sample import sample_named
+
+    sample_named(_sample_kernel_name(), strategy=Strategy.SRV,
+                 use_cache=False)
+
+
+def _bench_sampled_exact():
+    # the exact baseline the sampled bench replaces: same kernel through
+    # the full streaming pipeline (timing only — the sampler checks no
+    # oracle either, so the comparison is wall-time like-for-like)
+    from repro.compiler import Strategy
+    from repro.experiments.runner import run_loop
+    from repro.sample import resolve_spec
+
+    _, spec = resolve_spec(_sample_kernel_name())
+    run_loop(spec, Strategy.SRV, validate_lsu=False, check_oracle=False,
+             use_cache=False)
+
+
 def measure(reps: int) -> dict[str, float]:
     """Median wall-clock milliseconds per bench over ``reps`` runs."""
     benches = {
         "emulator": _bench_emulator,
         "pipeline": _make_pipeline_bench(),
         "streaming": _bench_streaming,
+        "sampled": _bench_sampled,
+        "sampled_exact": _bench_sampled_exact,
     }
     results: dict[str, float] = {}
     for name, fn in benches.items():

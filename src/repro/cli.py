@@ -25,6 +25,11 @@ Commands:
   generate N seeded kernels, check each against the scalar oracle and
   the LSU differential, shrink any failure to a minimal reproducer, and
   write a machine-readable campaign report;
+* ``sample <workload> [loop]`` — interval-sampled simulation
+  (:mod:`repro.sample`): fingerprint the dynamic stream, cluster the
+  intervals, time only representative segments, and project
+  whole-program cycles with per-cluster error bars (optionally checked
+  against the exact run with ``--exact`` / ``--max-error``);
 * ``serve`` — run the fault-tolerant sweep service (:mod:`repro.serve`):
   an HTTP/JSON job server with a supervised worker pool, retry/backoff,
   circuit breakers, and a crash-safe write-ahead job journal;
@@ -361,6 +366,48 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sample(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sample import resolve_spec, sample_loop
+
+    try:
+        workload, spec = resolve_spec(args.workload, args.loop)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    strategy = Strategy(args.strategy)
+    report = sample_loop(
+        spec, strategy, seed=args.seed, core=args.core,
+        interval_size=args.interval, warmup=args.warmup,
+        clusters=args.clusters, max_clusters=args.max_clusters,
+        samples=args.samples, n_override=args.n,
+        lane_engine=args.lane_engine, use_cache=not args.no_cache,
+        workload_key=workload.name,
+    )
+    if args.exact or args.max_error is not None:
+        exact = run_loop(
+            spec, strategy, seed=args.seed, core=args.core,
+            n_override=args.n, lane_engine=args.lane_engine,
+            use_cache=not args.no_cache,
+        )
+        report = report.with_exact(exact.cycles)
+    print(report.format_report(), end="")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_obj(), fh, indent=2)
+            fh.write("\n")
+        print(f"report: {args.json}")
+    if args.max_error is not None and abs(report.error_pct) > args.max_error:
+        print(
+            f"FAIL: projection error {report.error_pct:+.2f}% exceeds "
+            f"the +/-{args.max_error}% bound",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_inject(args: argparse.Namespace) -> int:
     from repro.verify.campaign import default_catalogue, run_campaign
     from repro.verify.faults import FaultClass
@@ -492,6 +539,53 @@ def main(argv: list[str] | None = None) -> int:
     p_att.add_argument("-n", type=int, default=None)
     p_att.add_argument("--seed", type=int, default=0)
 
+    from repro.sample import DEFAULT_ERROR_BOUND_PCT, SAMPLES_PER_CLUSTER
+
+    p_smp = sub.add_parser(
+        "sample",
+        help="interval-sampled simulation with whole-program projection",
+    )
+    p_smp.add_argument("workload",
+                       help="by_name workload key (suite or gen:...)")
+    p_smp.add_argument("loop", nargs="?", default=None,
+                       help="loop name (optional for single-loop workloads)")
+    p_smp.add_argument("--strategy", default="srv",
+                       choices=[s.value for s in Strategy])
+    p_smp.add_argument("--core", choices=("ooo", "inorder"), default="ooo",
+                       help="timing model (default: out-of-order)")
+    p_smp.add_argument("-n", type=int, default=None,
+                       help="trip-count override")
+    p_smp.add_argument("--seed", type=int, default=0)
+    p_smp.add_argument("--interval", type=int, default=2048,
+                       help="dynamic ops per fingerprint interval "
+                            "(default 2048)")
+    p_smp.add_argument("--warmup", type=int, default=1024,
+                       help="warm-up ops replayed before each timed "
+                            "segment (default 1024)")
+    p_smp.add_argument("--clusters", type=int, default=None,
+                       help="force k instead of BIC selection")
+    p_smp.add_argument("--max-clusters", type=int, default=8,
+                       help="BIC search ceiling (default 8)")
+    p_smp.add_argument("--samples", type=int, default=SAMPLES_PER_CLUSTER,
+                       help="detail-simulated members per cluster "
+                            f"(default {SAMPLES_PER_CLUSTER})")
+    p_smp.add_argument("--exact", action="store_true",
+                       help="also run the exact simulation and report the "
+                            "projection error")
+    p_smp.add_argument("--max-error", type=float, default=None,
+                       metavar="PCT",
+                       help="exit non-zero when |error| exceeds PCT "
+                            "(implies --exact; the accuracy gate is "
+                            f"{DEFAULT_ERROR_BOUND_PCT}%%)")
+    p_smp.add_argument("--json", default=None, metavar="PATH",
+                       help="write the machine-readable report here")
+    p_smp.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache")
+    p_smp.add_argument("--lane-engine", choices=("python", "numpy"),
+                       default=None,
+                       help="emulator vector engine (default: numpy when "
+                            "available); results are identical")
+
     p_srv = sub.add_parser(
         "serve",
         help="run the fault-tolerant HTTP sweep service",
@@ -591,6 +685,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify": _cmd_verify,
         "inject": _cmd_inject,
         "fuzz": _cmd_fuzz,
+        "sample": _cmd_sample,
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
         "attrib": _cmd_attrib,

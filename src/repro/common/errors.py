@@ -117,3 +117,12 @@ class JobRejectedError(ServeError):
         self.reason = reason
         super().__init__(f"rejected ({status}): {reason}")
 
+
+
+class SampleError(ReproError):
+    """Interval-sampling failure (:mod:`repro.sample`).
+
+    Raised when the re-simulation pass diverges from the fingerprint
+    pass (boundary-digest mismatch) or when a projection cannot be
+    formed (e.g. a representative segment could not be collected).
+    """

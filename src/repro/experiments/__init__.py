@@ -21,6 +21,7 @@ from repro.experiments import (
     fuzz_smoke,
     headline,
     limit_study,
+    sampling,
 )
 from repro.experiments.report import ExperimentResult, ShardReport, SweepReport
 from repro.experiments.runner import (
@@ -52,6 +53,7 @@ ALL_EXPERIMENTS = {
     "figure13": fig13_flexvec.run,
     "fuzz_smoke": fuzz_smoke.run,
     "headline": headline.run,
+    "sampling": sampling.run,
     "ablation_inorder": ablation_inorder.run,
     "ablation_barrier": ablation_barrier.run,
     "ablation_tm": ablation_tm.run,

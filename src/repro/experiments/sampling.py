@@ -1,0 +1,135 @@
+"""Sampling validation — projected vs exact cycles (no paper counterpart).
+
+Two halves:
+
+* **suite accuracy** — every suite loop under SRV and SVE, exact
+  streaming cycles vs the :mod:`repro.sample` projection at a small
+  interval size (suite loops run a few thousand dynamic ops).  The
+  summary reports the worst absolute error and the within-5% count —
+  the repo's standing accuracy gate for the sampler.
+* **long-kernel reduction** — one generated kernel at
+  :data:`LONG_TRIP` iterations (multi-million dynamic ops at full
+  size), demonstrating the point of sampling: detailed-simulated ops
+  drop by an order of magnitude while the projection stays within the
+  same 5% bound.
+
+``n_override`` trims both halves for quick runs (CI smoke uses the
+``repro sample`` CLI on a short kernel instead of this harness).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TABLE_I, MachineConfig
+from repro.compiler import Strategy
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import RunFailure, run_loop
+from repro.workloads import ALL_WORKLOADS
+
+#: suite-half sampling geometry: suite loops are short, so intervals
+#: must be small enough to give the clusterer something to choose from.
+#: The warm-up window is deliberately larger than the interval — the
+#: out-of-order machine needs ~ROB-fill ops of replay before its commit
+#: clock reaches steady state, and a too-short window shows up as a
+#: systematic per-segment overestimate (pinned by the telescoping test
+#: in tests/test_sample.py)
+SUITE_INTERVAL = 256
+SUITE_WARMUP = 1536
+SUITE_MAX_K = 4
+
+#: long-kernel half: one generated kernel at this trip count (about
+#: 1.3M dynamic ops for the seed-0 kernel body) with the default
+#: projection geometry
+LONG_TRIP = 524_288
+LONG_INTERVAL = 2048
+LONG_WARMUP = 1024
+
+
+def long_workload_name(seed: int) -> str:
+    """by_name key of the long-kernel workload for ``seed``."""
+    from repro.gen.emitter import workload_name
+
+    return workload_name(seed, 1, n=LONG_TRIP)
+
+
+def run(
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    n_override: int | None = None,
+) -> ExperimentResult:
+    # lazy: repro.sample imports the runner's cache layer
+    from repro.sample import resolve_spec, sample_loop
+
+    result = ExperimentResult(
+        name="sampling",
+        title="Sampling validation: projected vs exact cycles "
+              "(suite + long generated kernel)",
+        columns=(
+            "loop",
+            "strategy",
+            "exact_cycles",
+            "projected_cycles",
+            "error_pct",
+            "k",
+            "intervals",
+            "total_ops",
+            "detailed_ops",
+            "reduction",
+        ),
+    )
+
+    def one(workload_key, spec, strategy, interval, warmup, max_k):
+        exact = run_loop(
+            spec, strategy, seed=seed, config=config, n_override=n_override,
+        )
+        report = sample_loop(
+            spec, strategy, seed=seed, config=config,
+            interval_size=interval, warmup=warmup, max_clusters=max_k,
+            n_override=n_override, workload_key=workload_key,
+        ).with_exact(exact.cycles)
+        if report.degraded:
+            result.failures.append(RunFailure(
+                loop=spec.name, strategy=strategy.value, seed=seed,
+                stage="timing", error="LsuOverflowError",
+                message="sampled projection used the sequential fallback",
+                degraded=True,
+            ))
+        result.failures.extend(exact.failures)
+        result.rows.append((
+            spec.name,
+            strategy.value,
+            exact.cycles,
+            report.projected_cycles,
+            round(report.error_pct, 3),
+            report.k,
+            report.intervals,
+            report.total_ops,
+            report.detailed_ops,
+            round(report.reduction, 2),
+        ))
+        return report
+
+    for workload in ALL_WORKLOADS:
+        for spec in workload.loops:
+            for strategy in (Strategy.SRV, Strategy.SVE):
+                one(workload.name, spec, strategy,
+                    SUITE_INTERVAL, SUITE_WARMUP, SUITE_MAX_K)
+
+    suite_errors = [abs(row[4]) for row in result.rows]
+
+    long_name = long_workload_name(seed)
+    _, long_spec = resolve_spec(long_name)
+    long_report = one(long_name, long_spec, Strategy.SRV,
+                      LONG_INTERVAL, LONG_WARMUP, 8)
+
+    result.summary = {
+        "suite_loops": len(suite_errors) // 2,
+        "suite_max_error_pct": round(max(suite_errors), 3),
+        "suite_within_5pct": sum(1 for e in suite_errors if e <= 5.0),
+        "suite_runs": len(suite_errors),
+        "long_workload": long_name,
+        "long_total_ops": long_report.total_ops,
+        "long_detailed_ops": long_report.detailed_ops,
+        "long_reduction": round(long_report.reduction, 2),
+        "long_error_pct": round(long_report.error_pct, 3),
+    }
+    return result

@@ -58,6 +58,7 @@ from repro.compiler.ir import (
 )
 from repro.gen.knobs import (
     GENERATOR_VERSION,
+    KNOBS_BY_NAME,
     Knobs,
     knob_digest,
     sample_knobs,
@@ -445,43 +446,63 @@ _KERNEL_SEED_STRIDE = 1_000_003
 MAX_WORKLOAD_KERNELS = 4096
 
 _WORKLOAD_NAME = re.compile(r"^gen:v(?P<ver>[0-9A-Za-z._-]+)"
-                            r":s(?P<seed>-?\d+):c(?P<count>\d+)$")
+                            r":s(?P<seed>-?\d+):c(?P<count>\d+)"
+                            r"(?::n(?P<n>\d+))?$")
 
 
 def kernel_seed(campaign_seed: int, index: int) -> int:
     return campaign_seed * _KERNEL_SEED_STRIDE + index
 
 
-def workload_name(seed: int, count: int) -> str:
-    return f"gen:v{GENERATOR_VERSION}:s{seed}:c{count}"
+def workload_name(seed: int, count: int, n: int | None = None) -> str:
+    base = f"gen:v{GENERATOR_VERSION}:s{seed}:c{count}"
+    return base if n is None else f"{base}:n{n}"
 
 
 def is_generated_name(name: str) -> bool:
     return name.startswith("gen:")
 
 
-def generated_workload(seed: int, count: int) -> Workload:
+def generated_workload(seed: int, count: int, n: int | None = None) -> Workload:
     """A synthetic :class:`Workload` of ``count`` generated kernels.
 
-    The workload name encodes ``(generator version, seed, count)``, so a
-    sweep cell carrying it can be resolved in any worker process by
-    regenerating the identical kernels — nothing but the name crosses
-    the process boundary.
+    The workload name encodes ``(generator version, seed, count)`` — and
+    the trip-count override when ``n`` is given — so a sweep cell
+    carrying it can be resolved in any worker process by regenerating
+    the identical kernels: nothing but the name crosses the process
+    boundary.
+
+    ``n`` forces every kernel's trip count (the sampler draws from the
+    classic short range; long-program emission for the interval-sampling
+    validation needs trips in the millions).  The override flows through
+    ``Knobs.n``, so the kernel name's knob digest — and with it every
+    result-cache key — distinguishes the overridden kernels from their
+    short-trip ancestors.
     """
     if not 1 <= count <= MAX_WORKLOAD_KERNELS:
         raise ValueError(
             f"count must be within [1, {MAX_WORKLOAD_KERNELS}], got {count}"
         )
-    loops = tuple(
-        generate_kernel(kernel_seed(seed, i)).spec for i in range(count)
-    )
+    if n is None:
+        loops = tuple(
+            generate_kernel(kernel_seed(seed, i)).spec for i in range(count)
+        )
+    else:
+        loops = tuple(
+            generate_kernel(
+                kernel_seed(seed, i),
+                sample_knobs(kernel_seed(seed, i)).with_overrides(n=n),
+            ).spec
+            for i in range(count)
+        )
     return Workload(
-        name=workload_name(seed, count),
+        name=workload_name(seed, count, n),
         suite="gen",
         coverage=0.0,
         loops=loops,
         description=f"{count} generated kernels "
-                    f"(generator v{GENERATOR_VERSION}, seed {seed})",
+                    f"(generator v{GENERATOR_VERSION}, seed {seed}"
+                    + (f", n={n}" if n is not None else "") + ")",
     )
 
 
@@ -504,7 +525,17 @@ def workload_from_name(name: str) -> Workload:
     count = int(match.group("count"))
     if not 1 <= count <= MAX_WORKLOAD_KERNELS:
         raise KeyError(f"generated workload {name!r} has an invalid count")
-    return generated_workload(int(match.group("seed")), count)
+    n = match.group("n")
+    if n is not None:
+        spec = KNOBS_BY_NAME["n"]
+        if not spec.lo <= int(n) <= spec.hi:
+            raise KeyError(
+                f"generated workload {name!r} has trip count {n} outside "
+                f"the knob range [{spec.lo:.0f}, {spec.hi:.0f}]"
+            )
+    return generated_workload(
+        int(match.group("seed")), count, int(n) if n is not None else None
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -49,9 +49,14 @@ class KnobSpec:
 #: here to be documented in ``docs/GENERATOR.md``.
 KNOB_SPACE: tuple[KnobSpec, ...] = (
     KnobSpec(
-        name="n", kind="int", default=256, lo=64, hi=2048,
+        name="n", kind="int", default=256, lo=64, hi=4_194_304,
         section="V / fig 8",
-        doc="trip count; short counts raise the barrier fraction",
+        doc="trip count; short counts raise the barrier fraction, and "
+            "counts in the millions drive multi-million-op dynamic "
+            "streams for the interval-sampling validation (the sampler "
+            "draws from the classic short range; long-program runs "
+            "override n explicitly via the ':n<trip>' workload-name "
+            "suffix)",
     ),
     KnobSpec(
         name="statements", kind="int", default=1, lo=1, hi=3,

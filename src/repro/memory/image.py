@@ -200,6 +200,15 @@ class MemoryImage:
             raise MemoryAccessError(f"bad allocation shape: count={count} elem={elem}")
         base = (self._next + align - 1) // align * align
         alloc = Allocation(name, base, elem, count)
+        # grow the backing store on demand (doubling): large generated
+        # kernels allocate multi-megabyte arrays, and growth changes no
+        # address — only the out-of-bounds ceiling moves
+        need = base + alloc.size_bytes - self._base
+        if need > len(self._data):
+            new_size = len(self._data)
+            while new_size < need:
+                new_size *= 2
+            self._data.extend(bytes(new_size - len(self._data)))
         self._span(base, alloc.size_bytes)  # bounds check
         self._next = alloc.end
         self._allocations[name] = alloc

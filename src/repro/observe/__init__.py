@@ -33,6 +33,7 @@ from repro.observe.events import (
     Event,
     EventBus,
     EventKind,
+    IntervalCounterSink,
     ListSink,
     NullSink,
     RingBufferSink,
@@ -73,6 +74,7 @@ __all__ = [
     "Event",
     "EventBus",
     "EventKind",
+    "IntervalCounterSink",
     "ListSink",
     "NullSink",
     "RingBufferSink",

@@ -190,6 +190,68 @@ class CounterSink:
     def accept(self, event: Event) -> None:
         self.counts[event.kind] += 1
 
+    def flush(self) -> Counter:
+        """Return the tallies accumulated so far and reset to zero.
+
+        The deterministic interval-flush path used by the sampling layer:
+        callers flush at fixed points in the *op stream* (not wall-clock),
+        so successive flushes partition the run identically regardless of
+        trace mode.
+        """
+        out = self.counts
+        self.counts = Counter()
+        return out
+
+    def finalized(self) -> tuple[Event, ...]:
+        return ()
+
+
+class IntervalCounterSink:
+    """Per-kind tallies binned by fixed-size dynamic-op windows.
+
+    Events are assigned to bin ``event.op // interval_size`` — a pure
+    function of the op index each event is already stamped with — so the
+    binned counts are identical between ``stream`` and ``list`` trace
+    modes even though raw arrival order differs (the fused pipeline
+    interleaves domains; the materialised path runs them back to back).
+    Events that are not op-scoped (``op == -1``, e.g. serve-domain job
+    events) are dropped.  :meth:`drain` is the flush path: it hands the
+    finished bins to the caller and frees them.
+    """
+
+    __slots__ = ("interval_size", "_bins")
+
+    def __init__(self, interval_size: int) -> None:
+        if interval_size <= 0:
+            raise ObserveError(
+                f"interval size must be positive, got {interval_size}"
+            )
+        self.interval_size = interval_size
+        self._bins: dict[int, Counter] = {}
+
+    def accept(self, event: Event) -> None:
+        if event.op < 0:
+            return
+        idx = event.op // self.interval_size
+        bin_ = self._bins.get(idx)
+        if bin_ is None:
+            bin_ = self._bins[idx] = Counter()
+        bin_[event.kind] += 1
+
+    def drain(self, before: int | None = None) -> list[tuple[int, Counter]]:
+        """Flush bins with index < ``before`` (all bins when ``None``),
+        returned in ascending bin order and removed from the sink."""
+        if before is None:
+            out = sorted(self._bins.items())
+            self._bins = {}
+            return out
+        out = sorted(
+            (idx, c) for idx, c in self._bins.items() if idx < before
+        )
+        for idx, _ in out:
+            del self._bins[idx]
+        return out
+
     def finalized(self) -> tuple[Event, ...]:
         return ()
 

@@ -148,6 +148,23 @@ def _cells_fuzz_smoke(seed, n):
     ]
 
 
+def _cells_sampling(seed, n):
+    # the sampling harness's expensive primitives are its exact
+    # baselines: every suite loop under SRV/SVE at full trip count plus
+    # the long generated kernel; the projections themselves are cheap
+    # and cached under their own ("sample", ...) keys
+    from repro.experiments.sampling import long_workload_name
+    from repro.workloads import by_name
+
+    long_name = long_workload_name(seed)
+    long_spec = by_name(long_name).loops[0]
+    return (
+        _loop_cells((Strategy.SRV, Strategy.SVE), seed=seed, n_override=n)
+        + [SweepCell(workload=long_name, loop=long_spec.name,
+                     strategy=Strategy.SRV.value, seed=seed, n_override=n)]
+    )
+
+
 def _cells_ablation_tm(seed, n):
     return (
         _loop_cells((Strategy.SRV,), timing=False, seed=seed, n_override=n)
@@ -173,6 +190,7 @@ CELLS_BY_EXPERIMENT = {
     "ablation_inorder": _cells_ablation_inorder,
     "ablation_barrier": _cells_ablation_barrier,
     "ablation_tm": _cells_ablation_tm,
+    "sampling": _cells_sampling,
 }
 
 

@@ -96,6 +96,10 @@ class PipelineModel:
         self.iq = CapacityTracker(config.iq_entries, "IQ")
         self.lsu_slots = CapacityTracker(config.lsu_entries, "LSU")
         self.stats = PipelineStats()
+        #: commit cycle of the most recently retired op — a checkpoint the
+        #: sampling layer reads mid-stream to split warm-up from measured
+        #: cycles (stats.cycles is only final at end-of-stream)
+        self.last_commit = 0
         # bounded-window state, exposed for the memory-bound tests; the
         # lists are created (and mutated) by the consumer coroutine
         self._recent_stores: deque = deque(maxlen=64)
@@ -413,7 +417,7 @@ class PipelineModel:
 
             # ---- commit -----------------------------------------------------
             commit = ports.reserve("commit", max(complete, prev_commit))
-            prev_commit = commit
+            self.last_commit = prev_commit = commit
             rob.release(commit)
             if is_mem:
                 for _ in range(lsu_demand):

@@ -53,6 +53,9 @@ class InOrderModel:
         self.bpred = TournamentPredictor(config.branch)
         self.lsu = LoadStoreUnit(config)
         self.stats = PipelineStats()
+        #: progress-clock checkpoint (max completion so far), read
+        #: mid-stream by the sampling layer; mirrors PipelineModel
+        self.last_commit = 0
         self._lsu_live: list = []
         self._store_window: deque = deque(maxlen=STORE_WINDOW)
 
@@ -188,7 +191,7 @@ class InOrderModel:
                     _obs.EventKind.COMMIT, "pipe", i, complete, 0, op.pc
                 )
             if complete > max_complete:
-                max_complete = complete
+                self.last_commit = max_complete = complete
             for reg in op.dst_regs:
                 reg_ready[reg] = complete
 

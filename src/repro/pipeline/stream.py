@@ -28,7 +28,8 @@ machine either way.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.common.config import TABLE_I, MachineConfig
 from repro.pipeline.core import PipelineModel
@@ -173,3 +174,92 @@ def simulate_streaming(
     except StopIteration:
         pass
     return interp.metrics, model.stats, interp.state
+
+
+# ---------------------------------------------------------------------------
+# segment timing (resume-from-warm-state, used by repro.sample)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SegmentTiming:
+    """Cycle cost of one trace segment timed after a warm-up window."""
+
+    cycles: int       #: cycles attributed to the measured segment
+    ops: int          #: measured segment length (trace ops)
+    warm_cycles: int  #: cycles consumed replaying the warm-up window
+    warm_ops: int     #: warm-up window length (trace ops)
+    region_cycles: int    #: SRV-region cycles within the measured segment
+    stats: PipelineStats  #: full model stats at end-of-segment
+
+
+def time_segment(
+    segment: Sequence,
+    config: MachineConfig = TABLE_I,
+    *,
+    core: str = "ooo",
+    warm_ops: Sequence = (),
+    caches=None,
+) -> SegmentTiming:
+    """Time ``segment`` on a fresh model resumed from a warm-up window.
+
+    The timing models keep all machine state (ROB ring, store window,
+    LSU occupancy, branch/store-set predictors) in coroutine locals, so
+    there is no snapshot to restore directly.  Instead the warm state is
+    *reconstructed*: ``warm_ops`` — the trace ops immediately preceding
+    the segment — are replayed through a fresh pump, the commit-cycle
+    checkpoint (``model.last_commit``) is read once the last warm op has
+    retired, and the segment's cost is the cycle delta from that
+    checkpoint to end-of-stream.  Both ``warm_ops`` and ``segment`` must
+    start at region-safe cut points (never inside an SRV region): the
+    LSU's ``begin_region``/``end_region`` pairing, and therefore every
+    conflict-detection decision, is only coherent across whole regions.
+
+    ``caches`` optionally supplies a pre-warmed cache hierarchy (the
+    sampler clones an ambient hierarchy that tracked the full access
+    stream up to the segment); its stats are reset before timing.  When
+    omitted, every line touched by the warm-up window and segment is
+    pre-installed, matching the steady-state warming of exact runs on
+    cache-resident working sets.
+    """
+    if core not in ("ooo", "inorder"):
+        raise ValueError(f"unknown core model {core!r}")
+    if not segment:
+        raise ValueError("cannot time an empty segment")
+    if core == "inorder":
+        model = InOrderModel(config)
+    else:
+        model = PipelineModel(config)
+    if caches is not None:
+        model.caches = caches
+        caches.reset_stats()
+    else:
+        model.warm_caches(list(warm_ops) + list(segment))
+
+    pump = model.stream()
+    send = pump.send
+    warm_cycles = 0
+    warm_region = 0
+    try:
+        for op in warm_ops:
+            send(op)
+        # One op of lookahead lives inside the pump: after sending the
+        # first segment op, the pump has retired exactly the warm ops,
+        # so last_commit is the checkpoint splitting warm from measured.
+        send(segment[0])
+        warm_cycles = model.last_commit
+        warm_region = model.stats.region_cycles
+        for op in segment[1:]:
+            send(op)
+        send(None)
+    except StopIteration:
+        pass
+    total = model.stats.cycles
+    return SegmentTiming(
+        cycles=max(total - warm_cycles, 1),
+        ops=len(segment),
+        warm_cycles=warm_cycles,
+        warm_ops=len(warm_ops),
+        region_cycles=max(model.stats.region_cycles - warm_region, 0),
+        stats=model.stats,
+    )

@@ -1,0 +1,247 @@
+"""Seeded k-means over interval fingerprints, with BIC model selection.
+
+Pure Python on purpose: interval counts are small (a multi-million-op
+program at the default interval size is a few hundred points of ~30
+dimensions), and avoiding float-reduction-order differences between
+numpy builds keeps the clustering — and therefore the projection
+report — byte-identical for a given ``(seed, interval_size, k)``.
+
+Determinism: initial centroids come from a private
+:func:`~repro.common.rng.make_rng` stream (k-means++ D² seeding),
+Lloyd iteration runs to an assignment fixpoint with ties broken toward
+the lower cluster id, and an emptied cluster is deterministically
+re-seeded with the point farthest from its centroid.  ``choose_k``
+scores k = 1..kmax with the spherical-Gaussian BIC (the X-means
+formulation) and keeps the smallest k within the best score.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.rng import make_rng
+
+Vector = Sequence[float]
+
+_MAX_ITERS = 64
+_VAR_FLOOR = 1e-12
+
+
+def standardize(vectors: Sequence[Vector]) -> list[tuple[float, ...]]:
+    """Per-dimension z-score (population std); constant dims map to 0."""
+    if not vectors:
+        return []
+    dims = len(vectors[0])
+    n = len(vectors)
+    means = [sum(v[d] for v in vectors) / n for d in range(dims)]
+    stds = []
+    for d in range(dims):
+        var = sum((v[d] - means[d]) ** 2 for v in vectors) / n
+        stds.append(math.sqrt(var))
+    return [
+        tuple(
+            (v[d] - means[d]) / stds[d] if stds[d] > 0.0 else 0.0
+            for d in range(dims)
+        )
+        for v in vectors
+    ]
+
+
+def _dist2(a: Vector, b: Vector) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def _mean(points: list[Vector], dims: int) -> tuple[float, ...]:
+    n = len(points)
+    return tuple(sum(p[d] for p in points) / n for d in range(dims))
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """One k-means solution."""
+
+    k: int
+    assignments: tuple[int, ...]       #: cluster id per input vector
+    centroids: tuple[tuple[float, ...], ...]
+    inertia: float                     #: sum of squared distances
+    bic: float
+
+
+def kmeans(
+    vectors: Sequence[Vector], k: int, seed: int = 0
+) -> tuple[tuple[int, ...], tuple[tuple[float, ...], ...], float]:
+    """Deterministic k-means: ``(assignments, centroids, inertia)``."""
+    n = len(vectors)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be within [1, {n}], got {k}")
+    dims = len(vectors[0])
+    rng = make_rng(seed, "sample/kmeans")
+
+    # k-means++ D² seeding
+    centroids: list[Vector] = [vectors[rng.randrange(n)]]
+    d2 = [_dist2(v, centroids[0]) for v in vectors]
+    while len(centroids) < k:
+        total = sum(d2)
+        if total <= 0.0:
+            # all remaining points coincide with a centroid: spread the
+            # seeds over distinct indices so k clusters still form
+            for v in vectors:
+                if all(_dist2(v, c) > 0.0 for c in centroids):
+                    break
+            else:
+                v = vectors[len(centroids) % n]
+            centroids.append(v)
+        else:
+            pick = rng.random() * total
+            acc = 0.0
+            idx = n - 1
+            for i, w in enumerate(d2):
+                acc += w
+                if acc >= pick:
+                    idx = i
+                    break
+            centroids.append(vectors[idx])
+        d2 = [min(a, _dist2(v, centroids[-1])) for a, v in zip(d2, vectors)]
+
+    assignments = [0] * n
+    for _ in range(_MAX_ITERS):
+        changed = False
+        for i, v in enumerate(vectors):
+            best, best_d = 0, _dist2(v, centroids[0])
+            for c in range(1, k):
+                d = _dist2(v, centroids[c])
+                if d < best_d:
+                    best, best_d = c, d
+            if assignments[i] != best:
+                assignments[i] = best
+                changed = True
+        members: list[list[Vector]] = [[] for _ in range(k)]
+        for i, v in enumerate(vectors):
+            members[assignments[i]].append(v)
+        for c in range(k):
+            if members[c]:
+                centroids[c] = _mean(members[c], dims)
+            else:
+                # re-seed an emptied cluster with the globally farthest
+                # point from its current assignment's centroid
+                far_i = max(
+                    range(n),
+                    key=lambda i: _dist2(vectors[i],
+                                         centroids[assignments[i]]),
+                )
+                centroids[c] = vectors[far_i]
+                assignments[far_i] = c
+                changed = True
+        if not changed:
+            break
+    inertia = sum(
+        _dist2(v, centroids[assignments[i]]) for i, v in enumerate(vectors)
+    )
+    return tuple(assignments), tuple(tuple(c) for c in centroids), inertia
+
+
+def bic_score(
+    vectors: Sequence[Vector], assignments: Sequence[int], k: int,
+    inertia: float,
+) -> float:
+    """Spherical-Gaussian BIC of a clustering (higher is better)."""
+    n = len(vectors)
+    dims = len(vectors[0])
+    variance = max(inertia / max(1, n - k), _VAR_FLOOR)
+    sizes = [0] * k
+    for a in assignments:
+        sizes[a] += 1
+    llh = 0.0
+    for size in sizes:
+        if size <= 0:
+            continue
+        llh += (
+            size * math.log(size)
+            - size * math.log(n)
+            - size * dims / 2.0 * math.log(2.0 * math.pi * variance)
+            - (size - 1) / 2.0
+        )
+    params = k - 1 + k * dims + 1
+    return llh - params / 2.0 * math.log(n)
+
+
+def cluster_intervals(
+    vectors: Sequence[Vector],
+    seed: int = 0,
+    *,
+    k: int | None = None,
+    max_k: int = 8,
+) -> Clustering:
+    """Cluster fingerprint vectors; pick k by BIC unless forced.
+
+    Vectors are standardized internally.  With ``k=None`` every
+    k = 1..min(max_k, n) is scored and the smallest k within the best
+    BIC wins (ties favour fewer detailed simulations).
+    """
+    n = len(vectors)
+    if n == 0:
+        raise ValueError("cannot cluster zero intervals")
+    z = standardize(vectors)
+    if k is not None:
+        kk = min(k, n)
+        assignments, centroids, inertia = kmeans(z, kk, seed)
+        return Clustering(
+            k=kk, assignments=assignments, centroids=centroids,
+            inertia=inertia,
+            bic=bic_score(z, assignments, kk, inertia),
+        )
+    best: Clustering | None = None
+    for kk in range(1, min(max_k, n) + 1):
+        assignments, centroids, inertia = kmeans(z, kk, seed)
+        score = bic_score(z, assignments, kk, inertia)
+        candidate = Clustering(
+            k=kk, assignments=assignments, centroids=centroids,
+            inertia=inertia, bic=score,
+        )
+        if best is None or score > best.bic:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def representatives(
+    vectors: Sequence[Vector],
+    clustering: Clustering,
+    exclude: frozenset[int] | set[int] = frozenset(),
+) -> dict[int, tuple[int, int | None]]:
+    """Per cluster: ``(representative, probe)`` interval positions.
+
+    The representative is the member closest to the centroid (ties to
+    the lowest index); the probe — used for the per-cluster error bar —
+    is the member *farthest* from the centroid, or ``None`` for
+    singleton clusters.  Positions index into ``vectors``.
+
+    ``exclude`` lists positions to avoid when choosing (the sampler
+    passes the cold-start head: fingerprints are functional, so a
+    cold-transient interval can sit in the same cluster as steady-state
+    ones, and electing it would extrapolate transient cycles-per-op to
+    the whole cluster).  A cluster whose members are all excluded falls
+    back to choosing among them.
+    """
+    z = standardize(vectors)
+    out: dict[int, tuple[int, int | None]] = {}
+    for c in range(clustering.k):
+        members = [
+            i for i, a in enumerate(clustering.assignments) if a == c
+        ]
+        if not members:
+            continue
+        eligible = [i for i in members if i not in exclude]
+        if eligible:
+            members = eligible
+        centroid = clustering.centroids[c]
+        rep = min(members, key=lambda i: (_dist2(z[i], centroid), i))
+        probe: int | None = None
+        if len(members) > 1:
+            probe = max(members, key=lambda i: (_dist2(z[i], centroid), -i))
+            if probe == rep:
+                probe = None
+        out[c] = (rep, probe)
+    return out

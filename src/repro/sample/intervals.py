@@ -1,0 +1,245 @@
+"""Interval slicing over the dynamic op stream.
+
+Two passes share the interval geometry defined here:
+
+* the **fingerprint pass** (:func:`fingerprint_pass`) runs the program
+  once functionally, slicing the stream into fixed-size bins of
+  ``interval_size`` dynamic ops and building one feature vector per bin
+  (:mod:`repro.sample.fingerprint`).  No ops are retained — memory is
+  O(intervals), never O(trace).
+* the **collection pass** (:func:`collect_segments`) re-emulates the
+  identical stream and materialises only the representative intervals
+  chosen by clustering, each with a trailing warm-up window and
+  (optionally) a clone of the ambient cache state at its start.
+
+Fingerprint bins are cut strictly by op index.  Timed segments are not:
+an SRV region executes atomically (its LSU ``begin_region``/
+``end_region`` pairing, speculative buffer and replay decisions are only
+coherent across whole regions), so segment boundaries snap to the next
+*region-safe cut* — an op outside any region, or a region's own
+``srv_start`` marker.  The per-op cost normalisation in
+:mod:`repro.sample.project` absorbs the resulting few-op jitter.
+
+Both passes record the emulator's :meth:`boundary_digest
+<repro.emu.interpreter.Interpreter.boundary_digest>` at every interval
+close; :mod:`repro.sample.project` compares them so a divergence between
+the fingerprinted stream and the re-simulated stream is an error, never
+a silent mis-projection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.observe.events import IntervalCounterSink
+from repro.observe import events as _obs
+from repro.pipeline.trace import RegionEvent, TraceOp
+from repro.sample.fingerprint import FingerprintAccumulator
+
+if TYPE_CHECKING:
+    from repro.emu.interpreter import Interpreter
+    from repro.emu.metrics import EmuMetrics
+    from repro.memory.hierarchy import CacheHierarchy
+
+
+def safe_cut(op: TraceOp) -> bool:
+    """True when a segment may begin *at* ``op``.
+
+    Cut points are ops outside any SRV region, or a region's own
+    ``srv_start`` marker (the marker is recorded with ``in_region`` set,
+    but nothing of the region precedes it).
+    """
+    return (not op.in_region) or op.region_event is RegionEvent.START
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One fingerprinted interval of the dynamic stream."""
+
+    index: int                  #: interval number (op ``i`` is in ``i // size``)
+    start: int                  #: first dynamic op index
+    length: int                 #: ops in the interval (the tail may be short)
+    vector: tuple[float, ...]   #: fingerprint feature vector
+
+
+@dataclass(frozen=True)
+class FingerprintRun:
+    """Result of the fingerprint pass."""
+
+    interval_size: int
+    intervals: tuple[IntervalRecord, ...]
+    total_ops: int
+    digests: tuple[tuple, ...]  #: boundary digest per closed interval
+    metrics: "EmuMetrics"
+
+
+def fingerprint_pass(
+    interp: "Interpreter",
+    interval_size: int,
+    *,
+    feed_caches: "CacheHierarchy | None" = None,
+) -> FingerprintRun:
+    """Run ``interp`` to completion, fingerprinting every interval.
+
+    The interpreter must be fresh.  A private
+    :class:`~repro.observe.events.IntervalCounterSink` is installed for
+    the duration (any caller-installed bus is parked, exactly like the
+    streaming warm pre-pass) so the emulator's region/replay/fallback
+    events contribute counter features deterministically in either trace
+    mode.  ``feed_caches`` optionally receives every memory access in
+    stream order — the sampler uses this to warm the ambient cache
+    hierarchy for the collection pass without a third emulation.
+    """
+    if interval_size <= 0:
+        raise ValueError(f"interval size must be positive, got {interval_size}")
+    lanes = interp.lanes
+    sink = IntervalCounterSink(interval_size)
+    saved_bus = _obs.ACTIVE
+    _obs.ACTIVE = _obs.EventBus(sink)
+
+    intervals: list[IntervalRecord] = []
+    digests: list[tuple] = []
+    acc = FingerprintAccumulator(lanes)
+    cache_access = feed_caches.access if feed_caches is not None else None
+    start = 0
+    count = 0
+
+    def close() -> None:
+        if cache_access is not None:
+            stats = feed_caches.stats
+            acc.fold_cache_misses(
+                stats.l1_misses - close.l1, stats.l2_misses - close.l2,
+            )
+            close.l1, close.l2 = stats.l1_misses, stats.l2_misses
+        _close(intervals, digests, acc, sink, interp,
+               start, count, interval_size)
+
+    close.l1 = close.l2 = 0
+    try:
+        for op in interp.iter_trace():
+            acc.add(op)
+            if cache_access is not None:
+                for a in op.mem:
+                    cache_access(a.addr, a.size, a.is_store)
+            count += 1
+            if count - start == interval_size:
+                close()
+                acc = FingerprintAccumulator(lanes)
+                start = count
+    finally:
+        _obs.ACTIVE = saved_bus
+    if count > start:
+        close()
+    return FingerprintRun(
+        interval_size=interval_size,
+        intervals=tuple(intervals),
+        total_ops=count,
+        digests=tuple(digests),
+        metrics=interp.metrics,
+    )
+
+
+def _close(intervals, digests, acc, sink, interp, start, count, size) -> None:
+    """Finalize the interval covering ops ``[start, count)``."""
+    idx = start // size
+    # every event for ops < count has been emitted by the time op
+    # count-1 is yielded (emission happens at recording, recording
+    # precedes yielding), so bins <= idx are complete
+    for _, counts in sink.drain(before=idx + 1):
+        acc.fold_counters(counts)
+    intervals.append(IntervalRecord(
+        index=idx, start=start, length=count - start, vector=acc.vector(),
+    ))
+    digests.append(interp.boundary_digest())
+
+
+# ---------------------------------------------------------------------------
+# collection pass
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Segment:
+    """One materialised representative interval, ready to time."""
+
+    interval: int               #: interval index this segment measures
+    warm: list[TraceOp] = field(default_factory=list)
+    ops: list[TraceOp] = field(default_factory=list)
+    #: ambient cache state cloned at the segment's first op (None when
+    #: the caller did not maintain an ambient hierarchy)
+    caches: "CacheHierarchy | None" = None
+
+
+def collect_segments(
+    ops: Iterable[TraceOp],
+    targets: Iterable[int],
+    interval_size: int,
+    warmup: int,
+    *,
+    ambient: "CacheHierarchy | None" = None,
+) -> Iterator[Segment]:
+    """Stream ``ops`` once, yielding a :class:`Segment` per target interval.
+
+    ``targets`` are interval indices (ascending order is enforced here).
+    Each segment starts at the first region-safe cut at or after its
+    nominal start and ends at the first region-safe cut at or after its
+    nominal end, so whole SRV regions are never split.  The warm-up
+    window is the trailing ops before the segment start — at least
+    ``warmup`` of them when available, extended left as needed so the
+    window itself starts at a safe cut.
+
+    When ``ambient`` is given, every op's accesses are fed to it in
+    stream order and each segment captures a deep copy of its state at
+    the segment's first op — the cache contents an exact run would have
+    at that point (up to timing-model access interleaving).
+    """
+    import copy
+
+    pending = deque(sorted(set(targets)))
+    tail: deque[TraceOp] = deque()
+    tail_start = 0        #: absolute op index of tail[0]
+    cuts: deque[int] = deque()  #: absolute indices of safe cuts in tail
+    current: Segment | None = None
+    current_end = 0
+    feed = ambient.access if ambient is not None else None
+
+    for op in ops:
+        cut = safe_cut(op)
+        if current is not None and op.index >= current_end and cut:
+            yield current
+            current = None
+            if not pending:
+                return  # nothing left to collect: stop consuming (and
+                # therefore emulating) the rest of the stream
+        if current is None and pending and cut \
+                and op.index >= pending[0] * interval_size:
+            j = pending.popleft()
+            current = Segment(
+                interval=j,
+                warm=list(tail),
+                caches=copy.deepcopy(ambient) if ambient is not None else None,
+            )
+            current_end = (j + 1) * interval_size
+        if feed is not None:
+            for a in op.mem:
+                feed(a.addr, a.size, a.is_store)
+        if not tail:
+            tail_start = op.index
+        tail.append(op)
+        if cut:
+            cuts.append(op.index)
+        # keep >= warmup ops while never trimming into a region: advance
+        # the head cut-to-cut (the first op of any trace is a safe cut,
+        # so the head always sits on one) while the remaining window
+        # still covers the warm-up budget
+        while len(cuts) >= 2 and op.index + 1 - cuts[1] >= warmup:
+            for _ in range(cuts[1] - tail_start):
+                tail.popleft()
+            tail_start = cuts[1]
+            cuts.popleft()
+        if current is not None:
+            current.ops.append(op)
+    if current is not None:
+        yield current

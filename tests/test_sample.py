@@ -1,0 +1,285 @@
+"""Tests for :mod:`repro.sample` — interval-sampled simulation.
+
+Covers the contracts the sampler's accuracy rests on:
+
+* warm-state reconstruction — timing a whole trace as one segment
+  matches :func:`~repro.pipeline.core.simulate`, and a full-history
+  warm-up telescopes exactly (measured pieces sum to the exact total);
+* fingerprint determinism — vectors are a pure function of the op
+  stream and the op-indexed event bins, so a streaming fingerprint pass
+  and a fully materialised replay produce identical vectors;
+* projection determinism — same ``(seed, interval size, k)`` gives a
+  byte-identical report on recomputation;
+* accuracy — suite spot checks stay within the standing 5% bound;
+* the cache-key contract — ``lane_engine`` is excluded from sample
+  keys, exactly like exact-run keys.
+"""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.compiler import Strategy
+from repro.observe import events as obs
+from repro.observe.events import IntervalCounterSink
+from repro.pipeline.core import simulate
+from repro.pipeline.stream import time_segment
+from repro.sample import (
+    FingerprintAccumulator,
+    cluster_intervals,
+    fingerprint_pass,
+    resolve_spec,
+    safe_cut,
+    sample_loop,
+    sample_named,
+)
+from repro.sample import project as project_mod
+from repro.sample.project import _build
+from repro.workloads import by_name
+
+SUITE_GEOMETRY = dict(interval_size=256, warmup=1536, max_clusters=4)
+
+
+def _trace_ops(workload_name, loop_name, strategy, n):
+    _, spec = resolve_spec(workload_name, loop_name)
+    interp = _build(spec, strategy, 0, n, project_mod.TABLE_I, None)
+    return list(interp.iter_trace())
+
+
+# ---------------------------------------------------------------------------
+# warm-state contract: time_segment vs exact simulation
+# ---------------------------------------------------------------------------
+
+
+class TestWarmStateContract:
+    def test_whole_trace_segment_matches_simulate(self):
+        trace = _trace_ops("hmmer", "viterbi", Strategy.SRV, 128)
+        exact = simulate(trace, warm=True)
+        timing = time_segment(trace)
+        assert timing.cycles == exact.cycles
+        assert timing.warm_ops == 0
+
+    def test_full_history_warm_telescopes_exactly(self):
+        trace = _trace_ops("hmmer", "viterbi", Strategy.SRV, 128)
+        exact = simulate(trace, warm=True)
+        # split at a region-safe cut near the middle
+        cut = next(
+            i for i in range(len(trace) // 2, len(trace))
+            if safe_cut(trace[i])
+        )
+        head = time_segment(trace[:cut])
+        tail = time_segment(trace[cut:], warm_ops=trace[:cut])
+        assert head.cycles + tail.cycles == exact.cycles
+
+
+# ---------------------------------------------------------------------------
+# fingerprint determinism: streaming pass == materialised replay
+# ---------------------------------------------------------------------------
+
+
+def _materialised_fingerprints(spec, strategy, n, interval_size):
+    """Reference vectors from a fully materialised trace + event list."""
+    interp = _build(spec, strategy, 0, n, project_mod.TABLE_I, None)
+    sink = obs.ListSink()
+    saved = obs.ACTIVE
+    obs.ACTIVE = obs.EventBus(sink)
+    try:
+        ops = list(interp.iter_trace())
+    finally:
+        obs.ACTIVE = saved
+    bins: dict[int, Counter] = {}
+    for event in sink.events:
+        if event.op >= 0:
+            bins.setdefault(event.op // interval_size, Counter())[
+                event.kind
+            ] += 1
+    vectors = []
+    for start in range(0, len(ops), interval_size):
+        acc = FingerprintAccumulator(interp.lanes)
+        for op in ops[start:start + interval_size]:
+            acc.add(op)
+        acc.fold_counters(bins.get(start // interval_size, Counter()))
+        vectors.append(acc.vector())
+    return vectors
+
+
+class TestFingerprintDeterminism:
+    @pytest.mark.parametrize("loop", [("hmmer", "viterbi"),
+                                      ("gobmk", None)])
+    def test_stream_pass_matches_materialised_replay(self, loop):
+        workload_key, loop_name = loop
+        _, spec = resolve_spec(workload_key, loop_name)
+        interval = 128
+        interp = _build(spec, Strategy.SRV, 0, 96, project_mod.TABLE_I,
+                        None)
+        run = fingerprint_pass(interp, interval)
+        reference = _materialised_fingerprints(
+            spec, Strategy.SRV, 96, interval,
+        )
+        assert [iv.vector for iv in run.intervals] == reference
+
+    def test_interval_counter_sink_flush(self):
+        sink = IntervalCounterSink(4)
+        kind = obs.EventKind.REGION_BEGIN
+        for op in (0, 3, 4, 11, -1):  # -1: not op-scoped, dropped
+            sink.accept(obs.Event(kind=kind, domain="emu", op=op, t=0))
+        first = sink.drain(before=1)
+        assert first == [(0, Counter({kind: 2}))]
+        rest = sink.drain()
+        assert rest == [(1, Counter({kind: 1})), (2, Counter({kind: 1}))]
+        assert sink.drain() == []
+
+
+# ---------------------------------------------------------------------------
+# clustering
+# ---------------------------------------------------------------------------
+
+
+class TestClustering:
+    def test_forced_k_is_honoured(self):
+        vectors = [(float(i % 3), float(i % 3)) for i in range(12)]
+        assert cluster_intervals(vectors, seed=0, k=2).k == 2
+
+    def test_bic_recovers_planted_structure(self):
+        vectors = [(0.0, 0.0)] * 10 + [(10.0, 10.0)] * 10
+        clustering = cluster_intervals(vectors, seed=0, max_k=4)
+        assert clustering.k == 2
+
+    def test_same_seed_same_assignment(self):
+        vectors = [(float(i % 5), float(i * 7 % 11)) for i in range(40)]
+        a = cluster_intervals(vectors, seed=3, max_k=6)
+        b = cluster_intervals(vectors, seed=3, max_k=6)
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# projection: determinism, head pinning, accuracy spot checks
+# ---------------------------------------------------------------------------
+
+
+class TestProjection:
+    def test_report_byte_identical_on_recompute(self):
+        reports = [
+            sample_named(
+                "hmmer", "viterbi", Strategy.SRV,
+                use_cache=False, **SUITE_GEOMETRY,
+            )
+            for _ in range(2)
+        ]
+        assert reports[0].format_report() == reports[1].format_report()
+        assert reports[0].to_obj() == reports[1].to_obj()
+
+    def test_head_is_pinned_not_extrapolated(self):
+        report = sample_named(
+            "hmmer", "viterbi", Strategy.SRV,
+            use_cache=False, **SUITE_GEOMETRY,
+        )
+        expected_head = min(
+            math.ceil(SUITE_GEOMETRY["warmup"]
+                      / SUITE_GEOMETRY["interval_size"]),
+            report.intervals,
+        )
+        assert report.head_intervals == expected_head
+        assert report.head_ops > 0
+        # head intervals never appear among a cluster's projected members
+        head = set(range(report.head_intervals))
+        for cluster in report.clusters:
+            assert report.head_cycles > 0
+            assert not head.intersection(cluster.samples) or (
+                # a cluster whose members are ALL pinned may fall back
+                cluster.ops == 0
+            )
+
+    @pytest.mark.parametrize("loop,strategy", [
+        (("hmmer", "viterbi"), Strategy.SRV),
+        (("gcc", "regalloc"), Strategy.SVE),
+    ])
+    def test_suite_spot_accuracy_within_bound(self, loop, strategy):
+        from repro.experiments.runner import run_loop
+
+        workload_key, loop_name = loop
+        workload, spec = resolve_spec(workload_key, loop_name)
+        exact = run_loop(spec, strategy)
+        report = sample_loop(
+            spec, strategy, workload_key=workload.name,
+            use_cache=False, **SUITE_GEOMETRY,
+        ).with_exact(exact.cycles)
+        assert abs(report.error_pct) <= 5.0
+        assert report.projected_cycles > 0
+
+    def test_validation_errors(self):
+        _, spec = resolve_spec("hmmer", "viterbi")
+        with pytest.raises(ValueError, match="interval size"):
+            sample_loop(spec, Strategy.SRV, interval_size=0)
+        with pytest.raises(ValueError, match="samples per cluster"):
+            sample_loop(spec, Strategy.SRV, samples=0)
+        with pytest.raises(ValueError, match="core model"):
+            sample_loop(spec, Strategy.SRV, core="quantum")
+
+
+# ---------------------------------------------------------------------------
+# by_name-style resolution and the generated :n suffix
+# ---------------------------------------------------------------------------
+
+
+class TestResolution:
+    def test_resolve_spec_loop_optional_for_single_loop(self):
+        workload, spec = resolve_spec("gobmk")
+        assert spec in workload.loops
+
+    def test_resolve_spec_substring_and_errors(self):
+        _, spec = resolve_spec("hmmer", "vit")
+        assert "viterbi" in spec.name
+        with pytest.raises(KeyError):
+            resolve_spec("hmmer", "no_such_loop")
+
+    def test_generated_n_suffix_round_trips_through_by_name(self):
+        from repro.gen.emitter import workload_name
+
+        name = workload_name(1, 1, n=4096)
+        assert ":n4096" in name
+        workload = by_name(name)
+        assert workload.name == name
+        assert all(spec.n == 4096 for spec in workload.loops)
+
+
+# ---------------------------------------------------------------------------
+# cache-key contract
+# ---------------------------------------------------------------------------
+
+
+def test_lane_engine_excluded_from_sample_cache_key(monkeypatch):
+    """A projection cached under one engine satisfies the other engine.
+
+    Mirrors the exact-runner contract: lane engines are bit-identical,
+    so ``lane_engine`` must not participate in the sample cache key.
+    """
+    from repro.experiments.runner import clear_cache
+
+    _, spec = resolve_spec("hmmer", "viterbi")
+    clear_cache()
+    try:
+        first = sample_loop(
+            spec, Strategy.SRV, lane_engine="python", **SUITE_GEOMETRY,
+        )
+
+        def no_sample(*args, **kwargs):
+            raise AssertionError(
+                "sample_loop re-executed: lane_engine leaked into the "
+                "sample cache key"
+            )
+
+        monkeypatch.setattr(project_mod, "_sample_once", no_sample)
+        second = sample_loop(
+            spec, Strategy.SRV, lane_engine="numpy", **SUITE_GEOMETRY,
+        )
+    finally:
+        clear_cache()
+    assert second == first
+
+
+def test_unknown_lane_engine_fails_before_cache():
+    _, spec = resolve_spec("hmmer", "viterbi")
+    with pytest.raises(ValueError, match="unknown lane engine"):
+        sample_loop(spec, Strategy.SRV, lane_engine="fortran")
