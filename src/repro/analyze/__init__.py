@@ -1,0 +1,77 @@
+"""Region-granular static dependence analysis (``repro.analyze``).
+
+The paper's compiler marks an SRV-region wherever it *cannot* statically
+disambiguate memory dependences.  The Banerjee pass in
+:mod:`repro.compiler.analysis` collapses to ``UNKNOWN`` the moment any
+access is indirect, so every gather/scatter loop pays full speculation
+cost even when its index data is statically known to be conflict-free.
+
+This package closes that gap with a value-aware analysis:
+
+* :mod:`repro.analyze.facts` — abstract domains over array contents
+  (exact initial contents, value range, unknown) plus loop-invariance
+  of index tables;
+* :mod:`repro.analyze.regions` — the region model: a loop body is
+  partitioned into contiguous statement segments, each either
+  *speculative* (bracketed by ``srv_start``/``srv_end``) or *plain*;
+* :mod:`repro.analyze.dependence` — per-region verdicts
+  (``NO_CONFLICT`` / ``MAY_CONFLICT`` / ``MUST_CONFLICT``) by exact
+  enumeration of cross-lane overlaps, plus the replay-risk estimator
+  (predicted violating-lane density);
+* :mod:`repro.analyze.report` — the machine-readable per-loop /
+  per-workload report behind ``repro analyze``.
+
+The soundness contract (checked end-to-end by ``repro fuzz
+--analyze-diff``): a region with verdict ``NO_CONFLICT`` never replays
+dynamically and may be executed without its SRV brackets; the other two
+verdicts keep the brackets, so correctness never depends on their
+precision.
+"""
+
+from repro.analyze.dependence import (
+    DENSE_LANE_THRESHOLD,
+    LoopConflicts,
+    MemRef,
+    RegionAnalysis,
+    RegionVerdict,
+    analyse_conflicts,
+    analyse_region,
+    statement_refs,
+)
+from repro.analyze.facts import (
+    AnalysisFacts,
+    TableFacts,
+    facts_from_memory,
+    gather_facts,
+)
+from repro.analyze.regions import Region, RegionPlan, plan_from_conflicts
+from repro.analyze.report import (
+    LoopAnalysis,
+    WorkloadAnalysis,
+    analyse_spec,
+    analyse_workload,
+    guided_plan,
+)
+
+__all__ = [
+    "DENSE_LANE_THRESHOLD",
+    "AnalysisFacts",
+    "TableFacts",
+    "facts_from_memory",
+    "gather_facts",
+    "Region",
+    "RegionPlan",
+    "plan_from_conflicts",
+    "LoopConflicts",
+    "MemRef",
+    "RegionAnalysis",
+    "RegionVerdict",
+    "analyse_conflicts",
+    "analyse_region",
+    "statement_refs",
+    "LoopAnalysis",
+    "WorkloadAnalysis",
+    "analyse_spec",
+    "analyse_workload",
+    "guided_plan",
+]

@@ -1,0 +1,437 @@
+"""Region-granular dependence verdicts and the replay-risk estimator.
+
+The engine enumerates, per vector group, the exact element addresses of
+every memory reference whose address is statically resolvable (affine
+indices, or indirect indices through an index table with exact facts —
+see :mod:`repro.analyze.facts`) and detects *cross-lane* overlaps: two
+distinct lanes of one group touching the same element with at least one
+store.  Within a vector group those are precisely the dependences the
+SRV hardware exists to repair; same-lane and cross-group orderings are
+preserved by program order and sequential group execution regardless of
+bracketing.
+
+Verdict lattice (per region):
+
+* ``NO_CONFLICT`` — proven: no cross-lane overlap at all.  The region's
+  SRV brackets may be *omitted*; it can never replay.
+* ``MAY_CONFLICT`` — at least one address is unresolvable (unknown
+  table contents, a table written inside the loop, or an out-of-bounds
+  index); the brackets must stay.  This is the Banerjee pass's
+  ``UNKNOWN``, region-granular.
+* ``MUST_CONFLICT`` — proven: some group has a cross-lane overlap.  The
+  brackets must stay; the replay-risk estimator predicts how densely
+  the region will replay.
+
+Only ``NO_CONFLICT`` carries a soundness obligation (checked end to end
+by ``repro fuzz --analyze-diff``); the other verdicts keep the
+speculative machinery, so correctness never depends on their precision.
+
+The replay predictor models the LSU's horizontal RAW rule: a younger
+lane replays when its load executes (in program order of the emitted
+vector instructions) *before* an older lane's overlapping store.
+Overlaps ordered the other way (WAR) and store/store pairs (WAW) are
+repaired by the speculative buffer without replays, so they make a
+region non-omittable but contribute no predicted replay density.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analyze.facts import AnalysisFacts
+from repro.analyze.regions import Region
+from repro.compiler.analysis import DepClass, classify_pair
+from repro.compiler.ir import (
+    Affine,
+    IndexExpr,
+    Indirect,
+    Loop,
+    Store,
+    expr_reads,
+)
+
+#: predicted violating-lane density at which the planner asks for the
+#: section III-D7 one-lane-at-a-time execution instead of replaying
+DENSE_LANE_THRESHOLD = 0.5
+
+
+class RegionVerdict(enum.Enum):
+    """Per-region dependence verdict (ordered by restrictiveness)."""
+
+    NO_CONFLICT = "no_conflict"
+    MAY_CONFLICT = "may_conflict"
+    MUST_CONFLICT = "must_conflict"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """One static memory reference of the vectorised loop body.
+
+    ``order`` is the reference's position in the emitted vector
+    program (expression reads before the store, the index-table load
+    immediately before the gather/scatter it feeds), which is what the
+    replay predictor compares.  Index-table loads appear as their own
+    references (``is_table``) with the inner affine index.
+    """
+
+    stmt: int
+    order: int
+    array: str
+    index: IndexExpr
+    is_store: bool
+    is_table: bool = False
+
+
+def statement_refs(loop: Loop) -> list[MemRef]:
+    """All memory references of ``loop`` in emitted program order.
+
+    Reduction accumulators are *not* memory references here: the vector
+    transform keeps them in registers with a post-loop horizontal
+    combine, and the code generators never place a reduction inside an
+    SRV-region in the first place.
+    """
+    refs: list[MemRef] = []
+
+    def add(stmt: int, array: str, index: IndexExpr, is_store: bool,
+            is_table: bool = False) -> None:
+        refs.append(MemRef(stmt, len(refs), array, index, is_store, is_table))
+
+    for s, stmt in enumerate(loop.body):
+        for read in expr_reads(stmt.value):
+            if isinstance(read.index, Indirect):
+                add(s, read.index.array, read.index.inner, False, True)
+            add(s, read.array, read.index, False)
+        if isinstance(stmt, Store):
+            if isinstance(stmt.index, Indirect):
+                add(s, stmt.index.array, stmt.index.inner, False, True)
+            add(s, stmt.array, stmt.index, True)
+    return refs
+
+
+def ref_lsu_demand(ref: MemRef, loop: Loop, vl: int) -> int:
+    """LSU entries the reference's vector instruction occupies.
+
+    Mirrors the emulator's section III-D7 sizing rule: contiguous and
+    broadcast accesses take one entry, gathers/scatters one per lane.
+    """
+    if isinstance(ref.index, Affine):
+        if ref.index.scale == 0 and not ref.is_store:
+            return 1  # broadcast load
+        if ref.index.scale == 1 and loop.step == 1:
+            return 1  # contiguous
+    return vl
+
+
+# ---------------------------------------------------------------------------
+# address resolution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Resolved:
+    """A reference with a fully static address function."""
+
+    ref: MemRef
+    #: element-index interval over all iterations
+    lo: int
+    hi: int
+    #: per-iteration element index (exact)
+    table: tuple[int, ...] | None  # indirect: resolved table contents
+
+    def addr(self, i: int) -> int:
+        if self.table is None:
+            return self.ref.index.at(i)
+        return self.table[self.ref.index.inner.at(i)]
+
+
+def _affine_bounds(index: Affine, n: int) -> tuple[int, int]:
+    a, b = index.at(0), index.at(n - 1)
+    return (a, b) if a <= b else (b, a)
+
+
+def _resolve(
+    ref: MemRef, loop: Loop, facts: AnalysisFacts, n: int
+) -> tuple[_Resolved | None, str | None]:
+    """Resolve a reference's addresses, or explain why it is unknown."""
+    count = facts.counts.get(ref.array)
+    if count is None:
+        return None, f"{ref.array}: element count unknown"
+    if isinstance(ref.index, Affine):
+        lo, hi = _affine_bounds(ref.index, n)
+        if lo < 0 or hi >= count:
+            return None, (f"{ref.array}: affine index range [{lo}, {hi}] "
+                          f"escapes [0, {count})")
+        return _Resolved(ref, lo, hi, None), None
+    table = facts.tables.get(ref.index.array)
+    if table is None or not table.invariant:
+        return None, (f"{ref.array}: index table {ref.index.array!r} is "
+                      f"written inside the loop")
+    if table.contents is None:
+        return None, (f"{ref.array}: index table {ref.index.array!r} "
+                      f"contents unknown")
+    ilo, ihi = _affine_bounds(ref.index.inner, n)
+    if ilo < 0 or ihi >= len(table.contents):
+        return None, (f"{ref.array}: inner index range [{ilo}, {ihi}] "
+                      f"escapes table {ref.index.array!r}")
+    used = [table.contents[ref.index.inner.at(i)] for i in range(n)]
+    lo, hi = min(used), max(used)
+    if lo < 0 or hi >= count:
+        return None, (f"{ref.array}: gathered index range [{lo}, {hi}] "
+                      f"escapes [0, {count})")
+    return _Resolved(ref, lo, hi, table.contents), None
+
+
+# ---------------------------------------------------------------------------
+# exact cross-lane conflict enumeration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoopConflicts:
+    """Everything the exact pass learned about one loop's conflicts."""
+
+    loop: Loop
+    n: int
+    vl: int
+    refs: list[MemRef]
+    #: unresolvable references with the reason (the ``MAY`` evidence)
+    unresolved: list[tuple[MemRef, str]]
+    #: statement pairs (s <= t) with a proven cross-lane overlap
+    conflict_pairs: set[tuple[int, int]]
+    #: statement pairs that could not be proven safe (unknown address)
+    unknown_pairs: set[tuple[int, int]]
+    #: first concrete witness per proven pair
+    witnesses: dict[tuple[int, int], str]
+    #: predicted replay events: (group, younger lane, load stmt, store stmt)
+    raw_triples: set[tuple[int, int, int, int]]
+    #: total active (group, lane) executions
+    lane_executions: int
+    groups: int
+
+    @property
+    def unsafe_pairs(self) -> set[tuple[int, int]]:
+        """Pairs that force shared speculative coverage (for planning)."""
+        return self.conflict_pairs | self.unknown_pairs
+
+
+def _iteration(loop: Loop, n: int, group: int, lane: int, vl: int) -> int:
+    slot = group * vl + lane
+    return slot if loop.step == 1 else (n - 1) - slot
+
+
+def _candidate_pairs(
+    resolved: list[_Resolved], vl: int
+) -> set[tuple[int, int]]:
+    """Indices into ``resolved`` of pairs that need group enumeration.
+
+    Pairs are pruned with the value-range domain (disjoint element
+    intervals cannot overlap) and, for affine/affine pairs, with the
+    Banerjee classification (``NONE``/distance-0/``PROVABLE_SAFE``
+    means no *within-group* cross-lane coincidence exists).
+    """
+    pairs: set[tuple[int, int]] = set()
+    for a in range(len(resolved)):
+        ra = resolved[a]
+        for b in range(a, len(resolved)):
+            rb = resolved[b]
+            if ra.ref.array != rb.ref.array:
+                continue
+            if not (ra.ref.is_store or rb.ref.is_store):
+                continue
+            if ra.hi < rb.lo or rb.hi < ra.lo:
+                continue  # value-range domain: disjoint intervals
+            if ra.table is None and rb.table is None:
+                if a == b:
+                    if ra.ref.index.scale != 0:
+                        continue  # injective affine never self-collides
+                else:
+                    dep_class, _ = classify_pair(
+                        ra.ref.index, rb.ref.index, vl
+                    )
+                    if dep_class in (DepClass.NONE, DepClass.PROVABLE_SAFE):
+                        continue
+            pairs.add((a, b))
+    return pairs
+
+
+def analyse_conflicts(
+    loop: Loop,
+    facts: AnalysisFacts,
+    n: int,
+    vl: int = 16,
+) -> LoopConflicts:
+    """Exact cross-lane conflict analysis of ``loop`` over its inputs."""
+    refs = statement_refs(loop)
+    resolved: list[_Resolved] = []
+    unresolved: list[tuple[MemRef, str]] = []
+    for ref in refs:
+        res, reason = _resolve(ref, loop, facts, n)
+        if res is None:
+            unresolved.append((ref, reason))
+        else:
+            resolved.append(res)
+
+    # An unresolvable address may alias anything: an unknown store taints
+    # every statement with a memory reference, an unknown load every
+    # statement with a store.
+    unknown_pairs: set[tuple[int, int]] = set()
+    ref_stmts = {ref.stmt for ref in refs}
+    store_stmts = {ref.stmt for ref in refs if ref.is_store}
+    for ref, _reason in unresolved:
+        others = ref_stmts if ref.is_store else store_stmts
+        for stmt in others:
+            unknown_pairs.add((min(ref.stmt, stmt), max(ref.stmt, stmt)))
+
+    conflict_pairs: set[tuple[int, int]] = set()
+    witnesses: dict[tuple[int, int], str] = {}
+    raw_triples: set[tuple[int, int, int, int]] = set()
+
+    groups = (n + vl - 1) // vl
+    lane_executions = n
+    candidates = _candidate_pairs(resolved, vl)
+    involved = sorted({i for pair in candidates for i in pair})
+    if involved:
+        refs_by_array: dict[str, list[_Resolved]] = {}
+        for i in involved:
+            refs_by_array.setdefault(resolved[i].ref.array, []).append(
+                resolved[i]
+            )
+        for group in range(groups):
+            active = min(vl, n - group * vl)
+            for array, array_refs in refs_by_array.items():
+                cells: dict[int, list[tuple[int, _Resolved]]] = {}
+                for res in array_refs:
+                    for lane in range(active):
+                        i = _iteration(loop, n, group, lane, vl)
+                        cells.setdefault(res.addr(i), []).append((lane, res))
+                for elem, entries in cells.items():
+                    if len(entries) < 2:
+                        continue
+                    for x in range(len(entries)):
+                        lane_x, res_x = entries[x]
+                        for y in range(x + 1, len(entries)):
+                            lane_y, res_y = entries[y]
+                            if lane_x == lane_y:
+                                continue
+                            if not (res_x.ref.is_store or res_y.ref.is_store):
+                                continue
+                            pair = (min(res_x.ref.stmt, res_y.ref.stmt),
+                                    max(res_x.ref.stmt, res_y.ref.stmt))
+                            conflict_pairs.add(pair)
+                            if pair not in witnesses:
+                                witnesses[pair] = (
+                                    f"{array}[{elem}]: lanes "
+                                    f"{min(lane_x, lane_y)}/"
+                                    f"{max(lane_x, lane_y)} of group {group}"
+                                )
+                            for (sl, sr), (ll, lr) in (
+                                ((lane_x, res_x), (lane_y, res_y)),
+                                ((lane_y, res_y), (lane_x, res_x)),
+                            ):
+                                # horizontal RAW: older lane's store,
+                                # younger lane's load issued earlier in
+                                # program order
+                                if (sr.ref.is_store and not lr.ref.is_store
+                                        and sl < ll
+                                        and lr.ref.order < sr.ref.order):
+                                    raw_triples.add(
+                                        (group, ll, lr.ref.stmt, sr.ref.stmt)
+                                    )
+
+    return LoopConflicts(
+        loop=loop, n=n, vl=vl, refs=refs, unresolved=unresolved,
+        conflict_pairs=conflict_pairs, unknown_pairs=unknown_pairs,
+        witnesses=witnesses, raw_triples=raw_triples,
+        lane_executions=lane_executions, groups=groups,
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-region verdicts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegionAnalysis:
+    """Verdict + replay-risk estimate for one region of a plan."""
+
+    region: Region
+    verdict: RegionVerdict
+    conflict_pairs: tuple[tuple[int, int], ...]
+    unknown_pairs: tuple[tuple[int, int], ...]
+    #: predicted distinct (group, lane) replay victims — the numerator
+    #: of the density estimate
+    predicted_replay_lanes: int
+    #: active lane executions across all groups — the denominator
+    lane_executions: int
+    lsu_demand: int
+    #: the region exceeds the LSU budget: the emulator will run it with
+    #: the sequential fallback, so zero replays are expected regardless
+    #: of the verdict
+    predicted_fallback: bool
+    witness: str | None
+
+    @property
+    def density(self) -> float:
+        """Predicted violating-lane density (fraction of lanes replayed)."""
+        if not self.lane_executions:
+            return 0.0
+        return self.predicted_replay_lanes / self.lane_executions
+
+    @property
+    def dense(self) -> bool:
+        return self.density > DENSE_LANE_THRESHOLD
+
+
+def analyse_region(
+    conflicts: LoopConflicts,
+    region: Region,
+    lsu_entries: int | None = None,
+) -> RegionAnalysis:
+    """Verdict and replay-risk estimate for ``region``."""
+
+    def inside(pair: tuple[int, int]) -> bool:
+        return (region.start <= pair[0] < region.stop
+                and region.start <= pair[1] < region.stop)
+
+    conflict = tuple(sorted(p for p in conflicts.conflict_pairs if inside(p)))
+    unknown = tuple(sorted(p for p in conflicts.unknown_pairs if inside(p)))
+    if conflict:
+        verdict = RegionVerdict.MUST_CONFLICT
+    elif unknown:
+        verdict = RegionVerdict.MAY_CONFLICT
+    else:
+        verdict = RegionVerdict.NO_CONFLICT
+    victims = {
+        (group, lane)
+        for group, lane, load_stmt, store_stmt in conflicts.raw_triples
+        if inside((min(load_stmt, store_stmt), max(load_stmt, store_stmt)))
+    }
+    demand = sum(
+        ref_lsu_demand(ref, conflicts.loop, conflicts.vl)
+        for ref in conflicts.refs
+        if region.start <= ref.stmt < region.stop
+    )
+    witness = None
+    for pair in conflict:
+        if pair in conflicts.witnesses:
+            witness = conflicts.witnesses[pair]
+            break
+    if witness is None and unknown:
+        for ref, reason in conflicts.unresolved:
+            if region.start <= ref.stmt < region.stop:
+                witness = reason
+                break
+    return RegionAnalysis(
+        region=region,
+        verdict=verdict,
+        conflict_pairs=conflict,
+        unknown_pairs=unknown,
+        predicted_replay_lanes=len(victims),
+        lane_executions=conflicts.lane_executions,
+        lsu_demand=demand,
+        predicted_fallback=(lsu_entries is not None
+                            and demand > lsu_entries),
+        witness=witness,
+    )

@@ -1,0 +1,115 @@
+"""Abstract domains over array contents — the analyzer's fact base.
+
+The dependence engine reasons about indirect references through three
+stacked domains, from most to least precise:
+
+* **exact** — the index table's initial contents are statically known
+  *and* no statement in the loop stores to the table, so every gathered
+  or scattered element index is a known integer;
+* **value-range** — the ``[lo, hi]`` interval of the exact contents;
+  used as a cheap disjointness pre-filter before any per-group
+  enumeration (two reference families whose element intervals do not
+  intersect cannot conflict);
+* **unknown** — the table is written inside the loop, its contents were
+  not supplied, or an index escapes the addressed array's bounds.  An
+  unknown address may alias anything, so the verdict engine degrades to
+  ``MAY_CONFLICT`` for every pair it could participate in.
+
+Facts are derived either from the input arrays a workload spec
+generates for a seed, or from a :class:`~repro.memory.image.MemoryImage`
+at compile time (the generator allocates arrays before code generation,
+so initial contents are visible to the guided code generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import Loop
+from repro.memory.image import to_signed, to_unsigned
+
+
+@dataclass(frozen=True)
+class TableFacts:
+    """What is statically known about one array used as an index table."""
+
+    name: str
+    #: no statement in the loop stores to the table (its contents during
+    #: execution equal its initial contents)
+    invariant: bool
+    #: exact initial contents (sign-normalised to the element width), or
+    #: ``None`` when unknown
+    contents: tuple[int, ...] | None
+    #: value-range domain over the contents (``None`` when unknown)
+    lo: int | None = None
+    hi: int | None = None
+
+    @property
+    def exact(self) -> bool:
+        """True when indirect indices through this table are resolvable."""
+        return self.invariant and self.contents is not None
+
+
+@dataclass(frozen=True)
+class AnalysisFacts:
+    """Per-array element counts plus per-index-table knowledge."""
+
+    counts: dict[str, int]
+    tables: dict[str, TableFacts]
+
+    def table(self, name: str) -> TableFacts:
+        return self.tables[name]
+
+
+def _normalise(values, elem: int) -> tuple[int, ...]:
+    """Sign-normalise raw initial values exactly like array allocation."""
+    return tuple(to_signed(to_unsigned(v, elem), elem) for v in values)
+
+
+def _written_arrays(loop: Loop) -> set[str]:
+    written = {store.array for store in loop.writes()}
+    written.update(red.array for red in loop.reductions())
+    return written
+
+
+def gather_facts(
+    loop: Loop, arrays: dict[str, list[int]] | None
+) -> AnalysisFacts:
+    """Build the fact base for ``loop`` over the given initial arrays.
+
+    ``arrays`` maps array names to initial values (the same mapping a
+    :class:`~repro.workloads.base.LoopSpec` produces for a seed).  Pass
+    ``None`` when contents are unavailable: every table then degrades to
+    the unknown domain and indirect references stay unresolvable.
+    """
+    written = _written_arrays(loop)
+    counts: dict[str, int] = {}
+    tables: dict[str, TableFacts] = {}
+    if arrays is not None:
+        counts = {name: len(values) for name, values in arrays.items()}
+    for name in sorted(loop.index_arrays()):
+        invariant = name not in written
+        contents: tuple[int, ...] | None = None
+        lo = hi = None
+        if arrays is not None and name in arrays:
+            contents = _normalise(arrays[name], loop.arrays[name])
+            if contents:
+                lo, hi = min(contents), max(contents)
+        tables[name] = TableFacts(name, invariant, contents, lo, hi)
+    return AnalysisFacts(counts=counts, tables=tables)
+
+
+def facts_from_memory(loop: Loop, memory) -> AnalysisFacts:
+    """Build facts from arrays already allocated in ``memory``.
+
+    Used by the guided code generator, which runs after the experiment
+    driver has allocated and initialised every array: the *current*
+    contents at compile time are the initial contents.
+    """
+    by_name = {alloc.name: alloc for alloc in memory.allocations()}
+    arrays = {
+        name: memory.load_array(by_name[name])
+        for name in loop.arrays
+        if name in by_name
+    }
+    return gather_facts(loop, arrays)

@@ -1,0 +1,144 @@
+"""The region model: contiguous statement segments of a loop body.
+
+Baseline SRV brackets the *whole* vector body in one
+``srv_start``/``srv_end`` pair.  The analyzer instead partitions the
+body into an ordered sequence of contiguous segments, each either
+
+* **speculative** — emitted inside SRV brackets (the speculative buffer
+  orders its cross-lane accesses and triggers selective replay), or
+* **plain** — emitted bare; its vector instructions write straight to
+  memory.
+
+Validity of a plan is a property of the *pairwise* statement conflict
+relation: two statements with any possible cross-lane overlap (at least
+one side a store) must share one region — the speculative buffer's
+``(lane, instruction)`` sequential order is what reconstructs scalar
+semantics between them, and separate regions commit in between.  The
+planner therefore union-finds statements over the non-safe pairs and
+widens each component to a contiguous span (regions cannot be
+re-ordered, so everything between the component's first and last
+statement is pulled in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import Loop
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous statement segment ``body[start:stop]``."""
+
+    start: int
+    stop: int
+    speculative: bool
+    #: force the section III-D7 one-lane-at-a-time execution for this
+    #: region (set by the planner for proven-dense regions)
+    sequential: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start >= self.stop:
+            raise ValueError(f"empty region [{self.start}, {self.stop})")
+        if self.sequential and not self.speculative:
+            raise ValueError("plain regions cannot carry a sequential hint")
+
+    @property
+    def statements(self) -> range:
+        return range(self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class RegionPlan:
+    """An ordered, gap-free partition of a loop body into regions."""
+
+    regions: tuple[Region, ...]
+
+    def __post_init__(self) -> None:
+        at = 0
+        for region in self.regions:
+            if region.start != at:
+                raise ValueError(f"plan has a gap/overlap at statement {at}")
+            at = region.stop
+
+    @property
+    def speculative(self) -> tuple[Region, ...]:
+        """The speculative regions, in program order."""
+        return tuple(r for r in self.regions if r.speculative)
+
+    @property
+    def statement_count(self) -> int:
+        return self.regions[-1].stop if self.regions else 0
+
+    def region_of(self, stmt: int) -> Region:
+        for region in self.regions:
+            if region.start <= stmt < region.stop:
+                return region
+        raise IndexError(f"statement {stmt} outside the plan")
+
+    @classmethod
+    def baseline(cls, loop: Loop) -> "RegionPlan":
+        """Baseline SRV: one speculative region over the whole body."""
+        return cls((Region(0, len(loop.body), speculative=True),))
+
+    @classmethod
+    def all_plain(cls, loop: Loop) -> "RegionPlan":
+        """Every statement bare — only valid when the loop is conflict
+        free; used by the fuzzer's planted ``elide-regions`` self-test,
+        which deliberately applies it regardless of verdicts."""
+        return cls((Region(0, len(loop.body), speculative=False),))
+
+
+def plan_from_conflicts(
+    num_statements: int,
+    unsafe_pairs: set[tuple[int, int]],
+) -> RegionPlan:
+    """Build the minimal contiguous-region plan covering the conflicts.
+
+    ``unsafe_pairs`` holds ``(s, t)`` statement-index pairs (``s <= t``,
+    self-pairs allowed) that could not be proven conflict-free; each
+    such pair is forced into a shared speculative region.  Statements
+    outside every speculative span come out in plain regions.
+    """
+    parent = list(range(num_statements))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(a: int, b: int) -> None:
+        parent[find(a)] = find(b)
+
+    dirty: set[int] = set()
+    for s, t in unsafe_pairs:
+        union(s, t)
+        dirty.add(s)
+        dirty.add(t)
+
+    # component -> [min, max] statement span, then merge overlapping spans
+    spans: dict[int, list[int]] = {}
+    for stmt in sorted(dirty):
+        root = find(stmt)
+        span = spans.setdefault(root, [stmt, stmt])
+        span[0] = min(span[0], stmt)
+        span[1] = max(span[1], stmt)
+    merged: list[list[int]] = []
+    for lo, hi in sorted(spans.values()):
+        if merged and lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+
+    regions: list[Region] = []
+    at = 0
+    for lo, hi in merged:
+        if at < lo:
+            regions.append(Region(at, lo, speculative=False))
+        regions.append(Region(lo, hi + 1, speculative=True))
+        at = hi + 1
+    if at < num_statements:
+        regions.append(Region(at, num_statements, speculative=False))
+    return RegionPlan(tuple(regions))

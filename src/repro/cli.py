@@ -24,7 +24,12 @@ Commands:
 * ``fuzz`` — run a differential fuzz campaign (:mod:`repro.gen`):
   generate N seeded kernels, check each against the scalar oracle and
   the LSU differential, shrink any failure to a minimal reproducer, and
-  write a machine-readable campaign report;
+  write a machine-readable campaign report; ``--analyze-diff`` turns it
+  into the :mod:`repro.analyze` soundness fuzzer (a proven-safe region
+  that dynamically replays fails the kernel);
+* ``analyze <workload> [loop]`` — region-granular static dependence
+  verdicts and replay-risk estimates (:mod:`repro.analyze`) for a
+  workload's loops, optionally as machine-readable JSON;
 * ``sample <workload> [loop]`` — interval-sampled simulation
   (:mod:`repro.sample`): fingerprint the dynamic stream, cluster the
   intervals, time only representative segments, and project
@@ -336,12 +341,14 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         out_dir=Path(args.out),
         plant=args.plant,
+        analyze_diff=args.analyze_diff,
     )
     report = run_fuzz(cfg)
     obj = report.to_obj()
     print(f"fuzz: generator v{obj['generator_version']} seed={cfg.seed} "
           f"count={cfg.count} strategy={cfg.strategy.value}"
           + (f" plant={cfg.plant}" if cfg.plant else "")
+          + (" analyze-diff" if cfg.analyze_diff else "")
           + (" lane-engine-diff" if cfg.lane_engine_diff else ""))
     for outcome in report.outcomes:
         if outcome.status == "ok":
@@ -363,6 +370,58 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   "without --no-shrink for a minimal reproducer)",
                   file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analyze import analyse_spec, analyse_workload
+
+    try:
+        workload = by_name(args.workload)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.loop is not None:
+        try:
+            spec = _find_spec(args.workload, args.loop)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        analyses = [analyse_spec(spec, workload.name, seed=args.seed,
+                                 n_override=args.n)]
+    else:
+        analyses = list(
+            analyse_workload(workload, seed=args.seed,
+                             n_override=args.n).loops
+        )
+    for la in analyses:
+        verdict = la.loop_verdict.value if la.loop_verdict else "-"
+        print(f"{la.loop}: mode={la.mode} banerjee={la.banerjee} "
+              f"verdict={verdict} n={la.n}")
+        for r in la.regions:
+            kind = "speculative" if r.region.speculative else "plain"
+            if r.region.sequential:
+                kind += "+seq"
+            line = (f"  region [{r.region.start},{r.region.stop}) "
+                    f"{kind}: {r.verdict.value} "
+                    f"density={r.density:.4f} lsu_demand={r.lsu_demand}")
+            if r.predicted_fallback:
+                line += " fallback"
+            print(line)
+            if r.witness:
+                print(f"    witness: {r.witness}")
+    if args.json:
+        obj = {
+            "workload": workload.name,
+            "seed": args.seed,
+            "loops": [la.to_obj() for la in analyses],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(obj, fh, indent=2)
+            fh.write("\n")
+        print(f"report: {args.json}")
     return 0
 
 
@@ -672,9 +731,29 @@ def main(argv: list[str] | None = None) -> int:
                        help="report failures without minimising them")
     p_fuz.add_argument("--no-cache", action="store_true",
                        help="bypass the result cache even for clean checks")
-    p_fuz.add_argument("--plant", default=None, choices=sorted(PLANTS),
+    p_fuz.add_argument("--plant", default=None,
+                       choices=sorted(PLANTS) + ["elide-regions"],
                        help="inject a named check-time miscompile into every "
-                            "kernel (self-test of the campaign machinery)")
+                            "kernel (self-test of the campaign machinery); "
+                            "elide-regions requires --analyze-diff")
+    p_fuz.add_argument("--analyze-diff", action="store_true",
+                       help="soundness-fuzz the static analyzer: fail any "
+                            "kernel where a region the analysis proved safe "
+                            "dynamically replays")
+
+    p_ana = sub.add_parser(
+        "analyze",
+        help="region-granular static dependence analysis of a workload",
+    )
+    p_ana.add_argument("workload", help="workload name (see `repro list`)")
+    p_ana.add_argument("loop", nargs="?", default=None,
+                       help="restrict to one loop (substring match)")
+    p_ana.add_argument("-n", type=int, default=None,
+                       help="trip-count override")
+    p_ana.add_argument("--seed", type=int, default=0,
+                       help="input seed the verdicts are proven against")
+    p_ana.add_argument("--json", default=None, metavar="FILE",
+                       help="write the machine-readable report to FILE")
 
     args = parser.parse_args(argv)
     handler = {
@@ -685,6 +764,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify": _cmd_verify,
         "inject": _cmd_inject,
         "fuzz": _cmd_fuzz,
+        "analyze": _cmd_analyze,
         "sample": _cmd_sample,
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,

@@ -1,6 +1,14 @@
 """Mini vectorising compiler: loop IR, dependence analysis, codegen."""
 
-from repro.compiler.analysis import DepClass, Dependence, analyse, classify_pair, loop_class
+from repro.compiler.analysis import (
+    DepClass,
+    Dependence,
+    analyse,
+    analyse_statements,
+    classify_pair,
+    loop_class,
+    region_class,
+)
 from repro.compiler.codegen import LoopCodeGenerator, Strategy, compile_loop
 from repro.compiler.ir import (
     Affine,
@@ -14,6 +22,7 @@ from repro.compiler.ir import (
     Reduce,
     Select,
     Store,
+    expr_reads,
     scalar_reference,
 )
 
@@ -21,8 +30,11 @@ __all__ = [
     "DepClass",
     "Dependence",
     "analyse",
+    "analyse_statements",
     "classify_pair",
     "loop_class",
+    "region_class",
+    "expr_reads",
     "LoopCodeGenerator",
     "Strategy",
     "compile_loop",

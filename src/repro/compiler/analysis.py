@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from math import gcd
+from typing import Iterable
 
 from repro.compiler.ir import Affine, Indirect, Loop
 
@@ -80,12 +81,32 @@ def classify_pair(a, b, vector_length: int) -> tuple[DepClass, int | None]:
     return _affine_pair_class(a, b, vector_length)
 
 
-def analyse(loop: Loop, vector_length: int = 16) -> list[Dependence]:
-    """All potential cross-iteration dependences in the loop."""
-    deps: list[Dependence] = []
-    writes = [(stmt.array, stmt.index) for stmt in loop.writes()]
-    reads = [(read.array, read.index) for read in loop.reads()]
+def analyse_statements(
+    loop: Loop,
+    statements: "Iterable[int] | None" = None,
+    vector_length: int = 16,
+) -> list[Dependence]:
+    """Potential cross-iteration dependences among a statement subset.
 
+    ``statements`` selects body statement indices (``None`` = the whole
+    body).  This is the region-granular entry point: the guided code
+    generator asks about each candidate region separately instead of
+    collapsing the loop to one verdict.
+    """
+    from repro.compiler.ir import Store, expr_reads
+
+    selected = (range(len(loop.body)) if statements is None
+                else sorted(set(statements)))
+    writes = []
+    reads = []
+    for s in selected:
+        stmt = loop.body[s]
+        for read in expr_reads(stmt.value):
+            reads.append((read.array, read.index))
+        if isinstance(stmt, Store):
+            writes.append((stmt.array, stmt.index))
+
+    deps: list[Dependence] = []
     for w_array, w_index in writes:
         for r_array, r_index in reads:
             if w_array != r_array:
@@ -102,9 +123,35 @@ def analyse(loop: Loop, vector_length: int = 16) -> list[Dependence]:
     return deps
 
 
-def loop_class(loop: Loop, vector_length: int = 16) -> DepClass:
-    """The worst dependence class across the loop."""
-    deps = analyse(loop, vector_length)
+def region_class(
+    loop: Loop,
+    statements: "Iterable[int] | None" = None,
+    vector_length: int = 16,
+) -> DepClass:
+    """The worst dependence class among a statement subset of the loop."""
+    deps = analyse_statements(loop, statements, vector_length)
     if not deps:
         return DepClass.NONE
     return max(dep.dep_class for dep in deps)
+
+
+def analyse(loop: Loop, vector_length: int = 16) -> list[Dependence]:
+    """All potential cross-iteration dependences in the loop.
+
+    Deprecated alias for :func:`analyse_statements` over the whole body:
+    loop-granular verdicts over-serialise multi-statement bodies (one
+    indirect pair taints every statement).  New callers should pass the
+    statement subset they actually care about, or use
+    :mod:`repro.analyze` for value-aware region verdicts.
+    """
+    return analyse_statements(loop, None, vector_length)
+
+
+def loop_class(loop: Loop, vector_length: int = 16) -> DepClass:
+    """The worst dependence class across the loop.
+
+    Deprecated alias for :func:`region_class` over the whole body — kept
+    because the SVE/FlexVec strategies genuinely vectorise all-or-
+    nothing; region-aware callers should use :func:`region_class`.
+    """
+    return region_class(loop, None, vector_length)

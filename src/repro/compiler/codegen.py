@@ -97,6 +97,10 @@ class Strategy(enum.Enum):
     SCALAR = "scalar"
     SVE = "sve"
     SRV = "srv"
+    #: SRV with analysis-guided region placement: proven-safe statement
+    #: spans are emitted without ``srv_start``/``srv_end`` and
+    #: proven-dense regions carry the sequential hint (repro.analyze)
+    SRV_GUIDED = "srv_guided"
     FLEXVEC = "flexvec"
 
 
@@ -312,7 +316,14 @@ class LoopCodeGenerator:
             note(store.index)
         return names
 
-    def vector_program(self, srv: bool) -> "Program":
+    def vector_program(self, srv: bool, plan=None) -> "Program":
+        """Vector code, optionally bracketed in SRV-regions.
+
+        ``plan`` (a :class:`repro.analyze.regions.RegionPlan`, only
+        meaningful with ``srv=True``) splits the body into speculative
+        and plain segments; without it the whole body forms one
+        speculative region — the baseline SRV shape.
+        """
         if srv and self.loop.reductions():
             raise CompilerError(
                 "reductions cannot live inside an SRV-region: the "
@@ -353,18 +364,32 @@ class LoopCodeGenerator:
         for name, reg in self._cur.items():
             b.shl(x(15), REG_I, imm(self._elem_shift[name]))
             b.add(reg, self.bases[name], x(15))
-        if srv:
-            direction = SrvDirection.UP if self.loop.step == 1 else SrvDirection.DOWN
-            b.srv_start(direction)
+        direction = SrvDirection.UP if self.loop.step == 1 else SrvDirection.DOWN
+        if srv and plan is not None:
+            if plan.statement_count != len(self.loop.body):
+                raise CompilerError(
+                    f"region plan covers {plan.statement_count} statements, "
+                    f"loop body has {len(self.loop.body)}"
+                )
+            segments = [
+                (r.speculative, list(r.statements), r.sequential)
+                for r in plan.regions
+            ]
+        else:
+            segments = [(srv, list(range(len(self.loop.body))), False)]
         vtemps = _RegPool(1, 27, v, "vector temp")
         ptemps = _RegPool(FIRST_TEMP_PRED, 16, p, "predicate temp")
-        for stmt in self.loop.body:
-            if isinstance(stmt, Reduce):
-                self._vector_reduce_step(b, stmt, vtemps, ptemps)
-            else:
-                self._vector_statement(b, stmt, vtemps, ptemps)
-        if srv:
-            b.srv_end()
+        for speculative, statements, sequential in segments:
+            if speculative:
+                b.srv_start(direction, sequential=sequential)
+            for s in statements:
+                stmt = self.loop.body[s]
+                if isinstance(stmt, Reduce):
+                    self._vector_reduce_step(b, stmt, vtemps, ptemps)
+                else:
+                    self._vector_statement(b, stmt, vtemps, ptemps)
+            if speculative:
+                b.srv_end()
         if self.loop.step == 1:
             b.add(REG_I, REG_I, imm(self.vl))
             b.blt(REG_I, REG_N, "top")
@@ -560,7 +585,7 @@ class LoopCodeGenerator:
                 return self.vector_program(srv=False)
             # state-of-the-art compiler cannot prove safety: scalar fallback
             return self.scalar_program()
-        if strategy is Strategy.SRV:
+        if strategy in (Strategy.SRV, Strategy.SRV_GUIDED):
             if self.loop.reductions():
                 # reductions are incompatible with selective replay; when
                 # the loop is otherwise clean, vectorise without a region,
@@ -570,6 +595,19 @@ class LoopCodeGenerator:
                 ):
                     return self.vector_program(srv=False)
                 return self.scalar_program()
+            if strategy is Strategy.SRV_GUIDED:
+                # consult the value-aware analysis over the arrays already
+                # materialised in memory (their compile-time contents are
+                # the initial contents); proven-safe spans lose their
+                # brackets, proven-dense ones gain the sequential hint
+                from repro.analyze.facts import facts_from_memory
+                from repro.analyze.report import guided_plan
+
+                facts = facts_from_memory(self.loop, self.memory)
+                plan = guided_plan(self.loop, facts, self.n, self.vl)
+                if not plan.speculative:
+                    return self.vector_program(srv=False)
+                return self.vector_program(srv=True, plan=plan)
             return self.vector_program(srv=True)
         if strategy is Strategy.FLEXVEC:
             from repro.compiler.flexvec import flexvec_program

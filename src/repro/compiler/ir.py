@@ -166,6 +166,32 @@ class Reduce:
 Statement = Union[Store, Reduce]
 
 
+def expr_reads(expr: Expr) -> list[Read]:
+    """Array reads of ``expr`` in evaluation order.
+
+    The order matches the vector code generator's expression lowering
+    (``BinOp`` left before right; ``Select`` condition operands before
+    the two values), which the region-granular analyzer relies on when
+    it predicts which cross-lane conflicts trigger a replay.
+    """
+    out: list[Read] = []
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, Read):
+            out.append(e)
+        elif isinstance(e, BinOp):
+            walk(e.lhs)
+            walk(e.rhs)
+        elif isinstance(e, Select):
+            walk(e.cmp_lhs)
+            walk(e.cmp_rhs)
+            walk(e.then_value)
+            walk(e.else_value)
+
+    walk(expr)
+    return out
+
+
 @dataclass(frozen=True)
 class Loop:
     """An inner loop ``for i in range(n): body`` over named arrays.
@@ -230,21 +256,8 @@ class Loop:
 
     def reads(self) -> list[Read]:
         out: list[Read] = []
-
-        def walk(expr: Expr) -> None:
-            if isinstance(expr, Read):
-                out.append(expr)
-            elif isinstance(expr, BinOp):
-                walk(expr.lhs)
-                walk(expr.rhs)
-            elif isinstance(expr, Select):
-                walk(expr.cmp_lhs)
-                walk(expr.cmp_rhs)
-                walk(expr.then_value)
-                walk(expr.else_value)
-
         for stmt in self.body:
-            walk(stmt.value)
+            out.extend(expr_reads(stmt.value))
         return out
 
     def writes(self) -> list[Store]:

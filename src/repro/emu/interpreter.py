@@ -1010,7 +1010,9 @@ class Interpreter:
 
         demand = self._region_lsu_demand(body)
         srv.lsu_entries_peak = max(srv.lsu_entries_peak, demand)
-        if demand > self.config.lsu_entries or self.config.srv_force_sequential:
+        if (demand > self.config.lsu_entries
+                or self.config.srv_force_sequential
+                or start_inst.sequential):
             self._exec_region_sequential(body, body_pc, end_pc)
             return
 

@@ -10,6 +10,7 @@ from repro.experiments import (
     ablation_barrier,
     ablation_inorder,
     ablation_tm,
+    analyze_guided,
     fig6_loop_speedup,
     fig7_whole_program,
     fig8_barrier,
@@ -57,6 +58,7 @@ ALL_EXPERIMENTS = {
     "ablation_inorder": ablation_inorder.run,
     "ablation_barrier": ablation_barrier.run,
     "ablation_tm": ablation_tm.run,
+    "analyze_guided": analyze_guided.run,
 }
 
 __all__ = [

@@ -1,0 +1,136 @@
+"""Analysis-guided SRV — static verdicts vs dynamic behaviour.
+
+Two questions over the full 28-loop suite:
+
+* **Does the analysis pay?**  Baseline SRV vs analysis-guided SRV
+  (``Strategy.SRV_GUIDED``) cycles per loop.  Guided code must be
+  result-identical and never slower; loops with at least one proven-safe
+  region should be strictly faster.
+* **Is it honest?**  The per-loop confusion matrix of static verdict
+  (worst over the guided plan's speculative regions) against observed
+  replay events from the instrumented baseline-SRV run.  The
+  ``false_safe`` cell — a proven-safe region that replayed — must be
+  empty; ``repro fuzz --analyze-diff`` hunts the same cell over
+  generated kernels.
+"""
+
+from __future__ import annotations
+
+from repro.analyze import analyse_spec
+from repro.common.config import TABLE_I, MachineConfig
+from repro.compiler import Strategy
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import run_loop
+from repro.observe.harness import observe_loop
+from repro.observe.replay_truth import confusion_cell, replay_truth
+from repro.workloads import ALL_WORKLOADS
+
+CONFUSION_CELLS = (
+    "proven_safe_clean",
+    "false_safe",
+    "predicted_replay_hit",
+    "predicted_replay_miss",
+    "unknown_clean",
+    "unknown_replayed",
+    "fallback",
+)
+
+
+def run(
+    seed: int = 0,
+    config: MachineConfig = TABLE_I,
+    n_override: int | None = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="analyze_guided",
+        title=("Analysis-guided SRV: cycles vs baseline and "
+               "static-verdict/observed-replay confusion"),
+        columns=(
+            "loop",
+            "workload",
+            "verdict",
+            "safe_regions",
+            "srv_cycles",
+            "guided_cycles",
+            "cycle_delta",
+            "observed_replays",
+            "confusion",
+        ),
+    )
+    confusion = {cell: 0 for cell in CONFUSION_CELLS}
+    mismatched: list[str] = []
+    regressed: list[str] = []
+    for workload in ALL_WORKLOADS:
+        for spec in workload.loops:
+            analysis = analyse_spec(
+                spec, workload.name, seed=seed, n_override=n_override,
+                lsu_entries=config.lsu_entries,
+            )
+            base = run_loop(
+                spec, Strategy.SRV, seed=seed, config=config,
+                n_override=n_override,
+            )
+            guided = run_loop(
+                spec, Strategy.SRV_GUIDED, seed=seed, config=config,
+                n_override=n_override,
+            )
+            if not (base.correct and guided.correct):
+                mismatched.append(spec.name)
+            delta = base.cycles - guided.cycles
+            if delta < 0:
+                regressed.append(spec.name)
+
+            verdict = analysis.loop_verdict
+            if verdict is not None:
+                observed = observe_loop(
+                    spec, Strategy.SRV, seed=seed, config=config,
+                    n_override=n_override,
+                )
+                # baseline SRV brackets the whole body in one region
+                truth = replay_truth(
+                    observed.events, 1, degraded=observed.degraded
+                )
+                cell = confusion_cell(verdict.value, truth)
+                confusion[cell] += 1
+                verdict_name = verdict.value
+                replays = truth.replayed_lanes
+            else:
+                # reduction loops execute without regions: nothing for
+                # the verdict lattice or the replay truth to say
+                cell = "-"
+                verdict_name = "-"
+                replays = 0
+            result.rows.append(
+                (
+                    spec.name,
+                    workload.name,
+                    verdict_name,
+                    analysis.proven_safe_regions,
+                    base.cycles,
+                    guided.cycles,
+                    delta,
+                    replays,
+                    cell,
+                )
+            )
+    result.summary["confusion_matrix"] = confusion
+    result.summary["false_safe"] = confusion["false_safe"]
+    result.summary["result_mismatches"] = mismatched
+    result.summary["guided_regressions"] = regressed
+    result.summary["loops_with_safe_regions"] = sum(
+        1 for row in result.rows if row[3] > 0
+    )
+    result.summary["total_cycles_saved"] = sum(row[6] for row in result.rows)
+    if mismatched:
+        result.failures.append(
+            {"kind": "result_mismatch", "loops": mismatched}
+        )
+    if regressed:
+        result.failures.append(
+            {"kind": "guided_regression", "loops": regressed}
+        )
+    if confusion["false_safe"]:
+        result.failures.append(
+            {"kind": "false_safe", "count": confusion["false_safe"]}
+        )
+    return result

@@ -92,8 +92,14 @@ class FuzzConfig:
     shrink: bool = True
     use_cache: bool = True
     out_dir: Path | None = None
-    #: name of a :data:`PLANTS` mutation to inject into every kernel
+    #: name of a :data:`PLANTS` mutation to inject into every kernel, or
+    #: the special ``"elide-regions"`` self-test (``analyze_diff`` only)
     plant: str | None = None
+    #: soundness differential for :mod:`repro.analyze`: fail any kernel
+    #: where a region the analysis declared ``NO_CONFLICT`` dynamically
+    #: replays, or where the analysis-guided program diverges from the
+    #: scalar oracle.  Always executes outside the result cache.
+    analyze_diff: bool = False
 
 
 @dataclass
@@ -140,6 +146,7 @@ class FuzzReport:
     count: int
     strategy: str
     plant: str | None = None
+    analyze_diff: bool = False
     outcomes: list[CheckOutcome] = field(default_factory=list)
     elapsed_s: float = 0.0
 
@@ -158,6 +165,7 @@ class FuzzReport:
             "count": self.count,
             "strategy": self.strategy,
             "plant": self.plant,
+            "analyze_diff": self.analyze_diff,
             "passed": sum(1 for o in self.outcomes if o.status == "ok"),
             "failed": sum(1 for o in self.outcomes if o.status == "fail"),
             "errors": sum(1 for o in self.outcomes if o.status == "error"),
@@ -282,6 +290,146 @@ def _lane_engine_diff_check(
     return True, None
 
 
+def _alloc_arrays(spec: LoopSpec, arrays: dict) -> MemoryImage:
+    mem = MemoryImage()
+    for name, init in arrays.items():
+        mem.alloc(name, len(init), spec.loop.arrays[name], init=init)
+    return mem
+
+
+def _elide_regions_check(
+    spec: LoopSpec, cfg: FuzzConfig, n: int
+) -> tuple[bool, str | None]:
+    """Planted self-test: compile with *every* SRV bracket omitted.
+
+    Applies :meth:`RegionPlan.all_plain` regardless of verdicts — the
+    vector program runs bare, so any dynamically-conflicting kernel
+    diverges from the scalar oracle.  A campaign over conflicting
+    kernels must therefore fail (and shrink); this proves end to end
+    that the analyze-diff machinery would catch an unsound
+    ``NO_CONFLICT`` verdict that led codegen to drop a needed bracket.
+    """
+    from repro.analyze.regions import RegionPlan
+    from repro.compiler.codegen import LoopCodeGenerator
+
+    arrays = spec.arrays(cfg.seed)
+    mem = _alloc_arrays(spec, arrays)
+    gen = LoopCodeGenerator(spec.loop, mem, n, spec.params)
+    if spec.loop.reductions():
+        # reduction loops never carry regions; nothing to elide
+        program = gen.vector_program(srv=False)
+    else:
+        program = gen.vector_program(
+            srv=True, plan=RegionPlan.all_plain(spec.loop)
+        )
+    try:
+        simulate_streaming(program, mem, cfg.config,
+                           validate_lsu=True, warm=True)
+    except ReproError as exc:
+        return False, f"{type(exc).__name__}: {exc}"
+    reference = scalar_reference(spec.loop, arrays, n, params=spec.params)
+    for name in arrays:
+        got = mem.load_array(mem.allocation(name))
+        if got != reference[name]:
+            return False, _describe_mismatch(name, got, reference[name])
+    return True, None
+
+
+def _analyze_diff_check(
+    spec: LoopSpec, cfg: FuzzConfig, n: int
+) -> tuple[bool, str | None]:
+    """Soundness differential: static verdicts vs dynamic replay truth.
+
+    Two executions, both cache-cold:
+
+    * a **probe** program with the guided plan's boundaries but *every*
+      region speculative — each ``NO_CONFLICT`` claim is dynamically
+      testable there: a ``LANE_REPLAY`` event attributed to a
+      proven-safe region is a false-safe verdict and fails the kernel;
+    * the **guided** program itself (brackets actually omitted), judged
+      against the scalar oracle — the end-to-end omission check.
+
+    Regions that run via the sequential fallback cannot witness replays
+    and are skipped (recorded as vacuous, not passed).
+    """
+    from repro.analyze import RegionVerdict, analyse_conflicts, gather_facts
+    from repro.analyze.dependence import analyse_region
+    from repro.analyze.regions import Region, RegionPlan
+    from repro.analyze.report import guided_plan
+    from repro.compiler.codegen import LoopCodeGenerator
+    from repro.observe import events as _ev
+    from repro.observe.replay_truth import replay_truth
+
+    if spec.loop.reductions():
+        # no regions exist for reduction loops: degrade to the plain
+        # oracle check (identity mutation keeps the cache cold)
+        return _mutated_check(spec, lambda loop: loop, cfg.strategy,
+                              cfg.seed, cfg.config, n)
+
+    arrays = spec.arrays(cfg.seed)
+    loop = spec.loop
+    facts = gather_facts(loop, arrays)
+    conflicts = analyse_conflicts(loop, facts, n)
+    plan = guided_plan(loop, facts, n)
+    verdicts = [analyse_region(conflicts, region).verdict
+                for region in plan.regions]
+
+    # -- probe: every region speculative, claims dynamically testable ---
+    probe_plan = RegionPlan(tuple(
+        Region(r.start, r.stop, speculative=True) for r in plan.regions
+    ))
+    mem = _alloc_arrays(spec, arrays)
+    program = LoopCodeGenerator(loop, mem, n, spec.params).vector_program(
+        srv=True, plan=probe_plan
+    )
+    sink = _ev.ListSink()
+    degraded = False
+    try:
+        with _ev.capture(sink):
+            simulate_streaming(program, mem, cfg.config,
+                               validate_lsu=True, warm=True)
+    except LsuOverflowError:
+        degraded = True
+        sink = _ev.ListSink()
+        mem = _alloc_arrays(spec, arrays)
+        seq = cfg.config.with_overrides(srv_force_sequential=True)
+        try:
+            with _ev.capture(sink):
+                simulate_streaming(program, mem, seq,
+                                   validate_lsu=True, warm=True)
+        except ReproError as exc:
+            return False, f"probe: {type(exc).__name__}: {exc}"
+    except ReproError as exc:
+        return False, f"probe: {type(exc).__name__}: {exc}"
+    reference = scalar_reference(loop, arrays, n, params=spec.params)
+    for name in arrays:
+        got = mem.load_array(mem.allocation(name))
+        if got != reference[name]:
+            return False, "probe " + _describe_mismatch(
+                name, got, reference[name]
+            )
+    truth = replay_truth(sink.finalized(), len(probe_plan.regions),
+                         degraded=degraded)
+    for i, (verdict, region_truth) in enumerate(
+        zip(verdicts, truth.regions)
+    ):
+        if verdict is not RegionVerdict.NO_CONFLICT:
+            continue
+        if degraded or region_truth.fallbacks:
+            continue  # vacuous: the fallback cannot witness replays
+        if region_truth.replayed_lanes:
+            region = plan.regions[i]
+            return False, (
+                f"false-safe: region [{region.start}, {region.stop}) was "
+                f"declared no_conflict but replayed "
+                f"{region_truth.replayed_lanes} lane(s) dynamically"
+            )
+
+    # -- guided program: brackets actually omitted, oracle-judged -------
+    return _mutated_check(spec, lambda loop: loop, Strategy.SRV_GUIDED,
+                          cfg.seed, cfg.config, n)
+
+
 def _snapshot_array(snapshot: bytes, spec: LoopSpec, name: str,
                     arrays: dict) -> list[int]:
     """Re-read one named array out of a raw memory snapshot."""
@@ -301,6 +449,17 @@ def check_kernel(
 ) -> tuple[bool, str | None]:
     """Scalar-oracle + LSU differential check of one spec under ``cfg``."""
     n = spec.n if cfg.n_override is None else min(cfg.n_override, spec.n)
+    if cfg.analyze_diff:
+        if cfg.plant == "elide-regions":
+            return _elide_regions_check(spec, cfg, n)
+        if cfg.plant is not None:
+            raise ValueError(
+                f"plant {cfg.plant!r} is incompatible with analyze_diff "
+                f"(only 'elide-regions' applies)"
+            )
+        return _analyze_diff_check(spec, cfg, n)
+    if cfg.plant == "elide-regions":
+        raise ValueError("plant 'elide-regions' requires analyze_diff")
     if cfg.plant is not None:
         return _mutated_check(spec, PLANTS[cfg.plant], cfg.strategy,
                               cfg.seed, cfg.config, n)
@@ -346,6 +505,7 @@ def write_reproducer(
         "run_seed": cfg.seed,
         "strategy": cfg.strategy.value,
         "plant": cfg.plant,
+        "analyze_diff": cfg.analyze_diff,
         "detail": detail,
         "n": minimal.n,
         "params": dict(minimal.params),
@@ -391,7 +551,8 @@ def load_reproducer(path: Path) -> tuple[LoopSpec, dict]:
 def run_fuzz(cfg: FuzzConfig) -> FuzzReport:
     """Run one fuzz campaign and (optionally) write report + reproducers."""
     report = FuzzReport(seed=cfg.seed, count=cfg.count,
-                        strategy=cfg.strategy.value, plant=cfg.plant)
+                        strategy=cfg.strategy.value, plant=cfg.plant,
+                        analyze_diff=cfg.analyze_diff)
     started = time.perf_counter()
     for i in range(cfg.count):
         kseed = kernel_seed(cfg.seed, i)

@@ -145,7 +145,8 @@ class Assembler:
             direction = SrvDirection.UP
             if ops and "down" in ops[0]:
                 direction = SrvDirection.DOWN
-            b.srv_start(direction)
+            sequential = any("seq" in op for op in ops)
+            b.srv_start(direction, sequential)
         elif mnemonic == "srv_end":
             b.srv_end()
         elif mnemonic == "b":

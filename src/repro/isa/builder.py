@@ -323,8 +323,9 @@ class ProgramBuilder:
 
     # -- SRV ------------------------------------------------------------------------
 
-    def srv_start(self, direction: SrvDirection = SrvDirection.UP) -> "ProgramBuilder":
-        return self.emit(SrvStart(direction))
+    def srv_start(self, direction: SrvDirection = SrvDirection.UP,
+                  sequential: bool = False) -> "ProgramBuilder":
+        return self.emit(SrvStart(direction, sequential))
 
     def srv_end(self) -> "ProgramBuilder":
         return self.emit(SrvEnd())

@@ -615,8 +615,14 @@ class SrvStart(Instruction):
     """
 
     direction: SrvDirection = SrvDirection.UP
+    #: compiler hint: execute the region one lane at a time (the
+    #: section III-D7 fallback) instead of speculating — emitted by the
+    #: guided code generator for regions with proven-dense conflicts
+    sequential: bool = False
 
     def __repr__(self) -> str:
+        if self.sequential:
+            return f"srv_start ({self.direction.value}, seq)"
         return f"srv_start ({self.direction.value})"
 
 

@@ -10,7 +10,10 @@ Submodules:
 * :mod:`repro.observe.export` — Chrome Trace Format / Perfetto JSON,
   ASCII timelines, and counter/attribution tables;
 * :mod:`repro.observe.harness` — ``observe_loop``, the fresh-run
-  driver behind ``repro trace`` and ``repro attrib``.
+  driver behind ``repro trace`` and ``repro attrib``;
+* :mod:`repro.observe.replay_truth` — per-static-region replay ground
+  truth folded from the event stream (the dynamic side of the
+  ``repro.analyze`` confusion matrix and soundness fuzzing).
 
 Only the event/attribution layers are imported eagerly: instrumentation
 sites deep in the simulator (``lsu``, ``pipeline``, ``emu``) import this
@@ -41,6 +44,12 @@ from repro.observe.events import (
     capture,
     install,
     uninstall,
+)
+from repro.observe.replay_truth import (
+    RegionTruth,
+    ReplayTruth,
+    confusion_cell,
+    replay_truth,
 )
 
 _LAZY = {
@@ -82,6 +91,10 @@ __all__ = [
     "capture",
     "install",
     "uninstall",
+    "RegionTruth",
+    "ReplayTruth",
+    "confusion_cell",
+    "replay_truth",
     "to_chrome_trace",
     "write_chrome_trace",
     "counters_table",

@@ -1,0 +1,113 @@
+"""Observed replay ground truth per *static* SRV-region.
+
+The soundness side of ``repro.analyze``: static verdicts claim what a
+region *can* do, the event stream records what it *did*.  This module
+folds a run's ``LANE_REPLAY`` / ``REGION_END`` events back onto the
+program's static regions so the two can be compared — the confusion
+matrix of the analyze-guided experiment and the oracle of ``repro fuzz
+--analyze-diff`` are both built on it.
+
+The emulator numbers dynamic region entries globally
+(``srv.regions_entered - 1``); the vector loop enters its static
+regions in program order every iteration group, so dynamic entry ``k``
+belongs to static region ``k % num_regions``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.observe.events import Event, EventKind
+
+
+@dataclass(frozen=True)
+class RegionTruth:
+    """What one static speculative region actually did at run time."""
+
+    index: int           #: static region index, program order
+    entries: int         #: dynamic entries (one per iteration group)
+    replayed_lanes: int  #: ``LANE_REPLAY`` events attributed to it
+    fallbacks: int       #: entries run via the sequential fallback
+
+    @property
+    def replayed(self) -> bool:
+        return self.replayed_lanes > 0
+
+
+@dataclass(frozen=True)
+class ReplayTruth:
+    """Per-static-region replay ground truth for one observed run."""
+
+    regions: tuple[RegionTruth, ...]
+    #: the whole run was degraded to ``srv_force_sequential`` (an LSU
+    #: overflow): zero replays are structural, not evidence of safety
+    degraded: bool = False
+
+    @property
+    def replayed_lanes(self) -> int:
+        return sum(r.replayed_lanes for r in self.regions)
+
+    @property
+    def any_fallback(self) -> bool:
+        return self.degraded or any(r.fallbacks for r in self.regions)
+
+
+def replay_truth(
+    events: "tuple[Event, ...] | list[Event]",
+    num_regions: int,
+    degraded: bool = False,
+) -> ReplayTruth:
+    """Fold an event stream onto ``num_regions`` static regions.
+
+    ``num_regions`` is the static speculative region count of the
+    executed program — ``len(program.region_spans())``, or equivalently
+    ``len(plan.speculative)`` for a guided plan (1 for baseline SRV).
+    """
+    if num_regions <= 0:
+        return ReplayTruth(regions=(), degraded=degraded)
+    entries = [0] * num_regions
+    replays = [0] * num_regions
+    fallbacks = [0] * num_regions
+
+    def region_of(event: Event) -> int:
+        data = dict(event.data)
+        return data["region"] % num_regions
+
+    for event in events:
+        if event.domain != "emu":
+            continue
+        if event.kind is EventKind.REGION_BEGIN:
+            entries[region_of(event)] += 1
+        elif event.kind is EventKind.LANE_REPLAY:
+            replays[region_of(event)] += 1
+        elif event.kind is EventKind.SEQ_FALLBACK:
+            fallbacks[region_of(event)] += 1
+    return ReplayTruth(
+        regions=tuple(
+            RegionTruth(i, entries[i], replays[i], fallbacks[i])
+            for i in range(num_regions)
+        ),
+        degraded=degraded,
+    )
+
+
+def confusion_cell(verdict: str, truth: ReplayTruth) -> str:
+    """Classify one (static verdict, observed behaviour) pair.
+
+    Cells: ``proven_safe_clean`` (the soundness-critical one — its
+    converse, ``false_safe``, is the bug class the differential fuzzer
+    hunts), ``predicted_replay_hit`` / ``predicted_replay_miss`` for
+    ``must_conflict``, and ``unknown_clean`` / ``unknown_replayed`` for
+    ``may_conflict`` (the precision gap inherited from the Banerjee
+    pass).  Runs that fell back to sequential execution cannot witness
+    replays and classify as ``fallback``.
+    """
+    replayed = truth.replayed_lanes > 0
+    if verdict == "no_conflict":
+        return "false_safe" if replayed else "proven_safe_clean"
+    if truth.any_fallback and not replayed:
+        return "fallback"
+    if verdict == "must_conflict":
+        return ("predicted_replay_hit" if replayed
+                else "predicted_replay_miss")
+    return "unknown_replayed" if replayed else "unknown_clean"

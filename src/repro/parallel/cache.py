@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 #: they orchestrate runs but cannot change a run's outcome.
 CORE_MODULES: tuple[str, ...] = (
     "__init__.py",
+    "analyze",
     "common",
     "compiler",
     "emu",

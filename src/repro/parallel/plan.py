@@ -165,6 +165,11 @@ def _cells_sampling(seed, n):
     )
 
 
+def _cells_analyze_guided(seed, n):
+    return _loop_cells((Strategy.SRV, Strategy.SRV_GUIDED), seed=seed,
+                       n_override=n)
+
+
 def _cells_ablation_tm(seed, n):
     return (
         _loop_cells((Strategy.SRV,), timing=False, seed=seed, n_override=n)
@@ -190,6 +195,7 @@ CELLS_BY_EXPERIMENT = {
     "ablation_inorder": _cells_ablation_inorder,
     "ablation_barrier": _cells_ablation_barrier,
     "ablation_tm": _cells_ablation_tm,
+    "analyze_guided": _cells_analyze_guided,
     "sampling": _cells_sampling,
 }
 

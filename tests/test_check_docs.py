@@ -104,3 +104,37 @@ class TestKnobsDocumented:
         assert problems
         assert any("'gather_ratio'" in p for p in problems)
         assert not any("'dep_density'" in p for p in problems)
+
+
+class TestVerdictsDocumented:
+    def test_enum_members_parse_agrees_with_import(self, check_docs):
+        from repro.analyze import RegionVerdict
+        from repro.compiler.analysis import DepClass
+
+        for src, cls, enum in (
+            (("src", "repro", "compiler", "analysis.py"), "DepClass",
+             DepClass),
+            (("src", "repro", "analyze", "dependence.py"), "RegionVerdict",
+             RegionVerdict),
+        ):
+            path = os.path.join(check_docs.REPO_ROOT, *src)
+            assert set(check_docs.enum_members(path, cls)) \
+                == {m.name for m in enum}
+
+    def test_analysis_doc_covers_every_verdict(self, check_docs):
+        assert check_docs.check_verdicts_documented() == []
+
+    def test_flags_undocumented_verdict(self, check_docs, tmp_path, monkeypatch):
+        doc_rel = os.path.join("docs", "ANALYSIS.md")
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "src" / "repro" / "compiler").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "analyze").mkdir(parents=True)
+        (tmp_path / doc_rel).write_text("only `NO_CONFLICT` here\n")
+        for src, _, body in check_docs.VERDICT_ENUMS:
+            real = os.path.join(check_docs.REPO_ROOT, src)
+            (tmp_path / src).write_text(open(real, encoding="utf-8").read())
+        monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+        problems = check_docs.check_verdicts_documented()
+        assert any("'MUST_CONFLICT'" in p for p in problems)
+        assert any("'UNKNOWN'" in p for p in problems)
+        assert not any("'NO_CONFLICT'" in p for p in problems)

@@ -17,7 +17,11 @@ subcommand registered in ``src/repro/cli.py`` (every
 somewhere in ``README.md``, and every generator knob declared in
 ``src/repro/gen/knobs.py`` (every ``KnobSpec(name="...")``) must appear
 backticked in ``docs/GENERATOR.md`` — so neither a new subcommand nor a
-new knob can ship undocumented.
+new knob can ship undocumented.  Likewise every member of the two
+dependence-verdict enums (``DepClass`` in ``src/repro/compiler/analysis.py``
+and ``RegionVerdict`` in ``src/repro/analyze/dependence.py``) must appear
+backticked in ``docs/ANALYSIS.md``, so the verdict lattice the analyzer
+can emit is exactly the one the documentation explains.
 
 The point is cheap rot detection: when a module is renamed or a file is
 deleted, the docs that still mention it break this check instead of
@@ -176,6 +180,66 @@ def check_knobs_documented(doc_path: str | None = None) -> list[str]:
     return problems
 
 
+def enum_members(source_path: str, class_name: str) -> list[str]:
+    """UPPER_CASE member names of one enum class, parsed from source.
+
+    Parsed (not imported) for the same reason as :func:`generator_knobs`:
+    CI runs this checker without ``PYTHONPATH=src``.
+    """
+    class_re = re.compile(rf"^class {class_name}\b")
+    member_re = re.compile(r"^    ([A-Z][A-Z0-9_]*)\s*=")
+    members = []
+    in_class = False
+    with open(source_path, encoding="utf-8") as fh:
+        for line in fh:
+            if class_re.match(line):
+                in_class = True
+                continue
+            if in_class:
+                if line.strip() and not line.startswith(" "):
+                    break  # next top-level statement ends the class body
+                match = member_re.match(line)
+                if match:
+                    members.append(match.group(1))
+    return members
+
+
+#: (source file, enum class, doc that must name every member backticked)
+VERDICT_ENUMS = (
+    (os.path.join("src", "repro", "compiler", "analysis.py"), "DepClass",
+     os.path.join("docs", "ANALYSIS.md")),
+    (os.path.join("src", "repro", "analyze", "dependence.py"),
+     "RegionVerdict", os.path.join("docs", "ANALYSIS.md")),
+)
+
+
+def check_verdicts_documented() -> list[str]:
+    """Every ``DepClass``/``RegionVerdict`` member must appear backticked
+    in ``docs/ANALYSIS.md``."""
+    problems = []
+    for src_rel, class_name, doc_rel in VERDICT_ENUMS:
+        members = enum_members(os.path.join(REPO_ROOT, src_rel), class_name)
+        if not members:
+            problems.append(
+                f"{src_rel}: enum {class_name!r} not found (doc gate "
+                f"for {doc_rel} has nothing to check)"
+            )
+            continue
+        doc_path = os.path.join(REPO_ROOT, doc_rel)
+        if not os.path.isfile(doc_path):
+            problems.append(f"{doc_rel}: missing (documents {class_name})")
+            continue
+        with open(doc_path, encoding="utf-8") as fh:
+            doc = fh.read()
+        for name in members:
+            if f"`{name}`" not in doc:
+                problems.append(
+                    f"{doc_rel}: {class_name} verdict {name!r} is not "
+                    f"documented (expected the text '`{name}`')"
+                )
+    return problems
+
+
 def main() -> int:
     files = doc_files()
     problems = []
@@ -183,6 +247,7 @@ def main() -> int:
         problems.extend(check_file(path))
     problems.extend(check_cli_documented())
     problems.extend(check_knobs_documented())
+    problems.extend(check_verdicts_documented())
     if problems:
         print(f"check_docs: {len(problems)} stale reference(s):")
         for problem in problems:

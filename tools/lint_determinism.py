@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Fail CI when ``src/repro`` grows a nondeterminism hazard.
+
+Everything the simulator produces is supposed to be a pure function of
+``(code, seed, config)`` — that is what the content-addressed result
+cache, the differential fuzzer, and the pinned experiment tests all
+assume.  This lint walks the AST of every module under ``src/repro`` and
+flags the three ways that contract quietly breaks:
+
+* **unseeded-random** — calls through the *module-level* ``random``
+  API (``random.random()``, ``random.choice(...)``, ``random.seed()``,
+  or importing those functions directly).  They share one ambient
+  generator whose state depends on call order across the whole process.
+  Construct an explicit ``random.Random(seed)`` (see
+  ``repro.common.rng.make_rng``) instead; ``random.Random`` itself is
+  allowed.
+* **wall-clock** — calls that *read the clock into a value*:
+  ``time.time()``, ``time.time_ns()``, ``datetime.now()``,
+  ``datetime.utcnow()``, ``datetime.today()``.  Elapsed-time telemetry
+  via ``time.perf_counter()``/``time.monotonic()`` is allowed — those
+  feed report fields, never results — as is passing a clock *function*
+  for injection (``clock=time.time`` is a reference, not a call).
+* **unordered-iteration** — ``for`` loops and comprehensions whose
+  iterable is a set literal, a set comprehension, or a direct
+  ``set(...)``/``frozenset(...)`` call.  Set iteration order is
+  hash-seed dependent; wrap the expression in ``sorted(...)``.  (Plain
+  dict iteration is insertion-ordered and therefore fine.)
+
+A line may carry ``# lint: allow-<rule>`` to waive one finding with an
+audit trail; there are currently no waivers in the tree.
+
+Usage: ``python tools/lint_determinism.py`` from the repository root
+(exits non-zero listing every finding).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+#: module-level ``random`` attributes that touch the shared generator
+AMBIENT_RANDOM = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "seed", "getrandbits", "betavariate",
+    "expovariate", "normalvariate", "triangular", "vonmisesvariate",
+})
+
+#: ``module attribute`` call pairs that read the wall clock into a value
+WALL_CLOCK = frozenset({
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+})
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...]:
+    """``a.b.c`` -> ("a", "b", "c"); empty tuple for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rel_path: str, source_lines: list[str]):
+        self.rel_path = rel_path
+        self.lines = source_lines
+        self.findings: list[str] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        line = ""
+        if 1 <= node.lineno <= len(self.lines):
+            line = self.lines[node.lineno - 1]
+        if f"lint: allow-{rule}" in line:
+            return
+        self.findings.append(
+            f"{self.rel_path}:{node.lineno}: [{rule}] {message}"
+        )
+
+    # -- unseeded-random ------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in AMBIENT_RANDOM:
+                    self._flag(
+                        node, "unseeded-random",
+                        f"'from random import {alias.name}' binds the "
+                        f"shared ambient generator; use random.Random(seed)",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if len(dotted) >= 2:
+            head, tail = dotted[-2], dotted[-1]
+            if head == "random" and tail in AMBIENT_RANDOM:
+                self._flag(
+                    node, "unseeded-random",
+                    f"random.{tail}() uses the shared ambient generator; "
+                    f"construct random.Random(seed) instead",
+                )
+            if (head, tail) in WALL_CLOCK:
+                self._flag(
+                    node, "wall-clock",
+                    f"{head}.{tail}() reads the wall clock into a value; "
+                    f"results must be a pure function of (code, seed, "
+                    f"config)",
+                )
+        self.generic_visit(node)
+
+    # -- unordered-iteration --------------------------------------------
+
+    def _check_iterable(self, iterable: ast.expr) -> None:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            self._flag(
+                iterable, "unordered-iteration",
+                "iterating a set literal/comprehension; order is "
+                "hash-seed dependent — wrap in sorted(...)",
+            )
+            return
+        if isinstance(iterable, ast.Call):
+            dotted = _dotted(iterable.func)
+            if dotted and dotted[-1] in ("set", "frozenset"):
+                self._flag(
+                    iterable, "unordered-iteration",
+                    f"iterating {dotted[-1]}(...) directly; order is "
+                    f"hash-seed dependent — wrap in sorted(...)",
+                )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iterable(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+def lint_file(path: str) -> list[str]:
+    rel = os.path.relpath(path, REPO_ROOT)
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=rel)
+    visitor = _Visitor(rel, source.splitlines())
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def lint_tree(root: str = LINT_ROOT) -> tuple[list[str], int]:
+    findings: list[str] = []
+    count = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            count += 1
+            findings.extend(lint_file(os.path.join(dirpath, name)))
+    return findings, count
+
+
+def main() -> int:
+    findings, count = lint_tree()
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s):")
+        for finding in findings:
+            print(f"  {finding}")
+        return 1
+    print(f"lint_determinism: OK ({count} modules scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
